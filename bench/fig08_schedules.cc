@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig. 8 reproduction: the searched training and inference schedules for
+ * the M-Shape (GPT), NN-Shape (mT5), and K-Shape (Flava) placements,
+ * rendered as Gantt charts with the repetend parameters annotated.
+ */
+
+#include "bench/common.h"
+#include "ir/gantt.h"
+
+using namespace tessel;
+
+namespace {
+
+void
+show(const std::string &title, const Placement &placement)
+{
+    const auto result = tesselSearch(placement, bench::searchOptions());
+    std::cout << "--- " << title << " ---\n";
+    if (!result.found) {
+        std::cout << "search failed\n\n";
+        return;
+    }
+    std::cout << "NR=" << result.nrUsed << "  period=" << result.period
+              << "  lower-bound=" << result.lowerBound
+              << "  steady bubble="
+              << fmtPercent(result.plan.steadyBubbleRate(), 1) << "\n";
+    const int n = result.plan.minMicrobatches() + 2;
+    const Schedule sched = result.plan.instantiate(n);
+    GanttOptions opts;
+    opts.maxTime = std::min<Time>(sched.makespan(), 64);
+    std::cout << renderGantt(sched, opts) << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    show("Fig. 8(b) GPT training (M-Shape, NR=6 in the paper)",
+         makeMShape(4));
+    show("Fig. 8(c) GPT inference (M-Shape fwd, NR=4 in the paper)",
+         forwardOnly(makeMShape(4)));
+    show("Fig. 8(e) mT5 training (NN-Shape, NR=6 in the paper)",
+         makeNnShape(4));
+    show("Fig. 8(f) mT5 inference (NN-Shape fwd, NR=4 in the paper)",
+         forwardOnly(makeNnShape(4)));
+    show("Fig. 8(h) Flava training (K-Shape, NR=3 in the paper)",
+         makeKShape(4));
+    show("Fig. 8(i) Flava inference (K-Shape fwd, NR=2 in the paper)",
+         forwardOnly(makeKShape(4)));
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig. 9 reproduction: cost of the time-optimal (TO) search normalized
+ * by Tessel's search time, for training and inference variants of the
+ * three advanced placements, at TO micro-batch counts 2/4/6. TO runs
+ * are wall-capped; capped cells report a lower bound on the ratio
+ * (the paper marks one cell as exceeding 10000x).
+ */
+
+#include "bench/common.h"
+#include "solver/from_ir.h"
+
+using namespace tessel;
+
+namespace {
+
+void
+sweep(Table &table, const std::string &label, const Placement &placement)
+{
+    Stopwatch tessel_watch;
+    const auto tessel = tesselSearch(placement, bench::searchOptions());
+    const double tessel_sec = std::max(tessel_watch.seconds(), 1e-4);
+
+    std::vector<std::string> row{label, fmtDouble(tessel_sec, 3)};
+    for (int nmb : {2, 4, 6}) {
+        Problem prob(placement, nmb);
+        SolverOptions opts;
+        opts.timeBudgetSec = 20.0;
+        Stopwatch to_watch;
+        const ToBaselineResult to = solveTimeOptimal(prob, opts);
+        const double to_sec = to_watch.seconds();
+        const double ratio = to_sec / tessel_sec;
+        row.push_back((to.result.stats.budgetExhausted ? ">" : "") +
+                      fmtDouble(ratio, 1) + "x");
+    }
+    row.push_back(tessel.found ? std::to_string(tessel.period) : "-");
+    table.addRow(row);
+}
+
+} // namespace
+
+int
+main()
+{
+    Table train("Fig. 9(a): TO search cost relative to Tessel "
+                "(training)");
+    train.setHeader({"placement", "tessel (s)", "TO nmb=2", "TO nmb=4",
+                     "TO nmb=6", "period"});
+    sweep(train, "GPT (M-Shape)", makeMShape(4));
+    sweep(train, "mT5 (NN-Shape)", makeNnShape(4));
+    sweep(train, "Flava (K-Shape)", makeKShape(4));
+    train.print(std::cout);
+
+    Table infer("Fig. 9(b): TO search cost relative to Tessel "
+                "(inference)");
+    infer.setHeader({"placement", "tessel (s)", "TO nmb=2", "TO nmb=4",
+                     "TO nmb=6", "period"});
+    sweep(infer, "GPT (M-Shape)", forwardOnly(makeMShape(4)));
+    sweep(infer, "mT5 (NN-Shape)", forwardOnly(makeNnShape(4)));
+    sweep(infer, "Flava (K-Shape)", forwardOnly(makeKShape(4)));
+    infer.print(std::cout);
+
+    std::cout << "Paper reference: TO costs grow to 10-30x (training) "
+                 "and beyond 10000x (one inference cell) of Tessel's "
+                 "search time as nmb grows.\n";
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig. 11 reproduction: repetend bubble rate as the number of
+ * micro-batches available for repetend construction (NR) grows, for all
+ * five placement shapes, with unlimited memory. The paper's headline
+ * observations: every shape eventually reaches zero bubble; V-Shape
+ * needs NR >= 4 (the device count) while M/NN need NR >= 6.
+ */
+
+#include "bench/common.h"
+
+using namespace tessel;
+
+int
+main()
+{
+    Table table("Fig. 11: repetend bubble rate vs NR (unlimited memory)");
+    std::vector<std::string> header{"NR"};
+    const std::vector<std::string> shapes{"V", "X", "M", "K", "NN"};
+    for (const auto &s : shapes)
+        header.push_back(s + "-Shape");
+    table.setHeader(header);
+
+    std::vector<int> zero_at(shapes.size(), -1);
+    for (int nr = 1; nr <= 8; ++nr) {
+        std::vector<std::string> row{std::to_string(nr)};
+        for (size_t i = 0; i < shapes.size(); ++i) {
+            TesselOptions opts = bench::searchOptions();
+            opts.maxRepetendMicrobatches = nr;
+            const auto r = tesselSearch(makeShapeByName(shapes[i], 4),
+                                        opts);
+            if (!r.found) {
+                row.push_back("-");
+                continue;
+            }
+            const double bubble = r.plan.steadyBubbleRate();
+            row.push_back(fmtPercent(bubble, 1));
+            if (zero_at[i] < 0 && bubble < 1e-9)
+                zero_at[i] = nr;
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::cout << "Zero-bubble threshold per shape:";
+    for (size_t i = 0; i < shapes.size(); ++i)
+        std::cout << "  " << shapes[i] << "=" << zero_at[i];
+    std::cout << "\nPaper reference: V-Shape reaches zero bubble at "
+                 "NR=4; NN- and M-Shape need NR=6.\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 13 reproduction: GPT end-to-end training throughput (aggregated
+ * PFLOPS) at 4/8/16/32 GPUs for Tessel (M-Shape), 1F1B+ (M-Shape),
+ * 1F1B (Piper V-Shape), and Chimera (X-Shape). 'x (OOM)' marks runs
+ * whose parameters or activations exceed device memory — in the paper
+ * Chimera OOMs everywhere on GPT.
+ */
+
+#include "bench/common.h"
+
+using namespace tessel;
+
+int
+main()
+{
+    HardwareSpec hw;
+    const int n = 32; // Micro-batches per iteration (global batch 128).
+
+    Table table("Fig. 13: GPT end-to-end training throughput (PFLOPS)");
+    table.setHeader(
+        {"GPUs", "Tessel", "1F1B+", "1F1B", "Chimera", "Tessel/1F1B"});
+
+    for (int gpus : {4, 8, 16, 32}) {
+        const GptConfig cfg = gptConfigForGpus(gpus);
+        const int batch = 1;
+
+        const auto m = lowerGptMShape(cfg, gpus, batch, hw);
+        const auto tessel = bench::runTessel(m, hw, n);
+        const auto plus = bench::runBaseline(
+            m, hw, n, [](const Problem &p) { return schedule1F1BPlus(p); });
+
+        const auto v = lowerGptVShapePiper(cfg, gpus, batch, hw);
+        const auto ofob = bench::runBaseline(
+            v, hw, n, [](const Problem &p) { return schedule1F1B(p); });
+
+        const auto x = lowerGptXShapeChimera(cfg, gpus, batch, hw);
+        const auto chimera = bench::runBaseline(
+            x, hw, n,
+            [](const Problem &p) { return scheduleChimeraDirect(p); });
+
+        std::string speedup = "-";
+        if (tessel && ofob && ofob->pflops > 0)
+            speedup = fmtDouble(tessel->pflops / ofob->pflops, 2) + "x";
+        table.addRow({std::to_string(gpus), bench::pflopsCell(tessel),
+                      bench::pflopsCell(plus), bench::pflopsCell(ofob),
+                      bench::pflopsCell(chimera), speedup});
+    }
+    table.print(std::cout);
+    std::cout << "Paper reference: Tessel up to 4.8x over 1F1B (16 "
+                 "GPUs) and 1.4x over 1F1B+; Chimera OOMs at every "
+                 "point.\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 14 reproduction: mT5 end-to-end training throughput (PFLOPS) at
+ * 4/8/16/32 GPUs for Tessel (NN-Shape), 1F1B+ (NN-Shape), 1F1B (Piper
+ * V-Shape), and Chimera (X-Shape). In the paper Chimera fits only the
+ * small single-server configurations and Tessel reaches up to 5.5x
+ * over the predefined schedules.
+ */
+
+#include "bench/common.h"
+
+using namespace tessel;
+
+int
+main()
+{
+    HardwareSpec hw;
+    const int n = 32;
+
+    Table table("Fig. 14: mT5 end-to-end training throughput (PFLOPS)");
+    table.setHeader(
+        {"GPUs", "Tessel", "1F1B+", "1F1B", "Chimera", "Tessel/1F1B"});
+
+    for (int gpus : {4, 8, 16, 32}) {
+        const Mt5Config cfg = mt5ConfigForGpus(gpus);
+        const int batch = 2;
+
+        const auto m = lowerMt5NnShape(cfg, gpus, batch, hw);
+        const auto tessel = bench::runTessel(m, hw, n);
+        const auto plus = bench::runBaseline(
+            m, hw, n, [](const Problem &p) { return schedule1F1BPlus(p); });
+
+        const auto v = lowerMt5VShapePiper(cfg, gpus, batch, hw);
+        const auto ofob = bench::runBaseline(
+            v, hw, n, [](const Problem &p) { return schedule1F1B(p); });
+
+        const auto x = lowerMt5XShapeChimera(cfg, gpus, batch, hw);
+        const auto chimera = bench::runBaseline(
+            x, hw, n,
+            [](const Problem &p) { return scheduleChimeraDirect(p); });
+
+        std::string speedup = "-";
+        if (tessel && ofob && ofob->pflops > 0)
+            speedup = fmtDouble(tessel->pflops / ofob->pflops, 2) + "x";
+        table.addRow({std::to_string(gpus), bench::pflopsCell(tessel),
+                      bench::pflopsCell(plus), bench::pflopsCell(ofob),
+                      bench::pflopsCell(chimera), speedup});
+    }
+    table.print(std::cout);
+    std::cout << "Paper reference: Tessel up to 5.5x over the best "
+                 "predefined schedule and 1.4x over 1F1B+; Chimera "
+                 "fits only small configurations.\n";
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fig. 16 reproduction: runtime performance breakdown into (a) block
+ * execution time on the slowest device and (b) device wait-time
+ * occupation, for 1F1B / 1F1B+ / Tessel on GPT and mT5 across GPU
+ * counts, alongside the theoretical (schedule-bubble) estimate the
+ * paper shades.
+ */
+
+#include "bench/common.h"
+
+using namespace tessel;
+
+namespace {
+
+void
+addRows(Table &exec, Table &wait, const std::string &model, int gpus,
+        const LoweredModel &advanced, const LoweredModel &piper_v,
+        const HardwareSpec &hw, int n)
+{
+    auto fill = [&](const std::string &sched_name,
+                    const std::optional<Schedule> &sched,
+                    const LoweredModel &lm) {
+        const std::string tag = model + "/" + std::to_string(gpus);
+        if (!sched) {
+            exec.addRow({tag, sched_name, "x"});
+            wait.addRow({tag, sched_name, "x", "x"});
+            return;
+        }
+        const auto run = bench::runSchedule(*sched, lm, hw, n);
+        const double theory = sched->bubbleRate();
+        exec.addRow({tag, sched_name,
+                     fmtDouble(run.sim.slowestBusyMs() / 1e3, 2)});
+        wait.addRow({tag, sched_name,
+                     fmtPercent(run.sim.slowestWaitFraction(), 1),
+                     fmtPercent(theory, 1)});
+    };
+
+    // Tessel on the advanced placement.
+    std::optional<Schedule> tessel_sched;
+    if (advanced.fits) {
+        const auto r = tesselSearch(
+            advanced.placement,
+            bench::searchOptions(advanced.memCapacityMB,
+                                 advanced.initialMemMB));
+        if (r.found)
+            tessel_sched = r.plan.instantiate(
+                std::max(n, r.plan.minMicrobatches()));
+    }
+    fill("Tessel", tessel_sched, advanced);
+
+    // 1F1B+ on the same placement.
+    std::optional<Schedule> plus_sched;
+    if (advanced.fits) {
+        Problem prob(advanced.placement, n, advanced.memCapacityMB);
+        prob.setInitialMem(advanced.initialMemMB);
+        plus_sched = schedule1F1BPlus(prob);
+    }
+    fill("1F1B+", plus_sched, advanced);
+
+    // 1F1B on its Piper V-shape.
+    std::optional<Schedule> v_sched;
+    if (piper_v.fits) {
+        Problem prob(piper_v.placement, n, piper_v.memCapacityMB);
+        prob.setInitialMem(piper_v.initialMemMB);
+        v_sched = schedule1F1B(prob);
+    }
+    fill("1F1B", v_sched, piper_v);
+}
+
+} // namespace
+
+int
+main()
+{
+    HardwareSpec hw;
+    const int n = 32;
+
+    Table exec("Fig. 16(a): block execution time of the slowest device "
+               "(s)");
+    exec.setHeader({"model/GPUs", "schedule", "exec (s)"});
+    Table wait("Fig. 16(b): wait-time occupation (measured vs "
+               "theoretical schedule bubble)");
+    wait.setHeader({"model/GPUs", "schedule", "wait %", "theory %"});
+
+    for (int gpus : {4, 8, 16, 32}) {
+        const GptConfig gcfg = gptConfigForGpus(gpus);
+        addRows(exec, wait, "GPT", gpus,
+                lowerGptMShape(gcfg, gpus, 1, hw),
+                lowerGptVShapePiper(gcfg, gpus, 1, hw), hw, n);
+        const Mt5Config mcfg = mt5ConfigForGpus(gpus);
+        addRows(exec, wait, "mT5", gpus,
+                lowerMt5NnShape(mcfg, gpus, 2, hw),
+                lowerMt5VShapePiper(mcfg, gpus, 2, hw), hw, n);
+    }
+    exec.print(std::cout);
+    wait.print(std::cout);
+    std::cout << "Paper reference: Tessel's balanced placement keeps the "
+                 "slowest device's execution time far below 1F1B's "
+                 "(~100 s vs ~400 s for GPT/16); measured wait stays "
+                 "within ~6% of the theoretical estimate.\n";
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the solver substrate: repetend
+ * period solves, completion-phase solves, decision checks, and the
+ * dominance-memo ablation. These quantify the per-candidate costs that
+ * Fig. 10's breakdown aggregates.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/repetend.h"
+#include "core/repetend_solver.h"
+#include "core/search.h"
+#include "placement/shapes.h"
+#include "solver/bnb.h"
+#include "solver/from_ir.h"
+
+namespace tessel {
+namespace {
+
+void
+BM_RepetendSolveVShape(benchmark::State &state)
+{
+    const Placement p = makeVShape(4);
+    RepetendAssignment a;
+    a.r = {3, 2, 1, 0, 0, 0, 0, 0};
+    a.numMicrobatches = 4;
+    for (auto _ : state) {
+        auto sched = solveRepetend(p, a);
+        benchmark::DoNotOptimize(sched.period);
+    }
+}
+BENCHMARK(BM_RepetendSolveVShape);
+
+void
+BM_RepetendSolveMShape(benchmark::State &state)
+{
+    const Placement p = makeMShape(4);
+    const auto all = allRepetends(p, static_cast<int>(state.range(0)));
+    size_t i = 0;
+    for (auto _ : state) {
+        auto sched = solveRepetend(p, all[i++ % all.size()]);
+        benchmark::DoNotOptimize(sched.feasible);
+    }
+}
+BENCHMARK(BM_RepetendSolveMShape)->Arg(2)->Arg(4)->Arg(6);
+
+void
+BM_RepetendEnumeration(benchmark::State &state)
+{
+    const Placement p = makeNnShape(4);
+    for (auto _ : state) {
+        int count = enumerateRepetends(
+            p, static_cast<int>(state.range(0)),
+            [](const RepetendAssignment &) { return true; });
+        benchmark::DoNotOptimize(count);
+    }
+}
+BENCHMARK(BM_RepetendEnumeration)->Arg(3)->Arg(4)->Arg(5);
+
+void
+BM_ToSolve(benchmark::State &state)
+{
+    Problem prob(makeVShape(4), static_cast<int>(state.range(0)));
+    const SolverProblem sp = buildFullInstance(prob);
+    for (auto _ : state) {
+        BnbSolver solver(sp);
+        auto r = solver.minimizeMakespan();
+        benchmark::DoNotOptimize(r.makespan);
+    }
+}
+BENCHMARK(BM_ToSolve)->Arg(2)->Arg(4)->Arg(6);
+
+void
+BM_ToSolveNoDominance(benchmark::State &state)
+{
+    Problem prob(makeVShape(4), static_cast<int>(state.range(0)));
+    const SolverProblem sp = buildFullInstance(prob);
+    SolverOptions opts;
+    opts.useDominance = false;
+    for (auto _ : state) {
+        BnbSolver solver(sp, opts);
+        auto r = solver.minimizeMakespan();
+        benchmark::DoNotOptimize(r.makespan);
+    }
+}
+// Larger instances without the dominance memo run for minutes (the
+// blow-up the memo exists to prevent); keep the ablation tractable.
+BENCHMARK(BM_ToSolveNoDominance)->Arg(2)->Arg(3);
+
+void
+BM_DecisionCheck(benchmark::State &state)
+{
+    Problem prob(makeVShape(4), 4);
+    const SolverProblem sp = buildFullInstance(prob);
+    for (auto _ : state) {
+        BnbSolver solver(sp);
+        auto r = solver.decide(21); // The known optimum for N=4.
+        benchmark::DoNotOptimize(r.status);
+    }
+}
+BENCHMARK(BM_DecisionCheck);
+
+void
+BM_FullSearchKShape(benchmark::State &state)
+{
+    const Placement p = makeKShape(4);
+    for (auto _ : state) {
+        TesselOptions opts;
+        opts.totalBudgetSec = 30.0;
+        auto r = tesselSearch(p, opts);
+        benchmark::DoNotOptimize(r.period);
+    }
+}
+BENCHMARK(BM_FullSearchKShape);
+
+} // namespace
+} // namespace tessel
+
+BENCHMARK_MAIN();

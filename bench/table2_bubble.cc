@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Table II reproduction: asymptotic bubble rate of each training
+ * schedule on the paper's three model placements (unit costs,
+ * backward = 2x forward). Also includes the simple-vs-tight repetend
+ * compaction ablation (Fig. 6) that DESIGN.md calls out.
+ */
+
+#include "bench/common.h"
+#include "core/repetend_solver.h"
+
+using namespace tessel;
+
+namespace {
+
+std::string
+steadyBubbleOf(const std::optional<Schedule> &sched)
+{
+    if (!sched)
+        return "x";
+    return fmtPercent(std::max(0.0, measuredSteadyBubble(*sched)), 1);
+}
+
+} // namespace
+
+int
+main()
+{
+    const int n = 24;
+    Table table("Table II: steady-state bubble rate per training "
+                "schedule (many micro-batches)");
+    table.setHeader(
+        {"model (shape)", "1F1B", "Chimera-direct", "1F1B+", "Tessel"});
+
+    struct Row
+    {
+        const char *label;
+        Placement advanced; // The Tessel / 1F1B+ placement.
+        bool plus_applicable;
+    };
+    const Row rows[] = {
+        {"GPT (M-Shape)", makeMShape(4), true},
+        {"mT5 (NN-Shape)", makeNnShape(4), true},
+        {"Flava (K-Shape)", makeKShape(4), false},
+    };
+
+    for (const Row &row : rows) {
+        // 1F1B runs on its own V-Shape placement; Chimera on X-Shape.
+        Problem v_prob(makeVShape(4), n, kUnlimitedMem);
+        const auto v = schedule1F1B(v_prob);
+        Problem x_prob(makeXShape(4), n, kUnlimitedMem);
+        const auto x = scheduleChimeraDirect(x_prob);
+
+        std::string plus = "x";
+        if (row.plus_applicable) {
+            Problem p_prob(row.advanced, n, kUnlimitedMem);
+            plus = steadyBubbleOf(schedule1F1BPlus(p_prob));
+        }
+
+        const auto tessel =
+            tesselSearch(row.advanced, bench::searchOptions());
+        const std::string tessel_cell =
+            tessel.found ? fmtPercent(tessel.plan.steadyBubbleRate(), 1)
+                         : "x";
+
+        table.addRow({row.label, steadyBubbleOf(v), steadyBubbleOf(x),
+                      plus, tessel_cell});
+    }
+    table.print(std::cout);
+    std::cout << "Paper reference: 1F1B 0%, Chimera-direct 20%, 1F1B+ "
+                 "25%/20%/x, Tessel 0%.\n\n";
+
+    // Ablation: simple (Fig. 6a) vs tight (Fig. 6b) compaction of the
+    // best repetend found for each shape.
+    Table ablation("Ablation: repetend compaction (Fig. 6) - period per "
+                   "micro-batch");
+    ablation.setHeader({"shape", "tight period", "simple period",
+                        "tight speedup"});
+    for (const char *name : {"V", "X", "M", "NN", "K"}) {
+        const Placement p = makeShapeByName(name, 4);
+        const auto result = tesselSearch(p, bench::searchOptions());
+        if (!result.found) {
+            ablation.addRow({name, "-", "-", "-"});
+            continue;
+        }
+        const Time tight = result.period;
+        const Time simple = evalPeriod(p, result.plan.assignment(),
+                                       result.plan.windowStart(), false);
+        ablation.addRow({name, std::to_string(tight),
+                         std::to_string(simple),
+                         fmtDouble(static_cast<double>(simple) / tight,
+                                   2) +
+                             "x"});
+    }
+    ablation.print(std::cout);
+    return 0;
+}

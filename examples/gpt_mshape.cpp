@@ -1,0 +1,81 @@
+/**
+ * @file
+ * GPT training with the M-Shape placement (the paper's Sec. VI-D
+ * headline scenario): lower GPT-11B onto 4 simulated V100s with the
+ * embedding tensor-parallel across all devices, search a schedule,
+ * compare against the 1F1B+ manual adaptation, and report simulated
+ * throughput.
+ */
+
+#include <iostream>
+
+#include "baselines/schedules.h"
+#include "core/search.h"
+#include "models/lower.h"
+#include "sim/runner.h"
+
+using namespace tessel;
+
+int
+main()
+{
+    HardwareSpec hw;
+    const int gpus = 4;
+    const int n = 32; // Micro-batches per iteration.
+
+    const GptConfig cfg = gptConfigForGpus(gpus);
+    std::cout << "Model: " << cfg.name << " (" << cfg.layers
+              << " layers, hidden " << cfg.hidden << ", vocab "
+              << cfg.vocab << ", ~" << cfg.params() / 1e9
+              << "B params)\n";
+
+    const LoweredModel model = lowerGptMShape(cfg, gpus, 1, hw);
+    std::cout << "Placement: " << model.placement.name() << " with "
+              << model.placement.numBlocks() << " blocks on " << gpus
+              << " GPUs; parameters use " << model.initialMemMB[0]
+              << " MB of " << model.memCapacityMB
+              << " MB per device.\n\n";
+
+    // Tessel search under the real memory budget.
+    TesselOptions opts;
+    opts.memLimit = model.memCapacityMB;
+    opts.initialMem = model.initialMemMB;
+    opts.totalBudgetSec = 60.0;
+    const TesselResult tessel = tesselSearch(model.placement, opts);
+    if (!tessel.found) {
+        std::cerr << "search failed\n";
+        return 1;
+    }
+    std::cout << "Tessel: NR=" << tessel.nrUsed << ", period "
+              << tessel.period << " ms/micro-batch, steady bubble "
+              << tessel.plan.steadyBubbleRate() * 100.0 << "%\n";
+
+    ClusterSpec cluster;
+    cluster.memCapacityMB = model.memCapacityMB;
+    cluster.initialMemMB = model.initialMemMB;
+
+    const Schedule ours = tessel.plan.instantiate(n);
+    const SimResult sim_ours =
+        simulateSchedule(ours, model.edgeMB, cluster);
+    const double pflops_ours = model.flopsPerMicrobatch * n /
+                               (sim_ours.makespanMs / 1e3) / 1e15;
+    std::cout << "  simulated iteration: " << sim_ours.makespanMs / 1e3
+              << " s -> " << pflops_ours << " PFLOPS\n";
+
+    // 1F1B+ on the same placement.
+    Problem prob(model.placement, n, model.memCapacityMB);
+    prob.setInitialMem(model.initialMemMB);
+    const auto plus = schedule1F1BPlus(prob);
+    if (plus) {
+        const SimResult sim_plus =
+            simulateSchedule(*plus, model.edgeMB, cluster);
+        const double pflops_plus = model.flopsPerMicrobatch * n /
+                                   (sim_plus.makespanMs / 1e3) / 1e15;
+        std::cout << "1F1B+:  simulated iteration: "
+                  << sim_plus.makespanMs / 1e3 << " s -> " << pflops_plus
+                  << " PFLOPS\n";
+        std::cout << "\nTessel speedup over 1F1B+: "
+                  << sim_plus.makespanMs / sim_ours.makespanMs << "x\n";
+    }
+    return 0;
+}

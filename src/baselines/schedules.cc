@@ -1,0 +1,462 @@
+#include "baselines/schedules.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "ir/sequence.h"
+#include "support/logging.h"
+
+namespace tessel {
+
+namespace {
+
+/**
+ * Classic 1F1B admission depths, generalized: a device may hold as many
+ * in-flight micro-batches as the longest forward-only dependency chain
+ * that starts at one of its forward blocks (D - s for stage s of a
+ * V-Shape pipeline).
+ */
+std::vector<double>
+admissionLimits(const Placement &p)
+{
+    const int k = p.numBlocks();
+    // Longest forward-only chain from each forward spec (inclusive).
+    std::vector<int> depth(k, 0);
+    const auto &topo = p.topoOrder();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const int i = *it;
+        if (p.block(i).kind != BlockKind::Forward)
+            continue;
+        int best = 0;
+        for (int s : p.successors(i))
+            if (p.block(s).kind == BlockKind::Forward)
+                best = std::max(best, depth[s]);
+        depth[i] = best + 1;
+    }
+    std::vector<double> limit(p.numDevices(), 0.0);
+    for (DeviceId d = 0; d < p.numDevices(); ++d)
+        for (int i : p.blocksOnDevice(d))
+            if (p.block(i).kind == BlockKind::Forward)
+                limit[d] = std::max(limit[d],
+                                    static_cast<double>(depth[i]));
+    return limit;
+}
+
+} // namespace
+
+std::optional<Schedule>
+baselineSchedule(const Problem &problem, const BaselineOptions &options)
+{
+    const Placement &p = problem.placement();
+    const int n = problem.numMicrobatches();
+    const int num_inst = problem.numInstances();
+
+    // Topological position of each spec, for stable priorities.
+    std::vector<int> topo_pos(p.numBlocks());
+    for (size_t pos = 0; pos < p.topoOrder().size(); ++pos)
+        topo_pos[p.topoOrder()[pos]] = static_cast<int>(pos);
+
+    std::vector<double> limit = admissionLimits(p);
+    if (options.maxInflight > 0)
+        std::fill(limit.begin(), limit.end(),
+                  static_cast<double>(options.maxInflight));
+
+    std::vector<double> fwd_per_mb(p.numDevices(), 0.0);
+    std::vector<double> bwd_per_mb(p.numDevices(), 0.0);
+    for (DeviceId d = 0; d < p.numDevices(); ++d) {
+        for (int i : p.blocksOnDevice(d)) {
+            if (p.block(i).kind == BlockKind::Forward)
+                fwd_per_mb[d] += 1.0;
+            else if (p.block(i).kind == BlockKind::Backward)
+                bwd_per_mb[d] += 1.0;
+        }
+    }
+
+    Schedule sched(problem);
+    std::vector<char> dispatched(num_inst, 0);
+    std::vector<Time> finish(num_inst, 0);
+    std::vector<Time> busy_until(problem.numDevices(), 0);
+    std::vector<Mem> mem = problem.initialMem();
+    std::vector<double> fwd_started(problem.numDevices(), 0.0);
+    std::vector<double> bwd_started(problem.numDevices(), 0.0);
+    int remaining = num_inst;
+    Time t = 0;
+
+    auto deps_done = [&](int id) {
+        const BlockRef ref = problem.refOf(id);
+        for (int dep : p.block(ref.spec).deps) {
+            const int dep_id = problem.instanceId({dep, ref.mb});
+            if (!dispatched[dep_id] || finish[dep_id] > t)
+                return false;
+        }
+        return true;
+    };
+
+    auto admission_ok = [&](const BlockSpec &spec) {
+        if (options.policy != BaselinePolicy::OneFOneB ||
+            spec.kind != BlockKind::Forward)
+            return true;
+        for (DeviceId d = 0; d < problem.numDevices(); ++d) {
+            if (!(spec.devices & oneDevice(d)) || bwd_per_mb[d] <= 0.0)
+                continue;
+            const double inflight =
+                (fwd_started[d] + 1.0) / fwd_per_mb[d] -
+                bwd_started[d] / bwd_per_mb[d];
+            if (inflight > limit[d] + 1e-9)
+                return false;
+        }
+        return true;
+    };
+
+    auto mem_ok = [&](const BlockSpec &spec) {
+        if (!options.respectMemory || spec.memory <= 0)
+            return true;
+        for (DeviceId d = 0; d < problem.numDevices(); ++d)
+            if ((spec.devices & oneDevice(d)) &&
+                mem[d] + spec.memory > problem.memLimit()) {
+                return false;
+            }
+        return true;
+    };
+
+    while (remaining > 0) {
+        // Collect dispatchable candidates at time t.
+        std::vector<int> cands;
+        for (int id = 0; id < num_inst; ++id) {
+            if (dispatched[id])
+                continue;
+            const BlockRef ref = problem.refOf(id);
+            const BlockSpec &spec = p.block(ref.spec);
+            bool devices_free = true;
+            for (DeviceId d = 0; d < problem.numDevices(); ++d)
+                if ((spec.devices & oneDevice(d)) && busy_until[d] > t)
+                    devices_free = false;
+            if (!devices_free || !deps_done(id))
+                continue;
+            cands.push_back(id);
+        }
+        const bool backward_first =
+            options.policy == BaselinePolicy::OneFOneB;
+        std::sort(cands.begin(), cands.end(), [&](int a, int b) {
+            const BlockRef ra = problem.refOf(a), rb = problem.refOf(b);
+            const bool ba = p.block(ra.spec).kind == BlockKind::Backward;
+            const bool bb = p.block(rb.spec).kind == BlockKind::Backward;
+            if (ba != bb)
+                return backward_first ? ba : bb;
+            if (ra.mb != rb.mb)
+                return ra.mb < rb.mb;
+            return topo_pos[ra.spec] < topo_pos[rb.spec];
+        });
+
+        auto try_dispatch = [&](int id, bool relax_admission) {
+            if (dispatched[id])
+                return false;
+            const BlockRef ref = problem.refOf(id);
+            const BlockSpec &spec = p.block(ref.spec);
+            bool devices_free = true;
+            for (DeviceId d = 0; d < problem.numDevices(); ++d)
+                if ((spec.devices & oneDevice(d)) && busy_until[d] > t)
+                    devices_free = false;
+            if (!devices_free || !mem_ok(spec))
+                return false;
+            if (!relax_admission && !admission_ok(spec))
+                return false;
+            // Dispatch at t.
+            dispatched[id] = 1;
+            --remaining;
+            sched.setStart(ref, t);
+            finish[id] = t + spec.span;
+            for (DeviceId d = 0; d < problem.numDevices(); ++d) {
+                if (!(spec.devices & oneDevice(d)))
+                    continue;
+                busy_until[d] = finish[id];
+                mem[d] += spec.memory;
+                if (spec.kind == BlockKind::Forward)
+                    fwd_started[d] += 1.0;
+                else if (spec.kind == BlockKind::Backward)
+                    bwd_started[d] += 1.0;
+            }
+            return true;
+        };
+
+        for (int id : cands)
+            try_dispatch(id, false);
+
+        if (remaining == 0)
+            break;
+        // Advance to the next completion event.
+        Time next = -1;
+        auto next_event = [&]() {
+            next = -1;
+            for (DeviceId d = 0; d < problem.numDevices(); ++d)
+                if (busy_until[d] > t)
+                    next = next < 0 ? busy_until[d]
+                                    : std::min(next, busy_until[d]);
+        };
+        next_event();
+        if (next < 0) {
+            // The admission heuristic wedged itself: a forward it holds
+            // back is on the critical path of every releasing backward.
+            // It is advisory, not a correctness constraint, so admit the
+            // best candidate and continue.
+            for (int id : cands)
+                if (try_dispatch(id, true))
+                    break;
+            next_event();
+        }
+        if (next < 0) {
+            // Deadlock: report the first few stuck blocks to aid
+            // debugging of placements/limits, then give up.
+            if (logVerbose()) {
+                std::string stuck;
+                int shown = 0;
+                for (int id = 0; id < num_inst && shown < 4; ++id) {
+                    if (dispatched[id])
+                        continue;
+                    const BlockRef ref = problem.refOf(id);
+                    const BlockSpec &spec = p.block(ref.spec);
+                    stuck += " " + spec.name + "@" +
+                             std::to_string(ref.mb) + "(";
+                    if (!deps_done(id))
+                        stuck += "deps";
+                    else if (!mem_ok(spec))
+                        stuck += "mem";
+                    else if (!admission_ok(spec))
+                        stuck += "admission";
+                    else
+                        stuck += "device";
+                    stuck += ")";
+                    ++shown;
+                }
+                warn("baseline dispatch deadlock at t=", t, ", ",
+                     remaining, " blocks left:", stuck);
+            }
+            return std::nullopt;
+        }
+        t = next;
+    }
+
+    const ValidationResult check = sched.validate();
+    panic_if(!check.ok, "baseline schedule invalid: ", check.message);
+    (void)n;
+    return sched;
+}
+
+std::optional<Schedule>
+schedule1F1B(const Problem &problem)
+{
+    BaselineOptions opts;
+    opts.policy = BaselinePolicy::OneFOneB;
+    return baselineSchedule(problem, opts);
+}
+
+std::optional<Schedule>
+schedule1F1BPlus(const Problem &problem)
+{
+    const Placement &p = problem.placement();
+    const int n = problem.numMicrobatches();
+    const DeviceMask full = allDevices(problem.numDevices());
+
+    // Split specs into the stage skeleton and the full-device
+    // tensor-parallel blocks to be spliced back in.
+    std::vector<int> skel_index(p.numBlocks(), -1);
+    std::vector<int> skel_specs;
+    std::vector<int> tp_specs;
+    for (int i = 0; i < p.numBlocks(); ++i) {
+        if (p.block(i).devices == full) {
+            tp_specs.push_back(i);
+        } else {
+            skel_index[i] = static_cast<int>(skel_specs.size());
+            skel_specs.push_back(i);
+        }
+    }
+    if (tp_specs.empty() || skel_specs.empty())
+        return schedule1F1B(problem);
+
+    // Skeleton placement with dependencies contracted through TP blocks.
+    std::vector<BlockSpec> skel_blocks;
+    for (int i : skel_specs) {
+        BlockSpec b = p.block(i);
+        std::vector<int> contracted;
+        std::vector<int> frontier = b.deps;
+        std::vector<char> seen(p.numBlocks(), 0);
+        while (!frontier.empty()) {
+            const int dep = frontier.back();
+            frontier.pop_back();
+            if (seen[dep])
+                continue;
+            seen[dep] = 1;
+            if (skel_index[dep] >= 0) {
+                contracted.push_back(skel_index[dep]);
+            } else {
+                for (int dd : p.block(dep).deps)
+                    frontier.push_back(dd);
+            }
+        }
+        b.deps = std::move(contracted);
+        skel_blocks.push_back(std::move(b));
+    }
+    Problem skel_problem(
+        Placement(p.name() + "-skeleton", p.numDevices(),
+                  std::move(skel_blocks)),
+        n, problem.memLimit());
+    skel_problem.setInitialMem(problem.initialMem());
+
+    BaselineOptions opts;
+    opts.policy = BaselinePolicy::OneFOneB;
+    auto skel_sched = baselineSchedule(skel_problem, opts);
+    if (!skel_sched) {
+        warn("1F1B+: skeleton schedule failed");
+        return schedule1F1B(problem);
+    }
+
+    // Global order of original instance ids, skeleton first.
+    std::vector<int> list;
+    for (int id : skel_sched->globalOrder()) {
+        const BlockRef ref = skel_problem.refOf(id);
+        list.push_back(problem.instanceId({skel_specs[ref.spec], ref.mb}));
+    }
+
+    // Splice TP instances next to their neighbors, in topological order
+    // so TP-TP dependencies resolve against already-inserted blocks.
+    auto position_of = [&](int inst) {
+        for (size_t k = 0; k < list.size(); ++k)
+            if (list[k] == inst)
+                return static_cast<long>(k);
+        return static_cast<long>(-1);
+    };
+    for (int spec : p.topoOrder()) {
+        if (p.block(spec).devices != full)
+            continue;
+        for (int mb = 0; mb < n; ++mb) {
+            const int inst = problem.instanceId({spec, mb});
+            long before = -1;
+            for (int c : p.successors(spec)) {
+                const long pos =
+                    position_of(problem.instanceId({c, mb}));
+                if (pos >= 0 && (before < 0 || pos < before))
+                    before = pos;
+            }
+            if (before >= 0) {
+                list.insert(list.begin() + before, inst);
+                continue;
+            }
+            long after = -1;
+            for (int dep : p.block(spec).deps)
+                after = std::max(after,
+                                 position_of(problem.instanceId(
+                                     {dep, mb})));
+            list.insert(list.begin() + (after + 1), inst);
+        }
+    }
+
+    // Project the global order onto per-device sequences.
+    DeviceSequences seqs;
+    seqs.order.resize(problem.numDevices());
+    for (int inst : list) {
+        const BlockRef ref = problem.refOf(inst);
+        for (DeviceId d = 0; d < problem.numDevices(); ++d)
+            if (p.block(ref.spec).devices & oneDevice(d))
+                seqs.order[d].push_back(inst);
+    }
+    auto sched = scheduleFromSequences(problem, seqs);
+    if (!sched) {
+        warn("1F1B+: projected sequences deadlock");
+        return schedule1F1B(problem);
+    }
+    if (const auto check = sched->validate(); !check.ok) {
+        warn("1F1B+: projection invalid: ", check.message);
+        return schedule1F1B(problem);
+    }
+    return sched;
+}
+
+std::optional<Schedule>
+scheduleGPipe(const Problem &problem)
+{
+    BaselineOptions opts;
+    opts.policy = BaselinePolicy::GPipe;
+    return baselineSchedule(problem, opts);
+}
+
+std::optional<Schedule>
+scheduleChimeraDirect(const Problem &problem)
+{
+    const Placement &p = problem.placement();
+    const int n = problem.numMicrobatches();
+    const int round_units = std::max(1, problem.numDevices() / 2);
+
+    Schedule sched(problem);
+    Time offset = 0;
+    std::map<int, Schedule> base_cache; // units-in-round -> schedule
+    for (int first = 0; first < n; first += round_units) {
+        const int units = std::min(round_units, n - first);
+        auto it = base_cache.find(units);
+        if (it == base_cache.end()) {
+            Problem base(p, units, problem.memLimit());
+            base.setInitialMem(problem.initialMem());
+            BaselineOptions opts;
+            opts.policy = BaselinePolicy::OneFOneB;
+            auto base_sched = baselineSchedule(base, opts);
+            if (!base_sched)
+                return std::nullopt;
+            it = base_cache.emplace(units, std::move(*base_sched)).first;
+        }
+        const Schedule &base = it->second;
+        for (int spec = 0; spec < p.numBlocks(); ++spec)
+            for (int u = 0; u < units; ++u)
+                sched.setStart({spec, first + u},
+                               offset + base.start({spec, u}));
+        offset += base.makespan(); // Synchronization barrier per round.
+    }
+    const ValidationResult check = sched.validate();
+    panic_if(!check.ok, "chimera-direct schedule invalid: ",
+             check.message);
+    return sched;
+}
+
+Schedule
+scheduleSequential(const Problem &problem)
+{
+    const Placement &p = problem.placement();
+    DeviceSequences seqs;
+    seqs.order.resize(problem.numDevices());
+    for (int mb = 0; mb < problem.numMicrobatches(); ++mb)
+        for (int spec : p.topoOrder())
+            for (DeviceId d = 0; d < problem.numDevices(); ++d)
+                if (p.block(spec).devices & oneDevice(d))
+                    seqs.order[d].push_back(
+                        problem.instanceId({spec, mb}));
+    auto sched = scheduleFromSequences(problem, seqs);
+    panic_if(!sched, "sequential schedule construction failed");
+    return *sched;
+}
+
+double
+measuredSteadyBubble(const Schedule &schedule)
+{
+    const Problem &problem = schedule.problem();
+    const Placement &p = problem.placement();
+    const Time total = schedule.makespan();
+    const Time lo = total / 3;
+    const Time hi = 2 * total / 3;
+    if (hi <= lo)
+        return schedule.bubbleRate();
+
+    double busy = 0.0;
+    for (DeviceId d = 0; d < problem.numDevices(); ++d) {
+        for (int id : schedule.deviceOrder(d)) {
+            const BlockRef ref = problem.refOf(id);
+            const Time s = schedule.start(ref);
+            const Time f = s + p.block(ref.spec).span;
+            busy += static_cast<double>(
+                std::max<Time>(0, std::min(f, hi) - std::max(s, lo)));
+        }
+    }
+    const double cap =
+        static_cast<double>(hi - lo) * problem.numDevices();
+    return 1.0 - busy / cap;
+}
+
+} // namespace tessel

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Predefined baseline schedules (Sec. VI-A): 1F1B, GPipe, Chimera-direct,
+ * and 1F1B+ (the paper's manual adaptation of 1F1B to advanced
+ * placements).
+ *
+ * All baselines are realized by one priority-driven list scheduler. The
+ * defining property of 1F1B — drain a backward as soon as it is ready,
+ * admit new forwards otherwise — corresponds to backward-first priority;
+ * GPipe's all-forwards-then-all-backwards corresponds to forward-first.
+ * On a V-Shape placement, backward-first reproduces 1F1B exactly
+ * (warmup of D-s forwards on stage s, then strict 1F1B alternation); on
+ * M/NN shapes it is precisely the "insert the distributed operators next
+ * to their neighbors" adaptation the paper calls 1F1B+, because the
+ * tensor-parallel blocks inherit their neighbors' forward/backward kinds
+ * and thus their slots in the 1F1B pattern. On the X-Shape it yields
+ * Chimera's eager bidirectional schedule (Chimera-direct).
+ */
+
+#ifndef TESSEL_BASELINES_SCHEDULES_H
+#define TESSEL_BASELINES_SCHEDULES_H
+
+#include <optional>
+
+#include "ir/schedule.h"
+
+namespace tessel {
+
+/** Dispatch priority of the baseline list scheduler. */
+enum class BaselinePolicy {
+    OneFOneB, ///< backward-first: 1F1B / 1F1B+ / Chimera-direct
+    GPipe,    ///< forward-first: GPipe
+};
+
+/** Options for baseline schedule generation. */
+struct BaselineOptions
+{
+    BaselinePolicy policy = BaselinePolicy::OneFOneB;
+    /**
+     * Limit of in-flight micro-batches per device (1F1B's implicit
+     * admission control). <= 0 derives the classic per-stage depth
+     * (pipeline depth minus stage index) automatically.
+     */
+    int maxInflight = 0;
+    /** Enforce the problem's memory capacity during dispatch. */
+    bool respectMemory = true;
+};
+
+/**
+ * Generate a baseline schedule for @p problem.
+ *
+ * @return the schedule, or std::nullopt when dispatch deadlocks under
+ *         the memory constraints (reported as OOM by the benches).
+ */
+std::optional<Schedule> baselineSchedule(const Problem &problem,
+                                         const BaselineOptions &options);
+
+/** Convenience: classic 1F1B (or 1F1B+ on non-V placements). */
+std::optional<Schedule> schedule1F1B(const Problem &problem);
+
+/**
+ * 1F1B+ (Sec. VI-A): the paper's manual adaptation of 1F1B to advanced
+ * placements. The full-device tensor-parallel blocks are removed, the
+ * remaining stage skeleton is scheduled with classic 1F1B, and each
+ * tensor-parallel block is then spliced back into the global order
+ * immediately next to its neighboring stage block ("inserted the
+ * distributed operators closely to their neighboring operators"). Falls
+ * back to the greedy 1F1B dispatcher when the placement has no
+ * full-device blocks or the spliced order violates memory.
+ */
+std::optional<Schedule> schedule1F1BPlus(const Problem &problem);
+
+/** Convenience: GPipe. */
+std::optional<Schedule> scheduleGPipe(const Problem &problem);
+
+/**
+ * Chimera-direct (Sec. VI-A): Chimera's predefined bidirectional
+ * schedule, applied round by round. Each round executes D/2 scheduling
+ * units (D samples: one per direction per unit) with Chimera's eager
+ * bidirectional pattern and synchronizes before the next round — the
+ * direct scaling Chimera prescribes for more micro-batches, which is
+ * what leaves its characteristic ~(D-2)/(D-2+...) bubble (20% on the
+ * paper's 4-device X-Shape, Table II).
+ */
+std::optional<Schedule> scheduleChimeraDirect(const Problem &problem);
+
+/**
+ * Convenience: sequential execution (micro-batches one after another) —
+ * the minimal-memory / maximal-latency reference point.
+ */
+Schedule scheduleSequential(const Problem &problem);
+
+/**
+ * Steady-state bubble rate of a baseline schedule, measured over the
+ * middle of the run to exclude warmup/cooldown (comparable with
+ * TesselPlan::steadyBubbleRate for Table II).
+ */
+double measuredSteadyBubble(const Schedule &schedule);
+
+} // namespace tessel
+
+#endif // TESSEL_BASELINES_SCHEDULES_H

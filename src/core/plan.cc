@@ -1,0 +1,184 @@
+#include "core/plan.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.h"
+
+namespace tessel {
+
+TesselPlan::TesselPlan(Placement placement, RepetendAssignment assign,
+                       std::vector<Time> window_start, Time period,
+                       Time window_span, std::vector<BlockRef> warmup_refs,
+                       std::vector<Time> warmup_start,
+                       std::vector<BlockRef> cooldown_refs,
+                       std::vector<Time> cooldown_start, Mem mem_limit,
+                       std::vector<Mem> initial_mem)
+    : placement_(std::move(placement)), assign_(std::move(assign)),
+      windowStart_(std::move(window_start)), period_(period),
+      windowSpan_(window_span), warmupRefs_(std::move(warmup_refs)),
+      warmupStart_(std::move(warmup_start)),
+      cooldownRefs_(std::move(cooldown_refs)),
+      cooldownStart_(std::move(cooldown_start)), memLimit_(mem_limit),
+      initialMem_(std::move(initial_mem))
+{
+    panic_if(warmupRefs_.size() != warmupStart_.size(),
+             "plan: warmup size mismatch");
+    panic_if(cooldownRefs_.size() != cooldownStart_.size(),
+             "plan: cooldown size mismatch");
+    panic_if(static_cast<int>(windowStart_.size()) !=
+                 placement_.numBlocks(),
+             "plan: window size mismatch");
+}
+
+double
+TesselPlan::steadyBubbleRate() const
+{
+    if (period_ <= 0)
+        return 0.0;
+    double busy = 0.0;
+    for (DeviceId d = 0; d < placement_.numDevices(); ++d)
+        busy += static_cast<double>(placement_.workOnDevice(d));
+    const double cap =
+        static_cast<double>(period_) * placement_.numDevices();
+    return 1.0 - busy / cap;
+}
+
+double
+TesselPlan::worstDeviceBubbleRate() const
+{
+    if (period_ <= 0)
+        return 0.0;
+    double worst = 0.0;
+    for (DeviceId d = 0; d < placement_.numDevices(); ++d) {
+        const double idle =
+            1.0 - static_cast<double>(placement_.workOnDevice(d)) /
+                      static_cast<double>(period_);
+        worst = std::max(worst, idle);
+    }
+    return worst;
+}
+
+Problem
+TesselPlan::problemFor(int n) const
+{
+    Problem prob(placement_, n, memLimit_);
+    if (!initialMem_.empty())
+        prob.setInitialMem(initialMem_);
+    return prob;
+}
+
+Schedule
+TesselPlan::instantiate(int n) const
+{
+    const int nr = assign_.numMicrobatches;
+    fatal_if(n < nr, "plan: need at least NR=", nr, " micro-batches, got ",
+             n);
+    const int k = placement_.numBlocks();
+    const int extra = n - nr; // Window instances beyond the first.
+
+    Problem prob = problemFor(n);
+    Schedule sched(prob);
+
+    // Phase 1: warmup at its solved absolute times.
+    std::vector<Time> avail_after_warmup(placement_.numDevices(), 0);
+    for (size_t w = 0; w < warmupRefs_.size(); ++w) {
+        const BlockRef ref = warmupRefs_[w];
+        sched.setStart(ref, warmupStart_[w]);
+        const Time fin =
+            warmupStart_[w] + placement_.block(ref.spec).span;
+        for (DeviceId d = 0; d < placement_.numDevices(); ++d)
+            if (placement_.block(ref.spec).devices & oneDevice(d))
+                avail_after_warmup[d] =
+                    std::max(avail_after_warmup[d], fin);
+    }
+
+    // Phase 2: anchor offset theta0 for the first window instance.
+    Time theta0 = 0;
+    for (DeviceId d = 0; d < placement_.numDevices(); ++d) {
+        Time min_s = -1;
+        for (int i : placement_.blocksOnDevice(d))
+            min_s = min_s < 0 ? windowStart_[i]
+                              : std::min(min_s, windowStart_[i]);
+        if (min_s >= 0)
+            theta0 = std::max(theta0, avail_after_warmup[d] - min_s);
+    }
+    // Warmup-to-window dependencies: instance k of consumer j needs the
+    // producer (i, r_j + k), which lives in the warmup while k < delta.
+    for (int j = 0; j < k; ++j) {
+        for (int i : placement_.block(j).deps) {
+            const int delta = assign_.r[i] - assign_.r[j];
+            for (int inst = 0; inst < delta && inst <= extra; ++inst) {
+                const BlockRef producer{i, assign_.r[j] + inst};
+                const Time fin = sched.start(producer) +
+                                 placement_.block(i).span;
+                theta0 = std::max(theta0,
+                                  fin - windowStart_[j] -
+                                      static_cast<Time>(inst) * period_);
+            }
+        }
+    }
+
+    // Phase 3: lay out the window instances at stride P.
+    for (int inst = 0; inst <= extra; ++inst)
+        for (int i = 0; i < k; ++i)
+            sched.setStart({i, assign_.r[i] + inst},
+                           theta0 + static_cast<Time>(inst) * period_ +
+                               windowStart_[i]);
+
+    // Phase 4: cooldown, retimed to earliest start while keeping the
+    // solved per-device order. Micro-batch indices shift by `extra`.
+    std::vector<size_t> order(cooldownRefs_.size());
+    for (size_t c = 0; c < order.size(); ++c)
+        order[c] = c;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (cooldownStart_[a] != cooldownStart_[b])
+            return cooldownStart_[a] < cooldownStart_[b];
+        return a < b;
+    });
+
+    std::vector<Time> avail(placement_.numDevices(), 0);
+    for (DeviceId d = 0; d < placement_.numDevices(); ++d) {
+        for (int i : placement_.blocksOnDevice(d)) {
+            // Last window instance finish per device.
+            const Time fin = theta0 + static_cast<Time>(extra) * period_ +
+                             windowStart_[i] + placement_.block(i).span;
+            avail[d] = std::max(avail[d], fin);
+        }
+    }
+    for (DeviceId d = 0; d < placement_.numDevices(); ++d)
+        avail[d] = std::max(avail[d], avail_after_warmup[d]);
+
+    for (size_t idx : order) {
+        const BlockRef base = cooldownRefs_[idx];
+        const BlockRef ref{base.spec, base.mb + extra};
+        const BlockSpec &spec = placement_.block(base.spec);
+        Time est = 0;
+        for (int dep : spec.deps) {
+            const Time dep_start = sched.start({dep, ref.mb});
+            panic_if(dep_start == kUnscheduled,
+                     "plan: cooldown dependency not yet scheduled");
+            est = std::max(est, dep_start + placement_.block(dep).span);
+        }
+        for (DeviceId d = 0; d < placement_.numDevices(); ++d)
+            if (spec.devices & oneDevice(d))
+                est = std::max(est, avail[d]);
+        sched.setStart(ref, est);
+        for (DeviceId d = 0; d < placement_.numDevices(); ++d)
+            if (spec.devices & oneDevice(d))
+                avail[d] = est + spec.span;
+    }
+
+    const ValidationResult check = sched.validate();
+    panic_if(!check.ok, "plan: instantiated schedule invalid: ",
+             check.message);
+    return sched;
+}
+
+Time
+TesselPlan::makespanFor(int n) const
+{
+    return instantiate(n).makespan();
+}
+
+} // namespace tessel

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * TesselPlan: the general schedule produced by the search (Sec. IV),
+ * consisting of a solved warmup, a repetend window with its steady-state
+ * period, and a solved cooldown. The plan generalizes to any micro-batch
+ * count N >= NR (Sec. III-C "schedule generalization"): warmup first,
+ * then N - NR + 1 repetend instances at stride P, then the cooldown
+ * retimed behind the last instance.
+ */
+
+#ifndef TESSEL_CORE_PLAN_H
+#define TESSEL_CORE_PLAN_H
+
+#include <vector>
+
+#include "core/repetend.h"
+#include "ir/schedule.h"
+
+namespace tessel {
+
+/**
+ * A complete, generalizable Tessel schedule.
+ *
+ * Memory safety across N: per-device memory depends only on per-device
+ * block order. The warmup prefix is checked by its own solve; each
+ * steady-state window starts from entry usage sum_i r_i * m_i and was
+ * checked by the repetend solve; instances only repeat when the
+ * per-instance net memory is <= 0; and the cooldown was checked from the
+ * post-window entry state. Concatenating phases therefore preserves
+ * memory feasibility for every N (validated again in instantiate()).
+ */
+class TesselPlan
+{
+  public:
+    TesselPlan() = default;
+
+    /** Assembled by TesselSearch; all vectors are index-aligned. */
+    TesselPlan(Placement placement, RepetendAssignment assign,
+               std::vector<Time> window_start, Time period,
+               Time window_span, std::vector<BlockRef> warmup_refs,
+               std::vector<Time> warmup_start,
+               std::vector<BlockRef> cooldown_refs,
+               std::vector<Time> cooldown_start, Mem mem_limit,
+               std::vector<Mem> initial_mem);
+
+    const Placement &placement() const { return placement_; }
+    const RepetendAssignment &assignment() const { return assign_; }
+
+    /** Steady-state period P (= tR of Eq. 4). */
+    Time period() const { return period_; }
+
+    /** Window start time of each spec (normalized to min 0). */
+    const std::vector<Time> &windowStart() const { return windowStart_; }
+
+    /** Extent of one repetend window (may exceed the period). */
+    Time windowSpan() const { return windowSpan_; }
+
+    /** Smallest N this plan supports (= NR). */
+    int minMicrobatches() const { return assign_.numMicrobatches; }
+
+    /**
+     * Steady-state bubble rate: mean over devices of the idle fraction
+     * of one period (Table II, Figs. 11/12).
+     */
+    double steadyBubbleRate() const;
+
+    /** Steady-state idle fraction of the most idle device. */
+    double worstDeviceBubbleRate() const;
+
+    /**
+     * Materialize the schedule for @p n micro-batches using the periodic
+     * layout. Panics when the result fails validation (internal bug).
+     */
+    Schedule instantiate(int n) const;
+
+    /** The problem instance instantiate(n) schedules. */
+    Problem problemFor(int n) const;
+
+    /** Makespan of instantiate(n) (whole-run time for N micro-batches). */
+    Time makespanFor(int n) const;
+
+  private:
+    Placement placement_;
+    RepetendAssignment assign_;
+    std::vector<Time> windowStart_;
+    Time period_ = 0;
+    Time windowSpan_ = 0;
+    std::vector<BlockRef> warmupRefs_;
+    std::vector<Time> warmupStart_;
+    std::vector<BlockRef> cooldownRefs_;
+    std::vector<Time> cooldownStart_;
+    Mem memLimit_ = kUnlimitedMem;
+    std::vector<Mem> initialMem_;
+};
+
+} // namespace tessel
+
+#endif // TESSEL_CORE_PLAN_H

@@ -1,0 +1,389 @@
+#include "core/repetend_solver.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/logging.h"
+#include "support/timer.h"
+
+namespace tessel {
+
+namespace {
+
+/**
+ * The minimal-period problem is a cyclic scheduling instance: constraints
+ * are differences s_j - s_i >= w - h * P, where h counts period
+ * crossings. Three families are order-independent:
+ *   - intra-window dependencies (h = 0, w = t_i);
+ *   - cross-instance dependencies (h = delta, w = t_i);
+ *   - window-width bounds E_d <= P, expressed pairwise as
+ *     s_a - s_b >= t_b - P for every ordered pair (b, a) on a device.
+ * Device exclusivity is disjunctive (either a before b or b before a) and
+ * memory feasibility constrains per-device *orders*; both are resolved by
+ * branching. For a fixed set of resolved decisions, the minimal feasible
+ * P is the maximum cycle ratio of the constraint graph, found by binary
+ * search with Bellman-Ford positive-cycle detection. Adding decisions
+ * only raises P, so the relaxation is an admissible bound.
+ */
+struct Edge
+{
+    int from;
+    int to;
+    Time w;
+    int h;
+};
+
+class PeriodSearch
+{
+  public:
+    PeriodSearch(const Placement &placement,
+                 const RepetendAssignment &assign,
+                 const RepetendSolveOptions &opts)
+        : p_(placement), assign_(assign), opts_(opts),
+          budget_(opts.timeBudgetSec)
+    {
+        k_ = p_.numBlocks();
+        nd_ = p_.numDevices();
+        panic_if(static_cast<int>(assign.r.size()) != k_,
+                 "assignment size mismatch");
+        buildStatic();
+    }
+
+    RepetendSchedule
+    solve()
+    {
+        RepetendSchedule out;
+        if (!entryFeasible()) {
+            out.feasible = false;
+            out.proven = true;
+            return out;
+        }
+        recurse();
+        out.stats = stats_;
+        out.stats.seconds = budget_.elapsed();
+        out.proven = !stats_.budgetExhausted;
+        if (bestPeriod_ < 0) {
+            out.feasible = false;
+            return out;
+        }
+        out.feasible = true;
+        out.period = bestPeriod_;
+        Time lo = bestStart_[0];
+        for (Time t : bestStart_)
+            lo = std::min(lo, t);
+        out.start.resize(k_);
+        Time hi = 0;
+        for (int i = 0; i < k_; ++i) {
+            out.start[i] = bestStart_[i] - lo;
+            hi = std::max(hi, out.start[i] + p_.block(i).span);
+        }
+        out.windowSpan = hi;
+        return out;
+    }
+
+  private:
+    void
+    buildStatic()
+    {
+        // Order-independent constraint edges.
+        for (int j = 0; j < k_; ++j) {
+            for (int i : p_.block(j).deps) {
+                const int delta = assign_.r[i] - assign_.r[j];
+                panic_if(delta < 0, "Property 4.2 violated in assignment");
+                base_.push_back({i, j, p_.block(i).span, delta});
+            }
+        }
+        for (DeviceId d = 0; d < nd_; ++d) {
+            const auto &on = p_.blocksOnDevice(d);
+            for (int b : on)
+                for (int a : on)
+                    if (a != b)
+                        base_.push_back({b, a, p_.block(b).span, 1});
+        }
+
+        serialUb_ = p_.totalWork();
+        globalLb_ = std::max<Time>(1, p_.perMicrobatchLowerBound());
+
+        entryMem_ = repetendEntryMem(p_, assign_);
+        if (!opts_.initialMem.empty()) {
+            panic_if(static_cast<int>(opts_.initialMem.size()) != nd_,
+                     "initialMem size mismatch");
+            for (int d = 0; d < nd_; ++d)
+                entryMem_[d] += opts_.initialMem[d];
+        }
+    }
+
+    bool
+    entryFeasible() const
+    {
+        if (opts_.memLimit >= kUnlimitedMem)
+            return true;
+        for (int d = 0; d < nd_; ++d) {
+            if (entryMem_[d] > opts_.memLimit)
+                return false;
+            // Positive per-instance net memory cannot reach steady state.
+            if (p_.netMemoryOnDevice(d) > 0)
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * Bellman-Ford feasibility for a fixed period: returns true and
+     * fills @p s with feasible start times when the graph with edge
+     * weights (w - h * P) has no positive cycle.
+     */
+    bool
+    feasibleAt(Time period, std::vector<Time> &s) const
+    {
+        s.assign(k_, 0);
+        auto relax_once = [&]() {
+            bool changed = false;
+            for (const Edge &e : base_) {
+                const Time need =
+                    s[e.from] + e.w - static_cast<Time>(e.h) * period;
+                if (need > s[e.to]) {
+                    s[e.to] = need;
+                    changed = true;
+                }
+            }
+            for (const Edge &e : decisions_) {
+                const Time need =
+                    s[e.from] + e.w - static_cast<Time>(e.h) * period;
+                if (need > s[e.to]) {
+                    s[e.to] = need;
+                    changed = true;
+                }
+            }
+            return changed;
+        };
+        for (int iter = 0; iter < k_; ++iter)
+            if (!relax_once())
+                return true;
+        return !relax_once();
+    }
+
+    /**
+     * Minimal feasible period for the current decision set within
+     * [lb_hint, limit]; returns -1 when infeasible within the range.
+     */
+    Time
+    minPeriod(Time lb_hint, Time limit, std::vector<Time> &s) const
+    {
+        Time lo = std::max(globalLb_, lb_hint);
+        Time hi = std::min(serialUb_, limit);
+        if (lo > hi)
+            return -1;
+        if (!feasibleAt(hi, s))
+            return -1;
+        std::vector<Time> probe;
+        while (lo < hi) {
+            const Time mid = lo + (hi - lo) / 2;
+            if (feasibleAt(mid, probe)) {
+                s = probe;
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        // Ensure s corresponds to the final period hi.
+        if (!feasibleAt(hi, s))
+            return -1;
+        return hi;
+    }
+
+    /** Find any overlapping same-device pair; -1s when conflict-free. */
+    std::pair<int, int>
+    findOverlap(const std::vector<Time> &s) const
+    {
+        for (DeviceId d = 0; d < nd_; ++d) {
+            const auto &on = p_.blocksOnDevice(d);
+            for (size_t x = 0; x < on.size(); ++x) {
+                for (size_t y = x + 1; y < on.size(); ++y) {
+                    const int a = on[x], b = on[y];
+                    const Time fa = s[a] + p_.block(a).span;
+                    const Time fb = s[b] + p_.block(b).span;
+                    if (s[a] < fb && s[b] < fa)
+                        return {a, b};
+                }
+            }
+        }
+        return {-1, -1};
+    }
+
+    /**
+     * First memory violation: returns (device, position) of the earliest
+     * prefix exceeding the capacity, or device -1 when feasible.
+     */
+    std::pair<int, std::vector<int>>
+    findMemoryViolation(const std::vector<Time> &s) const
+    {
+        if (opts_.memLimit >= kUnlimitedMem)
+            return {-1, {}};
+        for (DeviceId d = 0; d < nd_; ++d) {
+            std::vector<int> order = p_.blocksOnDevice(d);
+            std::sort(order.begin(), order.end(), [&](int a, int b) {
+                return s[a] < s[b];
+            });
+            Mem used = entryMem_[d];
+            for (size_t pos = 0; pos < order.size(); ++pos) {
+                used += p_.block(order[pos]).memory;
+                if (used > opts_.memLimit) {
+                    order.resize(pos + 1);
+                    return {d, order};
+                }
+            }
+        }
+        return {-1, {}};
+    }
+
+    bool
+    budgetTripped()
+    {
+        if (budget_.expired() ||
+            (opts_.nodeLimit && stats_.nodes >= opts_.nodeLimit)) {
+            stats_.budgetExhausted = true;
+            return true;
+        }
+        return false;
+    }
+
+    Time
+    incumbentLimit() const
+    {
+        Time limit = serialUb_;
+        if (opts_.cutoff >= 0)
+            limit = std::min(limit, opts_.cutoff - 1);
+        if (bestPeriod_ >= 0)
+            limit = std::min(limit, bestPeriod_ - 1);
+        return limit;
+    }
+
+    void
+    recurse(Time parent_period = 0)
+    {
+        if (budgetTripped())
+            return;
+        ++stats_.nodes;
+
+        std::vector<Time> s;
+        const Time period = minPeriod(parent_period, incumbentLimit(), s);
+        if (period < 0) {
+            ++stats_.boundPrunes;
+            return;
+        }
+
+        const auto [a, b] = findOverlap(s);
+        if (a >= 0) {
+            // Branch on the two orderings of the conflicting pair.
+            decisions_.push_back({a, b, p_.block(a).span, 0});
+            recurse(period);
+            decisions_.pop_back();
+            decisions_.push_back({b, a, p_.block(b).span, 0});
+            recurse(period);
+            decisions_.pop_back();
+            return;
+        }
+
+        const auto [dev, prefix] = findMemoryViolation(s);
+        if (dev >= 0) {
+            // Some allocating block in the violating prefix must move
+            // after some releasing block currently outside it; branch
+            // over all such reorderings (complete cover).
+            std::set<int> in_prefix(prefix.begin(), prefix.end());
+            for (int y : p_.blocksOnDevice(dev)) {
+                if (in_prefix.count(y) || p_.block(y).memory >= 0)
+                    continue;
+                for (int x : prefix) {
+                    if (p_.block(x).memory <= 0)
+                        continue;
+                    decisions_.push_back({y, x, p_.block(y).span, 0});
+                    recurse(period);
+                    decisions_.pop_back();
+                    if (budgetTripped())
+                        return;
+                }
+            }
+            return;
+        }
+
+        // Conflict-free and memory-feasible: a complete solution.
+        if (bestPeriod_ < 0 || period < bestPeriod_) {
+            bestPeriod_ = period;
+            bestStart_ = s;
+        }
+    }
+
+    const Placement &p_;
+    const RepetendAssignment &assign_;
+    const RepetendSolveOptions &opts_;
+    TimeBudget budget_;
+    int k_ = 0;
+    int nd_ = 0;
+
+    std::vector<Edge> base_;
+    std::vector<Edge> decisions_;
+    std::vector<Mem> entryMem_;
+    Time serialUb_ = 0;
+    Time globalLb_ = 1;
+
+    Time bestPeriod_ = -1;
+    std::vector<Time> bestStart_;
+    SolveStats stats_;
+};
+
+} // namespace
+
+RepetendSchedule
+solveRepetend(const Placement &placement, const RepetendAssignment &assign,
+              const RepetendSolveOptions &options)
+{
+    PeriodSearch search(placement, assign, options);
+    return search.solve();
+}
+
+Time
+evalPeriod(const Placement &placement, const RepetendAssignment &assign,
+           const std::vector<Time> &start, bool tight)
+{
+    const int k = placement.numBlocks();
+    panic_if(static_cast<int>(start.size()) != k, "start size mismatch");
+
+    Time period = 0;
+    // Per-device span E_d.
+    for (DeviceId d = 0; d < placement.numDevices(); ++d) {
+        Time lo = -1, hi = 0;
+        for (int i : placement.blocksOnDevice(d)) {
+            const Time s = start[i];
+            const Time f = s + placement.block(i).span;
+            lo = lo < 0 ? s : std::min(lo, s);
+            hi = std::max(hi, f);
+        }
+        if (lo >= 0)
+            period = std::max(period, hi - lo);
+    }
+    if (!tight) {
+        // Simple compaction (Fig. 6a): next instance after the window.
+        Time lo = -1, hi = 0;
+        for (int i = 0; i < k; ++i) {
+            lo = lo < 0 ? start[i] : std::min(lo, start[i]);
+            hi = std::max(hi, start[i] + placement.block(i).span);
+        }
+        period = std::max(period, hi - lo);
+    }
+    // Cross-instance dependencies.
+    for (int j = 0; j < k; ++j) {
+        for (int i : placement.block(j).deps) {
+            const int delta = assign.r[i] - assign.r[j];
+            if (delta <= 0)
+                continue;
+            const Time gap =
+                (start[i] + placement.block(i).span) - start[j];
+            if (gap > 0)
+                period = std::max(period, (gap + delta - 1) / delta);
+        }
+    }
+    return period;
+}
+
+} // namespace tessel

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Exact minimal-period search for one repetend candidate (Sec. IV-B).
+ *
+ * The repetend window holds one instance of every block spec (Eq. 3).
+ * At steady state the window repeats with all micro-batch indices
+ * advanced by one and start times shifted by the period P. Feasibility of
+ * a period requires:
+ *   - per-device non-overlap of consecutive instances: P >= E_d, the
+ *     device's span inside the window;
+ *   - cross-instance dependencies: an edge i -> j with index gap
+ *     delta = r_i - r_j >= 1 links instance k's consumer to instance
+ *     k - delta's producer, i.e. P >= ceil((f_i - s_j) / delta);
+ * so the minimal feasible period for a fixed window schedule is the max
+ * of those terms — exactly tR = max_d(E_d + W_d) of Eq. 4 under the tight
+ * compaction of Fig. 6(b). The solver enumerates window schedules
+ * (dispatch orders, semi-active timing) and minimizes that period.
+ *
+ * Memory: a steady-state instance starts with sum_i r_i * m_i already
+ * held per device (the in-flight warmup allocations); the window's
+ * per-device prefix sums must stay within capacity.
+ */
+
+#ifndef TESSEL_CORE_REPETEND_SOLVER_H
+#define TESSEL_CORE_REPETEND_SOLVER_H
+
+#include <vector>
+
+#include "core/repetend.h"
+#include "solver/problem.h"
+
+namespace tessel {
+
+/** Options for one repetend period solve. */
+struct RepetendSolveOptions
+{
+    /** Per-device memory capacity. */
+    Mem memLimit = kUnlimitedMem;
+    /** Per-device baseline usage (parameters etc.); empty = zeros. */
+    std::vector<Mem> initialMem;
+    /** Prune any candidate whose period would reach this value
+     *  (Algorithm 1 passes the incumbent; -1 disables). */
+    Time cutoff = -1;
+    /** Wall-clock budget (<= 0: unlimited). */
+    double timeBudgetSec = 0.0;
+    /** Node cap (0: unlimited). */
+    uint64_t nodeLimit = 0;
+};
+
+/** Result of a repetend period solve. */
+struct RepetendSchedule
+{
+    bool feasible = false;
+    /** Whether optimality was proven (budget did not trip). */
+    bool proven = false;
+    /** Minimal steady-state period tR (Eq. 4). */
+    Time period = -1;
+    /** Window start time per spec, normalized to min = 0. */
+    std::vector<Time> start;
+    /** Window extent: max finish - min start over all blocks. */
+    Time windowSpan = 0;
+    SolveStats stats;
+};
+
+/**
+ * Solve the minimal period for @p assign on @p placement.
+ */
+RepetendSchedule solveRepetend(const Placement &placement,
+                               const RepetendAssignment &assign,
+                               const RepetendSolveOptions &options = {});
+
+/**
+ * Evaluate the period of a *given* window schedule (used by tests and by
+ * the simple-vs-tight compaction ablation).
+ *
+ * @param tight when false, uses the simple compaction of Fig. 6(a): the
+ *        next instance starts only after the whole window ends
+ *        (P = window span), still honoring cross dependencies.
+ */
+Time evalPeriod(const Placement &placement,
+                const RepetendAssignment &assign,
+                const std::vector<Time> &start, bool tight = true);
+
+} // namespace tessel
+
+#endif // TESSEL_CORE_REPETEND_SOLVER_H

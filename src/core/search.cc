@@ -1,0 +1,346 @@
+#include "core/search.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "solver/bnb.h"
+#include "support/logging.h"
+#include "support/timer.h"
+
+namespace tessel {
+
+namespace {
+
+/** A phase (warmup or cooldown) lowered onto the generic solver. */
+struct PhaseInstance
+{
+    SolverProblem sp;
+    std::vector<BlockRef> refs; // Index-aligned with sp.blocks.
+};
+
+/**
+ * Build a solver instance for a phase block set. Dependencies that point
+ * outside the set become release times via @p external_finish (pass
+ * nullptr to drop them, which is sound for satisfiability-only checks:
+ * memory feasibility depends only on per-device order).
+ */
+PhaseInstance
+buildPhase(const Placement &placement, const std::vector<BlockRef> &refs,
+           const std::vector<Mem> &entry_mem, Mem mem_limit,
+           const std::vector<Time> *initial_avail,
+           const std::function<Time(BlockRef)> *external_finish)
+{
+    PhaseInstance inst;
+    inst.refs = refs;
+    inst.sp.numDevices = placement.numDevices();
+    inst.sp.memLimit = mem_limit;
+    inst.sp.initialMem = entry_mem;
+    if (initial_avail)
+        inst.sp.initialAvail = *initial_avail;
+
+    std::map<std::pair<int, int>, int> index;
+    for (size_t i = 0; i < refs.size(); ++i)
+        index[{refs[i].spec, refs[i].mb}] = static_cast<int>(i);
+
+    inst.sp.blocks.resize(refs.size());
+    for (size_t i = 0; i < refs.size(); ++i) {
+        const BlockSpec &spec = placement.block(refs[i].spec);
+        SolverBlock &sb = inst.sp.blocks[i];
+        sb.span = spec.span;
+        sb.devices = spec.devices;
+        sb.memory = spec.memory;
+        sb.tag = static_cast<int>(i);
+        for (int dep : spec.deps) {
+            auto it = index.find({dep, refs[i].mb});
+            if (it != index.end()) {
+                sb.deps.push_back(it->second);
+            } else if (external_finish) {
+                sb.release = std::max(
+                    sb.release, (*external_finish)({dep, refs[i].mb}));
+            }
+        }
+        // Property 4.1 symmetry chain within the phase.
+        auto prev = index.find({refs[i].spec, refs[i].mb - 1});
+        if (prev != index.end())
+            sb.orderAfter = prev->second;
+    }
+    return inst;
+}
+
+/** Per-device entry memory after warmup plus one window instance. */
+std::vector<Mem>
+postWindowMem(const Placement &placement, const RepetendAssignment &assign,
+              const std::vector<Mem> &initial_mem)
+{
+    std::vector<Mem> mem(placement.numDevices(), 0);
+    if (!initial_mem.empty())
+        mem = initial_mem;
+    for (int i = 0; i < placement.numBlocks(); ++i) {
+        const BlockSpec &b = placement.block(i);
+        for (DeviceId d = 0; d < placement.numDevices(); ++d)
+            if (b.devices & oneDevice(d))
+                mem[d] += static_cast<Mem>(assign.r[i] + 1) * b.memory;
+    }
+    return mem;
+}
+
+/** Satisfiability check: does any valid schedule of the phase exist? */
+bool
+phaseSatisfiable(const Placement &placement,
+                 const std::vector<BlockRef> &refs,
+                 const std::vector<Mem> &entry_mem, Mem mem_limit,
+                 double budget_sec)
+{
+    if (refs.empty())
+        return true;
+    PhaseInstance inst =
+        buildPhase(placement, refs, entry_mem, mem_limit, nullptr, nullptr);
+    SolverOptions so;
+    so.timeBudgetSec = budget_sec;
+    BnbSolver solver(inst.sp, so);
+    return solver.decide(kUnlimitedMem).feasible();
+}
+
+/** Anchor offset of window instance 0 behind the warmup (extra = 0). */
+Time
+computeTheta0(const Placement &placement, const RepetendAssignment &assign,
+              const std::vector<Time> &window_start,
+              const std::map<std::pair<int, int>, Time> &warmup_finish,
+              const std::vector<Time> &avail_after_warmup)
+{
+    Time theta0 = 0;
+    for (DeviceId d = 0; d < placement.numDevices(); ++d) {
+        Time min_s = -1;
+        for (int i : placement.blocksOnDevice(d))
+            min_s = min_s < 0 ? window_start[i]
+                              : std::min(min_s, window_start[i]);
+        if (min_s >= 0)
+            theta0 = std::max(theta0, avail_after_warmup[d] - min_s);
+    }
+    for (int j = 0; j < placement.numBlocks(); ++j) {
+        for (int i : placement.block(j).deps) {
+            if (assign.r[i] - assign.r[j] < 1)
+                continue;
+            auto it = warmup_finish.find({i, assign.r[j]});
+            if (it != warmup_finish.end())
+                theta0 =
+                    std::max(theta0, it->second - window_start[j]);
+        }
+    }
+    return theta0;
+}
+
+/**
+ * Time-optimal completion (Algorithm 1 lines 14-18): solve warmup, anchor
+ * the window, solve cooldown against the window context, assemble the
+ * plan. Returns nullopt when a phase solve fails within its budget.
+ */
+std::optional<TesselPlan>
+completePlan(const Placement &placement, const RepetendAssignment &assign,
+             const RepetendSchedule &rsched, const TesselOptions &options,
+             SearchBreakdown &breakdown)
+{
+    std::vector<Mem> entry = options.initialMem;
+    if (entry.empty())
+        entry.assign(placement.numDevices(), 0);
+
+    const auto warm_refs = warmupBlocks(placement, assign);
+    std::vector<Time> warm_starts;
+    std::map<std::pair<int, int>, Time> warmup_finish;
+    std::vector<Time> avail_after_warmup(placement.numDevices(), 0);
+    {
+        Stopwatch watch;
+        if (!warm_refs.empty()) {
+            PhaseInstance inst = buildPhase(placement, warm_refs, entry,
+                                            options.memLimit, nullptr,
+                                            nullptr);
+            SolverOptions so;
+            so.timeBudgetSec = options.phaseBudgetSec;
+            BnbSolver solver(inst.sp, so);
+            const SolveResult r = solver.minimizeMakespan();
+            breakdown.warmupSeconds += watch.seconds();
+            if (!r.feasible())
+                return std::nullopt;
+            warm_starts = r.starts;
+            for (size_t i = 0; i < warm_refs.size(); ++i) {
+                const Time fin =
+                    r.starts[i] + placement.block(warm_refs[i].spec).span;
+                warmup_finish[{warm_refs[i].spec, warm_refs[i].mb}] = fin;
+                for (DeviceId d = 0; d < placement.numDevices(); ++d)
+                    if (placement.block(warm_refs[i].spec).devices &
+                        oneDevice(d)) {
+                        avail_after_warmup[d] =
+                            std::max(avail_after_warmup[d], fin);
+                    }
+            }
+        } else {
+            breakdown.warmupSeconds += watch.seconds();
+        }
+    }
+
+    const Time theta0 = computeTheta0(placement, assign, rsched.start,
+                                      warmup_finish, avail_after_warmup);
+
+    std::vector<Time> avail_after_window = avail_after_warmup;
+    for (int i = 0; i < placement.numBlocks(); ++i) {
+        const Time fin =
+            theta0 + rsched.start[i] + placement.block(i).span;
+        for (DeviceId d = 0; d < placement.numDevices(); ++d)
+            if (placement.block(i).devices & oneDevice(d))
+                avail_after_window[d] =
+                    std::max(avail_after_window[d], fin);
+    }
+
+    const auto cool_refs = cooldownBlocks(placement, assign);
+    std::vector<Time> cool_starts;
+    {
+        Stopwatch watch;
+        if (!cool_refs.empty()) {
+            std::function<Time(BlockRef)> external =
+                [&](BlockRef ref) -> Time {
+                if (ref.mb == assign.r[ref.spec])
+                    return theta0 + rsched.start[ref.spec] +
+                           placement.block(ref.spec).span;
+                auto it = warmup_finish.find({ref.spec, ref.mb});
+                panic_if(it == warmup_finish.end(),
+                         "cooldown dependency outside warmup/window");
+                return it->second;
+            };
+            PhaseInstance inst = buildPhase(
+                placement, cool_refs,
+                postWindowMem(placement, assign, options.initialMem),
+                options.memLimit, &avail_after_window, &external);
+            SolverOptions so;
+            so.timeBudgetSec = options.phaseBudgetSec;
+            BnbSolver solver(inst.sp, so);
+            const SolveResult r = solver.minimizeMakespan();
+            breakdown.cooldownSeconds += watch.seconds();
+            if (!r.feasible())
+                return std::nullopt;
+            cool_starts = r.starts;
+        } else {
+            breakdown.cooldownSeconds += watch.seconds();
+        }
+    }
+
+    return TesselPlan(
+        placement, assign, rsched.start, rsched.period, rsched.windowSpan,
+        warm_refs, warm_starts, cool_refs, cool_starts, options.memLimit,
+        options.initialMem.empty()
+            ? std::vector<Mem>(placement.numDevices(), 0)
+            : options.initialMem);
+}
+
+} // namespace
+
+TesselResult
+tesselSearch(const Placement &placement, const TesselOptions &options)
+{
+    TesselResult result;
+    result.lowerBound = placement.perMicrobatchLowerBound();
+
+    TimeBudget total_budget(options.totalBudgetSec);
+
+    // Algorithm 1, lines 1-6.
+    Time optimal = placement.totalWork() + 1;
+    const int max_inflight =
+        calMaxInflight(placement, options.memLimit, options.initialMem,
+                       options.maxRepetendMicrobatches);
+
+    struct Best
+    {
+        RepetendAssignment assign;
+        RepetendSchedule sched;
+    };
+    std::optional<Best> best;
+    std::optional<TesselPlan> best_plan; // Kept only without lazy search.
+
+    std::vector<Mem> entry = options.initialMem;
+    if (entry.empty())
+        entry.assign(placement.numDevices(), 0);
+
+    // Lines 7-20. Under lazy search (Sec. V) the per-candidate
+    // time-optimal completions become satisfiability checks.
+    for (int nr = 1; nr <= max_inflight; ++nr) {
+        if (result.breakdown.earlyExit || result.breakdown.budgetExhausted)
+            break;
+        enumerateRepetends(
+            placement, nr, [&](const RepetendAssignment &assign) {
+                ++result.breakdown.candidatesEnumerated;
+                if (total_budget.expired()) {
+                    result.breakdown.budgetExhausted = true;
+                    return false;
+                }
+                RepetendSolveOptions rso;
+                rso.memLimit = options.memLimit;
+                rso.initialMem = options.initialMem;
+                rso.cutoff = optimal;
+                rso.timeBudgetSec = options.repetendBudgetSec;
+                Stopwatch watch;
+                const RepetendSchedule sched =
+                    solveRepetend(placement, assign, rso);
+                result.breakdown.repetendSeconds += watch.seconds();
+                ++result.breakdown.candidatesSolved;
+                if (!sched.feasible || sched.period >= optimal)
+                    return true;
+
+                const auto warm = warmupBlocks(placement, assign);
+                const auto cool = cooldownBlocks(placement, assign);
+                if (options.lazy) {
+                    Stopwatch w_watch;
+                    ++result.breakdown.satChecks;
+                    const bool sat_w = phaseSatisfiable(
+                        placement, warm, entry, options.memLimit,
+                        options.phaseBudgetSec);
+                    result.breakdown.warmupSeconds += w_watch.seconds();
+                    if (!sat_w)
+                        return true;
+                    Stopwatch c_watch;
+                    ++result.breakdown.satChecks;
+                    const bool sat_c = phaseSatisfiable(
+                        placement, cool,
+                        postWindowMem(placement, assign,
+                                      options.initialMem),
+                        options.memLimit, options.phaseBudgetSec);
+                    result.breakdown.cooldownSeconds += c_watch.seconds();
+                    if (!sat_c)
+                        return true;
+                } else {
+                    // Full time-optimal completion per improving
+                    // candidate (Algorithm 1 lines 16-17 verbatim).
+                    auto plan = completePlan(placement, assign, sched,
+                                             options, result.breakdown);
+                    if (!plan)
+                        return true;
+                    best_plan = std::move(plan);
+                }
+
+                optimal = sched.period;
+                best = Best{assign, sched};
+                if (sched.period == result.lowerBound) {
+                    result.breakdown.earlyExit = true;
+                    return false; // Algorithm 1, lines 19-20.
+                }
+                return true;
+            });
+    }
+
+    if (!best)
+        return result;
+
+    if (options.lazy || !best_plan) {
+        best_plan = completePlan(placement, best->assign, best->sched,
+                                 options, result.breakdown);
+        if (!best_plan)
+            return result;
+    }
+
+    result.found = true;
+    result.period = best->sched.period;
+    result.nrUsed = best->assign.numMicrobatches;
+    result.plan = std::move(*best_plan);
+    return result;
+}
+
+} // namespace tessel

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * TesselSearch: Algorithm 1 of the paper. Sweeps the repetend micro-batch
+ * count NR from 1 to the in-flight limit, enumerates pruned repetend
+ * candidates, solves each for its minimal steady-state period, completes
+ * the best candidate's warmup/cooldown time-optimally, and assembles a
+ * generalizable TesselPlan. Supports the lazy-search optimization of
+ * Sec. V (satisfiability-only completion checks inside the loop, one
+ * final time-optimal completion at the end).
+ */
+
+#ifndef TESSEL_CORE_SEARCH_H
+#define TESSEL_CORE_SEARCH_H
+
+#include <optional>
+
+#include "core/plan.h"
+#include "core/repetend_solver.h"
+
+namespace tessel {
+
+/** Knobs for the end-to-end schedule search. */
+struct TesselOptions
+{
+    /** Per-device memory capacity M. */
+    Mem memLimit = kUnlimitedMem;
+    /** Per-device baseline memory (parameters etc.); empty = zeros. */
+    std::vector<Mem> initialMem;
+    /** Hard cap on the NR sweep regardless of memory headroom. */
+    int maxRepetendMicrobatches = 8;
+    /** Lazy-search optimization (Sec. V): SAT-only completion checks in
+     * the loop, one time-optimal completion at the end. */
+    bool lazy = true;
+    /** Wall budget for the whole search (<= 0: unlimited). */
+    double totalBudgetSec = 0.0;
+    /** Wall budget per repetend candidate solve. */
+    double repetendBudgetSec = 2.0;
+    /** Wall budget per warmup/cooldown solve. */
+    double phaseBudgetSec = 10.0;
+};
+
+/** Search diagnostics (feeds the Fig. 9/10 benches). */
+struct SearchBreakdown
+{
+    double repetendSeconds = 0.0;
+    double warmupSeconds = 0.0;
+    double cooldownSeconds = 0.0;
+    uint64_t candidatesEnumerated = 0;
+    uint64_t candidatesSolved = 0;
+    uint64_t satChecks = 0;
+    bool earlyExit = false;       ///< lower bound reached (Algorithm 1 L19)
+    bool budgetExhausted = false; ///< totalBudgetSec tripped
+};
+
+/** Result of the end-to-end search. */
+struct TesselResult
+{
+    bool found = false;
+    TesselPlan plan;
+    Time period = -1;
+    /** Algorithm 1's GetLowerBound: bottleneck per-device work. */
+    Time lowerBound = 0;
+    int nrUsed = 0;
+    SearchBreakdown breakdown;
+};
+
+/**
+ * Run Algorithm 1 on @p placement.
+ */
+TesselResult tesselSearch(const Placement &placement,
+                          const TesselOptions &options = {});
+
+} // namespace tessel
+
+#endif // TESSEL_CORE_SEARCH_H

@@ -1,0 +1,91 @@
+#include "ir/gantt.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tessel {
+
+namespace {
+
+/** Render one block cell: width-3 representation of kind + micro-batch. */
+std::string
+cellText(const BlockSpec &spec, int mb)
+{
+    std::string idx = std::to_string(mb % 100);
+    switch (spec.kind) {
+      case BlockKind::Forward:
+        return " " + idx + " ";
+      case BlockKind::Backward:
+        return "*" + idx + "*";
+      default:
+        return "(" + idx + ")";
+    }
+}
+
+} // namespace
+
+std::string
+renderGantt(const Schedule &schedule, const GanttOptions &opts)
+{
+    const Problem &problem = schedule.problem();
+    const Placement &p = problem.placement();
+    Time horizon = schedule.makespan();
+    if (opts.maxTime > 0)
+        horizon = std::min(horizon, opts.maxTime);
+
+    constexpr int cell_width = 4;
+    std::ostringstream os;
+
+    // Header: time axis (each column is one time unit).
+    os << "       ";
+    for (Time t = 0; t < horizon; ++t) {
+        std::string label = std::to_string(t);
+        label.resize(cell_width, ' ');
+        os << label;
+    }
+    os << "\n";
+
+    for (DeviceId d = 0; d < problem.numDevices(); ++d) {
+        std::string row(static_cast<size_t>(horizon) * cell_width, '.');
+        for (int id : schedule.deviceOrder(d)) {
+            const BlockRef ref = problem.refOf(id);
+            const BlockSpec &spec = p.block(ref.spec);
+            const Time s = schedule.start(ref);
+            if (s >= horizon)
+                continue;
+            const Time e = std::min<Time>(s + spec.span, horizon);
+            // Fill the span with '=', center the label in it.
+            for (Time t = s; t < e; ++t)
+                for (int c = 0; c < cell_width; ++c)
+                    row[t * cell_width + c] = '=';
+            row[(e * cell_width) - 1] = ' ';
+            const std::string text = cellText(spec, ref.mb);
+            const size_t span_chars = (e - s) * cell_width - 1;
+            const size_t off =
+                s * cell_width + (span_chars - std::min(span_chars,
+                                                        text.size())) / 2;
+            for (size_t c = 0; c < text.size() && c < span_chars; ++c)
+                row[off + c] = text[c];
+        }
+        std::string label = "dev" + std::to_string(d);
+        label.resize(6, ' ');
+        os << label << " " << row << "\n";
+    }
+
+    if (opts.repetendBegin >= 0 && opts.repetendEnd > opts.repetendBegin) {
+        std::string marker(static_cast<size_t>(horizon) * cell_width + 7,
+                           ' ');
+        auto mark = [&](Time t) {
+            const size_t pos = 7 + t * cell_width;
+            if (pos < marker.size())
+                marker[pos] = '^';
+        };
+        mark(opts.repetendBegin);
+        if (opts.repetendEnd < horizon)
+            mark(opts.repetendEnd);
+        os << marker << "  (repetend window)\n";
+    }
+    return os.str();
+}
+
+} // namespace tessel

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * ASCII Gantt-chart rendering of schedules, mirroring the paper's figures:
+ * one row per device, one column per time unit, each cell showing the
+ * micro-batch index (forward blocks as digits, backward blocks bracketed).
+ */
+
+#ifndef TESSEL_IR_GANTT_H
+#define TESSEL_IR_GANTT_H
+
+#include <string>
+
+#include "ir/schedule.h"
+
+namespace tessel {
+
+/** Options controlling Gantt rendering. */
+struct GanttOptions
+{
+    /** Truncate the chart after this many time units (0 = no limit). */
+    Time maxTime = 0;
+    /** Mark the [repetendBegin, repetendEnd) window with '|' bars. */
+    Time repetendBegin = -1;
+    Time repetendEnd = -1;
+};
+
+/**
+ * Render @p schedule as an ASCII chart.
+ *
+ * Forward blocks print the micro-batch index (mod 10), backward blocks
+ * print the index wrapped in '*', idle slots print '.'.
+ */
+std::string renderGantt(const Schedule &schedule,
+                        const GanttOptions &opts = {});
+
+} // namespace tessel
+
+#endif // TESSEL_IR_GANTT_H

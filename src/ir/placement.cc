@@ -1,0 +1,140 @@
+#include "ir/placement.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/logging.h"
+
+namespace tessel {
+
+Placement::Placement(std::string name, int num_devices,
+                     std::vector<BlockSpec> blocks)
+    : name_(std::move(name)), numDevices_(num_devices),
+      blocks_(std::move(blocks))
+{
+    validate();
+    buildDerived();
+}
+
+void
+Placement::validate() const
+{
+    fatal_if(numDevices_ <= 0, "placement '", name_,
+             "': device count must be positive");
+    fatal_if(blocks_.empty(), "placement '", name_, "': no blocks");
+    const DeviceMask legal = allDevices(numDevices_);
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+        const BlockSpec &b = blocks_[i];
+        fatal_if(b.devices == 0, "placement '", name_, "': block '", b.name,
+                 "' has no devices");
+        fatal_if((b.devices & ~legal) != 0, "placement '", name_,
+                 "': block '", b.name, "' uses device >= ", numDevices_);
+        fatal_if(b.span <= 0, "placement '", name_, "': block '", b.name,
+                 "' has non-positive span");
+        for (int dep : b.deps) {
+            fatal_if(dep < 0 || dep >= static_cast<int>(blocks_.size()),
+                     "placement '", name_, "': block '", b.name,
+                     "' has out-of-range dependency ", dep);
+            fatal_if(dep == static_cast<int>(i), "placement '", name_,
+                     "': block '", b.name, "' depends on itself");
+        }
+    }
+}
+
+void
+Placement::buildDerived()
+{
+    const int k = numBlocks();
+
+    succs_.assign(k, {});
+    std::vector<int> indeg(k, 0);
+    for (int i = 0; i < k; ++i) {
+        for (int dep : blocks_[i].deps) {
+            succs_[dep].push_back(i);
+            ++indeg[i];
+        }
+    }
+
+    // Kahn topological sort; also detects dependency cycles.
+    topo_.clear();
+    std::vector<int> ready;
+    for (int i = 0; i < k; ++i)
+        if (indeg[i] == 0)
+            ready.push_back(i);
+    while (!ready.empty()) {
+        int i = ready.back();
+        ready.pop_back();
+        topo_.push_back(i);
+        for (int s : succs_[i])
+            if (--indeg[s] == 0)
+                ready.push_back(s);
+    }
+    fatal_if(static_cast<int>(topo_.size()) != k, "placement '", name_,
+             "': dependency graph has a cycle");
+
+    onDevice_.assign(numDevices_, {});
+    for (int i = 0; i < k; ++i)
+        for (DeviceId d = 0; d < numDevices_; ++d)
+            if (blocks_[i].devices & oneDevice(d))
+                onDevice_[d].push_back(i);
+}
+
+const std::vector<int> &
+Placement::blocksOnDevice(DeviceId d) const
+{
+    panic_if(d < 0 || d >= numDevices_, "device out of range: ", d);
+    return onDevice_[d];
+}
+
+Time
+Placement::workOnDevice(DeviceId d) const
+{
+    Time total = 0;
+    for (int i : blocksOnDevice(d))
+        total += blocks_[i].span;
+    return total;
+}
+
+Time
+Placement::perMicrobatchLowerBound() const
+{
+    Time best = 0;
+    for (DeviceId d = 0; d < numDevices_; ++d)
+        best = std::max(best, workOnDevice(d));
+    return best;
+}
+
+Time
+Placement::criticalPath() const
+{
+    std::vector<Time> finish(numBlocks(), 0);
+    Time best = 0;
+    for (int i : topo_) {
+        Time start = 0;
+        for (int dep : blocks_[i].deps)
+            start = std::max(start, finish[dep]);
+        finish[i] = start + blocks_[i].span;
+        best = std::max(best, finish[i]);
+    }
+    return best;
+}
+
+Time
+Placement::totalWork() const
+{
+    Time total = 0;
+    for (const BlockSpec &b : blocks_)
+        total += b.span;
+    return total;
+}
+
+Mem
+Placement::netMemoryOnDevice(DeviceId d) const
+{
+    Mem total = 0;
+    for (int i : blocksOnDevice(d))
+        total += blocks_[i].memory;
+    return total;
+}
+
+} // namespace tessel

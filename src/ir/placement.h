@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Operator placement strategy: the per-micro-batch block DAG with device
+ * assignment, time, and memory costs. This is Tessel's primary input
+ * (Fig. 1 of the paper shows V/X/M/K-shaped instances of this structure).
+ */
+
+#ifndef TESSEL_IR_PLACEMENT_H
+#define TESSEL_IR_PLACEMENT_H
+
+#include <string>
+#include <vector>
+
+#include "ir/types.h"
+
+namespace tessel {
+
+/**
+ * One execution block of a single micro-batch (B_i in the paper).
+ *
+ * A block covers a contiguous set of model operators placed on one device
+ * or on a tensor-parallel group of devices. Dependencies reference other
+ * blocks of the *same* micro-batch; blocks of different micro-batches are
+ * independent by construction (Eq. 2).
+ */
+struct BlockSpec
+{
+    /** Human-readable name, e.g. "f0", "embF". */
+    std::string name;
+    /** Forward / backward / other. */
+    BlockKind kind = BlockKind::Forward;
+    /** Devices executing this block (multiple => tensor parallel). */
+    DeviceMask devices = 0;
+    /** Execution time t_B (> 0). */
+    Time span = 1;
+    /** Per-device memory delta m_B applied when the block starts. */
+    Mem memory = 0;
+    /** Indices of same-micro-batch blocks this block depends on. */
+    std::vector<int> deps;
+};
+
+/**
+ * An operator placement strategy: K block specs over D devices.
+ *
+ * Validated invariants: K > 0, every block has at least one device below
+ * numDevices(), spans are positive, and the dependency graph is acyclic.
+ */
+class Placement
+{
+  public:
+    Placement() = default;
+
+    /**
+     * @param name strategy name, e.g. "V-Shape".
+     * @param num_devices number of devices D.
+     * @param blocks block specs; dependency indices refer into this vector.
+     */
+    Placement(std::string name, int num_devices,
+              std::vector<BlockSpec> blocks);
+
+    const std::string &name() const { return name_; }
+    int numDevices() const { return numDevices_; }
+    int numBlocks() const { return static_cast<int>(blocks_.size()); }
+    const BlockSpec &block(int i) const { return blocks_[i]; }
+    const std::vector<BlockSpec> &blocks() const { return blocks_; }
+
+    /** @return spec indices in a topological order of the dependency DAG. */
+    const std::vector<int> &topoOrder() const { return topo_; }
+
+    /** @return spec indices that execute (at least partly) on device d. */
+    const std::vector<int> &blocksOnDevice(DeviceId d) const;
+
+    /** @return sum of spans of blocks on device @p d for one micro-batch. */
+    Time workOnDevice(DeviceId d) const;
+
+    /** @return max over devices of workOnDevice: the repetend lower bound
+     * used by Algorithm 1's GetLowerBound. */
+    Time perMicrobatchLowerBound() const;
+
+    /** @return length of the longest dependency chain (by span). */
+    Time criticalPath() const;
+
+    /** @return sum of all block spans (serial execution time). */
+    Time totalWork() const;
+
+    /** @return net per-device memory delta of one whole micro-batch. */
+    Mem netMemoryOnDevice(DeviceId d) const;
+
+    /** @return direct successors of spec @p i in the dependency DAG. */
+    const std::vector<int> &successors(int i) const { return succs_[i]; }
+
+  private:
+    void validate() const;
+    void buildDerived();
+
+    std::string name_;
+    int numDevices_ = 0;
+    std::vector<BlockSpec> blocks_;
+    std::vector<int> topo_;
+    std::vector<std::vector<int>> onDevice_;
+    std::vector<std::vector<int>> succs_;
+};
+
+} // namespace tessel
+
+#endif // TESSEL_IR_PLACEMENT_H

@@ -1,0 +1,24 @@
+#include "ir/problem.h"
+
+#include "support/logging.h"
+
+namespace tessel {
+
+Problem::Problem(Placement placement, int num_microbatches, Mem mem_limit)
+    : placement_(std::move(placement)), n_(num_microbatches),
+      memLimit_(mem_limit)
+{
+    fatal_if(n_ <= 0, "problem: micro-batch count must be positive");
+    fatal_if(memLimit_ <= 0, "problem: memory limit must be positive");
+    initialMem_.assign(placement_.numDevices(), 0);
+}
+
+void
+Problem::setInitialMem(std::vector<Mem> usage)
+{
+    fatal_if(static_cast<int>(usage.size()) != placement_.numDevices(),
+             "initial memory vector size mismatch");
+    initialMem_ = std::move(usage);
+}
+
+} // namespace tessel

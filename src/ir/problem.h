@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A schedule problem instance: a placement strategy executed over N
+ * micro-batches on devices with a memory capacity (Sec. III-A, Eq. 1).
+ */
+
+#ifndef TESSEL_IR_PROBLEM_H
+#define TESSEL_IR_PROBLEM_H
+
+#include <vector>
+
+#include "ir/placement.h"
+#include "ir/types.h"
+
+namespace tessel {
+
+/**
+ * Reference to a concrete block instance: spec index x micro-batch index.
+ */
+struct BlockRef
+{
+    int spec = -1;
+    int mb = -1;
+
+    bool
+    operator==(const BlockRef &other) const
+    {
+        return spec == other.spec && mb == other.mb;
+    }
+};
+
+/**
+ * A full schedule problem: placement x micro-batch count x memory cap.
+ *
+ * Block instances are flattened to ids `spec * N + mb` for dense storage.
+ */
+class Problem
+{
+  public:
+    Problem() = default;
+
+    /**
+     * @param placement the operator placement strategy.
+     * @param num_microbatches N >= 1.
+     * @param mem_limit per-device memory capacity M (kUnlimitedMem = off).
+     */
+    Problem(Placement placement, int num_microbatches,
+            Mem mem_limit = kUnlimitedMem);
+
+    const Placement &placement() const { return placement_; }
+    int numMicrobatches() const { return n_; }
+    Mem memLimit() const { return memLimit_; }
+    int numDevices() const { return placement_.numDevices(); }
+
+    /** Total number of block instances (K x N). */
+    int
+    numInstances() const
+    {
+        return placement_.numBlocks() * n_;
+    }
+
+    /** Flatten a (spec, mb) reference to a dense instance id. */
+    int
+    instanceId(BlockRef ref) const
+    {
+        return ref.spec * n_ + ref.mb;
+    }
+
+    /** Inverse of instanceId. */
+    BlockRef
+    refOf(int instance) const
+    {
+        return BlockRef{instance / n_, instance % n_};
+    }
+
+    /** Per-device memory already in use before any block runs. */
+    const std::vector<Mem> &initialMem() const { return initialMem_; }
+
+    /** Set per-device initial memory usage (e.g. parameter storage). */
+    void setInitialMem(std::vector<Mem> usage);
+
+  private:
+    Placement placement_;
+    int n_ = 0;
+    Mem memLimit_ = kUnlimitedMem;
+    std::vector<Mem> initialMem_;
+};
+
+} // namespace tessel
+
+#endif // TESSEL_IR_PROBLEM_H

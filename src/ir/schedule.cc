@@ -1,0 +1,233 @@
+#include "ir/schedule.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace tessel {
+
+Schedule::Schedule(Problem problem) : problem_(std::move(problem))
+{
+    starts_.assign(problem_.numInstances(), kUnscheduled);
+}
+
+void
+Schedule::setStart(BlockRef ref, Time start)
+{
+    panic_if(ref.spec < 0 || ref.spec >= problem_.placement().numBlocks(),
+             "setStart: bad spec ", ref.spec);
+    panic_if(ref.mb < 0 || ref.mb >= problem_.numMicrobatches(),
+             "setStart: bad micro-batch ", ref.mb);
+    starts_[problem_.instanceId(ref)] = start;
+}
+
+Time
+Schedule::start(BlockRef ref) const
+{
+    return starts_[problem_.instanceId(ref)];
+}
+
+Time
+Schedule::finish(BlockRef ref) const
+{
+    const Time s = start(ref);
+    panic_if(s == kUnscheduled, "finish() on unscheduled block");
+    return s + problem_.placement().block(ref.spec).span;
+}
+
+bool
+Schedule::complete() const
+{
+    return std::none_of(starts_.begin(), starts_.end(),
+                        [](Time t) { return t == kUnscheduled; });
+}
+
+Time
+Schedule::makespan() const
+{
+    Time last = 0;
+    for (int id = 0; id < problem_.numInstances(); ++id) {
+        if (starts_[id] == kUnscheduled)
+            continue;
+        const BlockRef ref = problem_.refOf(id);
+        last = std::max(last,
+                        starts_[id] + problem_.placement().block(ref.spec).span);
+    }
+    return last;
+}
+
+Time
+Schedule::earliestStart() const
+{
+    Time first = 0;
+    bool any = false;
+    for (Time t : starts_) {
+        if (t == kUnscheduled)
+            continue;
+        first = any ? std::min(first, t) : t;
+        any = true;
+    }
+    return any ? first : 0;
+}
+
+std::vector<int>
+Schedule::deviceOrder(DeviceId d) const
+{
+    std::vector<int> ids;
+    const Placement &p = problem_.placement();
+    for (int spec : p.blocksOnDevice(d)) {
+        for (int mb = 0; mb < problem_.numMicrobatches(); ++mb) {
+            const int id = problem_.instanceId({spec, mb});
+            if (starts_[id] != kUnscheduled)
+                ids.push_back(id);
+        }
+    }
+    std::sort(ids.begin(), ids.end(), [&](int a, int b) {
+        if (starts_[a] != starts_[b])
+            return starts_[a] < starts_[b];
+        return a < b;
+    });
+    return ids;
+}
+
+std::vector<int>
+Schedule::globalOrder() const
+{
+    std::vector<int> ids;
+    for (int id = 0; id < problem_.numInstances(); ++id)
+        if (starts_[id] != kUnscheduled)
+            ids.push_back(id);
+    std::sort(ids.begin(), ids.end(), [&](int a, int b) {
+        if (starts_[a] != starts_[b])
+            return starts_[a] < starts_[b];
+        return a < b;
+    });
+    return ids;
+}
+
+ValidationResult
+Schedule::validate() const
+{
+    const Placement &p = problem_.placement();
+    auto fail = [](std::string msg) {
+        return ValidationResult{false, std::move(msg)};
+    };
+
+    // Completeness and non-negative starts.
+    for (int id = 0; id < problem_.numInstances(); ++id) {
+        const BlockRef ref = problem_.refOf(id);
+        if (starts_[id] == kUnscheduled) {
+            std::ostringstream os;
+            os << "block " << p.block(ref.spec).name << "@" << ref.mb
+               << " is unscheduled";
+            return fail(os.str());
+        }
+        if (starts_[id] < 0) {
+            std::ostringstream os;
+            os << "block " << p.block(ref.spec).name << "@" << ref.mb
+               << " has negative start " << starts_[id];
+            return fail(os.str());
+        }
+    }
+
+    // Dependency constraints (Eq. 1 item [3]), within each micro-batch.
+    for (int spec = 0; spec < p.numBlocks(); ++spec) {
+        for (int dep : p.block(spec).deps) {
+            for (int mb = 0; mb < problem_.numMicrobatches(); ++mb) {
+                const Time dep_finish = finish({dep, mb});
+                const Time succ_start = start({spec, mb});
+                if (dep_finish > succ_start) {
+                    std::ostringstream os;
+                    os << "dependency violated: " << p.block(dep).name << "@"
+                       << mb << " finishes at " << dep_finish << " but "
+                       << p.block(spec).name << "@" << mb << " starts at "
+                       << succ_start;
+                    return fail(os.str());
+                }
+            }
+        }
+    }
+
+    // Exclusive execution (Eq. 1 item [1]) and memory (item [2]).
+    for (DeviceId d = 0; d < problem_.numDevices(); ++d) {
+        const std::vector<int> order = deviceOrder(d);
+        Time prev_finish = 0;
+        Mem used = problem_.initialMem()[d];
+        Mem peak = used;
+        int prev_id = -1;
+        for (int id : order) {
+            const BlockRef ref = problem_.refOf(id);
+            const BlockSpec &b = p.block(ref.spec);
+            if (starts_[id] < prev_finish) {
+                std::ostringstream os;
+                os << "device " << d << ": block " << b.name << "@" << ref.mb
+                   << " starts at " << starts_[id] << " before previous block "
+                   << (prev_id >= 0
+                       ? p.block(problem_.refOf(prev_id).spec).name
+                       : "?")
+                   << " finishes at " << prev_finish;
+                return fail(os.str());
+            }
+            used += b.memory;
+            peak = std::max(peak, used);
+            prev_finish = starts_[id] + b.span;
+            prev_id = id;
+        }
+        if (peak > problem_.memLimit()) {
+            std::ostringstream os;
+            os << "device " << d << ": peak memory " << peak
+               << " exceeds capacity " << problem_.memLimit();
+            return fail(os.str());
+        }
+    }
+
+    return ValidationResult{};
+}
+
+Time
+Schedule::busyTime(DeviceId d) const
+{
+    Time busy = 0;
+    const Placement &p = problem_.placement();
+    for (int id : deviceOrder(d))
+        busy += p.block(problem_.refOf(id).spec).span;
+    return busy;
+}
+
+double
+Schedule::bubbleRate() const
+{
+    const Time total = makespan();
+    if (total <= 0)
+        return 0.0;
+    Time busy = 0;
+    for (DeviceId d = 0; d < problem_.numDevices(); ++d)
+        busy += busyTime(d);
+    const double capacity =
+        static_cast<double>(total) * problem_.numDevices();
+    return 1.0 - static_cast<double>(busy) / capacity;
+}
+
+Mem
+Schedule::peakMemory(DeviceId d) const
+{
+    const Placement &p = problem_.placement();
+    Mem used = problem_.initialMem()[d];
+    Mem peak = used;
+    for (int id : deviceOrder(d)) {
+        used += p.block(problem_.refOf(id).spec).memory;
+        peak = std::max(peak, used);
+    }
+    return peak;
+}
+
+void
+Schedule::shiftAll(Time delta)
+{
+    for (Time &t : starts_)
+        if (t != kUnscheduled)
+            t += delta;
+}
+
+} // namespace tessel

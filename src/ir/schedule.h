@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A temporal schedule: start times for every block instance of a Problem,
+ * plus validation against the constraints of Eq. 1 and the performance
+ * metrics (makespan, bubble rate, per-device busy/idle accounting).
+ */
+
+#ifndef TESSEL_IR_SCHEDULE_H
+#define TESSEL_IR_SCHEDULE_H
+
+#include <string>
+#include <vector>
+
+#include "ir/problem.h"
+
+namespace tessel {
+
+/** Result of validating a schedule against its problem constraints. */
+struct ValidationResult
+{
+    bool ok = true;
+    std::string message;
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Start-time assignment for all block instances of a Problem.
+ *
+ * Instances not yet scheduled carry kUnscheduled. Construction takes the
+ * problem by value; Problem is a small value type (the placement holds at
+ * most a few dozen specs).
+ */
+class Schedule
+{
+  public:
+    Schedule() = default;
+
+    /** Create an empty (fully unscheduled) schedule for @p problem. */
+    explicit Schedule(Problem problem);
+
+    const Problem &problem() const { return problem_; }
+
+    /** Set the start time of instance (spec, mb). */
+    void setStart(BlockRef ref, Time start);
+
+    /** @return start time of (spec, mb), or kUnscheduled. */
+    Time start(BlockRef ref) const;
+
+    /** @return finish time (start + span); panics when unscheduled. */
+    Time finish(BlockRef ref) const;
+
+    /** @return true when every instance has a start time. */
+    bool complete() const;
+
+    /** @return completion time of the last block (the objective). */
+    Time makespan() const;
+
+    /** @return earliest start among scheduled blocks (0 for empty). */
+    Time earliestStart() const;
+
+    /**
+     * Validate all Eq. 1 constraints: non-negative starts, completeness,
+     * per-device exclusivity, dependency ordering, and peak memory.
+     */
+    ValidationResult validate() const;
+
+    /** @return total busy time of device @p d. */
+    Time busyTime(DeviceId d) const;
+
+    /**
+     * Whole-run bubble rate: fraction of device time idle between time 0
+     * and the makespan, averaged over devices.
+     */
+    double bubbleRate() const;
+
+    /** @return peak dynamic memory usage on device @p d (incl. initial). */
+    Mem peakMemory(DeviceId d) const;
+
+    /** @return instance ids on device @p d sorted by start time. */
+    std::vector<int> deviceOrder(DeviceId d) const;
+
+    /** Shift every scheduled block by @p delta (possibly negative). */
+    void shiftAll(Time delta);
+
+    /** @return all scheduled instance ids sorted by (start, device). */
+    std::vector<int> globalOrder() const;
+
+  private:
+    Problem problem_;
+    std::vector<Time> starts_;
+};
+
+} // namespace tessel
+
+#endif // TESSEL_IR_SCHEDULE_H

@@ -1,0 +1,91 @@
+#include "ir/sequence.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/logging.h"
+
+namespace tessel {
+
+std::optional<Schedule>
+scheduleFromSequences(const Problem &problem, const DeviceSequences &seqs)
+{
+    const Placement &p = problem.placement();
+    const int num_inst = problem.numInstances();
+
+    fatal_if(static_cast<int>(seqs.order.size()) != problem.numDevices(),
+             "sequence count does not match device count");
+
+    // Adjacency: dependency edges within micro-batches plus consecutive
+    // sequence edges on every device.
+    std::vector<std::vector<int>> succ(num_inst);
+    std::vector<int> indeg(num_inst, 0);
+    auto add_edge = [&](int from, int to) {
+        succ[from].push_back(to);
+        ++indeg[to];
+    };
+
+    std::vector<int> appearances(num_inst, 0);
+    for (DeviceId d = 0; d < problem.numDevices(); ++d) {
+        const auto &order = seqs.order[d];
+        for (size_t k = 0; k < order.size(); ++k) {
+            const int id = order[k];
+            panic_if(id < 0 || id >= num_inst, "sequence id out of range");
+            const BlockRef ref = problem.refOf(id);
+            panic_if((p.block(ref.spec).devices & oneDevice(d)) == 0,
+                     "block ", p.block(ref.spec).name,
+                     " sequenced on foreign device ", d);
+            ++appearances[id];
+            if (k > 0)
+                add_edge(order[k - 1], id);
+        }
+    }
+    for (int id = 0; id < num_inst; ++id) {
+        const BlockRef ref = problem.refOf(id);
+        const int expected = std::popcount(p.block(ref.spec).devices);
+        if (appearances[id] != expected)
+            return std::nullopt; // Missing or duplicated instance.
+    }
+    for (int spec = 0; spec < p.numBlocks(); ++spec)
+        for (int dep : p.block(spec).deps)
+            for (int mb = 0; mb < problem.numMicrobatches(); ++mb)
+                add_edge(problem.instanceId({dep, mb}),
+                         problem.instanceId({spec, mb}));
+
+    // Longest-path relaxation in topological order (Kahn).
+    Schedule sched(problem);
+    std::vector<Time> start(num_inst, 0);
+    std::vector<int> ready;
+    for (int id = 0; id < num_inst; ++id)
+        if (indeg[id] == 0)
+            ready.push_back(id);
+    int processed = 0;
+    while (!ready.empty()) {
+        const int id = ready.back();
+        ready.pop_back();
+        ++processed;
+        const BlockRef ref = problem.refOf(id);
+        const Time fin = start[id] + p.block(ref.spec).span;
+        sched.setStart(ref, start[id]);
+        for (int s : succ[id]) {
+            start[s] = std::max(start[s], fin);
+            if (--indeg[s] == 0)
+                ready.push_back(s);
+        }
+    }
+    if (processed != num_inst)
+        return std::nullopt; // Cycle: the sequences deadlock.
+    return sched;
+}
+
+DeviceSequences
+sequencesOf(const Schedule &schedule)
+{
+    DeviceSequences seqs;
+    seqs.order.resize(schedule.problem().numDevices());
+    for (DeviceId d = 0; d < schedule.problem().numDevices(); ++d)
+        seqs.order[d] = schedule.deviceOrder(d);
+    return seqs;
+}
+
+} // namespace tessel

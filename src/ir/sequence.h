@@ -1,0 +1,50 @@
+/**
+ * @file
+ * SequenceScheduler: turns fixed per-device block orders into earliest
+ * start times. This is the semi-active timing core shared by the baseline
+ * schedule generators (1F1B, GPipe, Chimera, 1F1B+) and the repetend
+ * expansion logic: once each device's execution order is fixed, start
+ * times follow from longest paths over dependency + sequence edges.
+ */
+
+#ifndef TESSEL_IR_SEQUENCE_H
+#define TESSEL_IR_SEQUENCE_H
+
+#include <optional>
+#include <vector>
+
+#include "ir/schedule.h"
+
+namespace tessel {
+
+/**
+ * Per-device execution orders for (a subset of) a problem's instances.
+ *
+ * order[d] lists instance ids in execution order on device d. A
+ * tensor-parallel block must appear in the order of every device it uses.
+ */
+struct DeviceSequences
+{
+    std::vector<std::vector<int>> order;
+};
+
+/**
+ * Compute earliest start times honoring dependencies and the given
+ * per-device orders.
+ *
+ * @param problem the schedule problem.
+ * @param seqs per-device instance orders covering every instance.
+ * @return the timed schedule, or std::nullopt when the combined
+ *         precedence graph has a cycle (i.e. the orders deadlock).
+ */
+std::optional<Schedule> scheduleFromSequences(const Problem &problem,
+                                              const DeviceSequences &seqs);
+
+/**
+ * Extract per-device orders from an already-timed schedule.
+ */
+DeviceSequences sequencesOf(const Schedule &schedule);
+
+} // namespace tessel
+
+#endif // TESSEL_IR_SEQUENCE_H

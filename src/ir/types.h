@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the Tessel IR, following the
+ * paper's notation (Table I): integer execution times and memory costs so
+ * the encoding matches what the authors fed to the SMT solver.
+ */
+
+#ifndef TESSEL_IR_TYPES_H
+#define TESSEL_IR_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace tessel {
+
+/** Integer time unit (t_B, s_B in the paper). */
+using Time = int64_t;
+
+/** Integer memory unit (m_B in the paper; negative = release). */
+using Mem = int64_t;
+
+/** Device index in [0, D). */
+using DeviceId = int32_t;
+
+/** Bitmask of devices a block runs on (tensor parallelism => >1 bit). */
+using DeviceMask = uint64_t;
+
+/** Sentinel for "not scheduled yet". */
+constexpr Time kUnscheduled = -1;
+
+/** Effectively-unlimited memory capacity. */
+constexpr Mem kUnlimitedMem = std::numeric_limits<Mem>::max() / 4;
+
+/** Kind of computation a block performs. */
+enum class BlockKind {
+    Forward,  ///< forward computation; usually allocates activations
+    Backward, ///< backward computation; usually releases activations
+    Other,    ///< e.g. optimizer step or standalone inference op
+};
+
+/** @return a one-letter tag for rendering ('F', 'B', 'O'). */
+constexpr char
+blockKindTag(BlockKind kind)
+{
+    switch (kind) {
+      case BlockKind::Forward:
+        return 'F';
+      case BlockKind::Backward:
+        return 'B';
+      default:
+        return 'O';
+    }
+}
+
+/** @return a mask with the @p count low device bits set. */
+constexpr DeviceMask
+allDevices(int count)
+{
+    return count >= 64 ? ~DeviceMask{0} : ((DeviceMask{1} << count) - 1);
+}
+
+/** @return a mask containing only device @p d. */
+constexpr DeviceMask
+oneDevice(DeviceId d)
+{
+    return DeviceMask{1} << d;
+}
+
+} // namespace tessel
+
+#endif // TESSEL_IR_TYPES_H

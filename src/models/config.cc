@@ -1,0 +1,107 @@
+#include "models/config.h"
+
+#include "support/logging.h"
+
+namespace tessel {
+
+namespace {
+
+/** Parameters of one transformer layer: attention + MLP (~12 h^2). */
+double
+layerParams(double h)
+{
+    return 12.0 * h * h;
+}
+
+} // namespace
+
+double
+GptConfig::params() const
+{
+    return static_cast<double>(vocab) * hidden +
+           layers * layerParams(hidden);
+}
+
+double
+Mt5Config::params() const
+{
+    // Decoder layers carry an extra cross-attention block (~16 h^2).
+    return static_cast<double>(vocab) * hidden +
+           encLayers * layerParams(hidden) +
+           decLayers * (16.0 / 12.0) * layerParams(hidden);
+}
+
+double
+FlavaConfig::params() const
+{
+    return static_cast<double>(vocab) * hidden +
+           (textLayers + visionLayers + crossLayers) *
+               layerParams(hidden);
+}
+
+GptConfig
+gptConfigForGpus(int gpus)
+{
+    // Table III: {11B, 24B, 47B, 77B} for {4, 8, 16, 32} GPUs.
+    switch (gpus) {
+      case 4:
+        return {"GPT-11B", 32, 4096, 32, 1000000, 1024};
+      case 8:
+        return {"GPT-24B", 40, 6144, 48, 1000000, 1024};
+      case 16:
+        return {"GPT-47B", 48, 8192, 64, 1000000, 1024};
+      case 32:
+        return {"GPT-77B", 80, 8192, 64, 1500000, 1024};
+      default:
+        fatal("no Table III GPT entry for ", gpus, " GPUs");
+    }
+}
+
+Mt5Config
+mt5ConfigForGpus(int gpus)
+{
+    // Table III: {1.8B, 9.5B, 43B, 88B} for {4, 8, 16, 32} GPUs; layer
+    // counts split evenly between encoder and decoder.
+    switch (gpus) {
+      case 4:
+        return {"mT5-1.8B", 24, 24, 1024, 16, 512000, 512};
+      case 8:
+        return {"mT5-9.5B", 24, 24, 3072, 24, 1000000, 512};
+      case 16:
+        return {"mT5-43B", 32, 32, 6144, 48, 1500000, 512};
+      case 32:
+        return {"mT5-88B", 40, 40, 8192, 64, 1500000, 512};
+      default:
+        fatal("no Table III mT5 entry for ", gpus, " GPUs");
+    }
+}
+
+FlavaConfig
+flavaConfig()
+{
+    FlavaConfig cfg;
+    cfg.name = "Flava-24L";
+    cfg.textLayers = 8;
+    cfg.visionLayers = 8;
+    cfg.crossLayers = 8;
+    cfg.hidden = 4096;
+    cfg.heads = 32;
+    cfg.vocab = 50000;
+    return cfg;
+}
+
+GptConfig
+gptFig2Config(int layers)
+{
+    // GPT-6.7B geometry (h = 4096) with a 768K embedding vocabulary.
+    GptConfig cfg;
+    cfg.name = "GPT-6.7B-layers" + std::to_string(layers);
+    cfg.layers = layers;
+    cfg.hidden = 4096;
+    cfg.heads = 32;
+    cfg.vocab = 768000;
+    cfg.seqLen = 1024;
+    return cfg;
+}
+
+} // namespace tessel

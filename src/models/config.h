@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Model configurations from the paper's evaluation (Table III and
+ * Sec. VI-A/VI-D): GPT and mT5 scaled with the GPU count, and Flava for
+ * the inference study. Vocabulary sizes follow the multilingual trend the
+ * paper targets (512K - 1.5M tokens).
+ */
+
+#ifndef TESSEL_MODELS_CONFIG_H
+#define TESSEL_MODELS_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+namespace tessel {
+
+/** Decoder-only transformer configuration (GPT family). */
+struct GptConfig
+{
+    std::string name;
+    int layers = 0;
+    int hidden = 0;
+    int heads = 0;
+    int64_t vocab = 0;
+    int seqLen = 1024;
+
+    /** Approximate parameter count (embedding + transformer blocks). */
+    double params() const;
+};
+
+/** Encoder-decoder transformer configuration (mT5 family). */
+struct Mt5Config
+{
+    std::string name;
+    int encLayers = 0;
+    int decLayers = 0;
+    int hidden = 0;
+    int heads = 0;
+    int64_t vocab = 0;
+    int seqLen = 512;
+
+    double params() const;
+};
+
+/** Two-branch multimodal configuration (Flava family). */
+struct FlavaConfig
+{
+    std::string name;
+    int textLayers = 0;
+    int visionLayers = 0;
+    int crossLayers = 0;
+    int hidden = 0;
+    int heads = 0;
+    int64_t vocab = 0;
+    int textSeqLen = 196;
+    int visionSeqLen = 196;
+
+    double params() const;
+};
+
+/** Table III GPT row for a GPU count in {4, 8, 16, 32}. */
+GptConfig gptConfigForGpus(int gpus);
+
+/** Table III mT5 row for a GPU count in {4, 8, 16, 32}. */
+Mt5Config mt5ConfigForGpus(int gpus);
+
+/** Flava configuration of Fig. 15 (24 layers, 4096 hidden, 32 heads). */
+FlavaConfig flavaConfig();
+
+/** GPT-6.7B layer geometry with a 768K vocabulary (Fig. 2). */
+GptConfig gptFig2Config(int layers);
+
+} // namespace tessel
+
+#endif // TESSEL_MODELS_CONFIG_H

@@ -1,0 +1,75 @@
+#include "models/costmodel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace tessel {
+
+double
+CostModel::layerFwdFlops(int hidden, int seq_len) const
+{
+    const double h = hidden;
+    const double s = seq_len;
+    const double b = batch_;
+    // 24 b s h^2 for the GEMMs plus 4 b s^2 h for attention scores.
+    return 24.0 * b * s * h * h + 4.0 * b * s * s * h;
+}
+
+double
+CostModel::headFwdFlops(int hidden, int seq_len, int64_t vocab) const
+{
+    return 2.0 * batch_ * static_cast<double>(seq_len) * hidden *
+           static_cast<double>(vocab);
+}
+
+double
+CostModel::msFor(double flops, int devices) const
+{
+    panic_if(devices < 1, "msFor: bad device count");
+    // Sub-linear tensor-parallel scaling: each doubling of the group
+    // pays one efficiency factor (TP-8 ~= 5.4x at 0.88), matching the
+    // observed scaling of Megatron-style tensor parallelism.
+    const double speedup =
+        devices * std::pow(hw_.tpEfficiency, std::log2(devices));
+    return flops / (hw_.effFlops * speedup) * 1e3;
+}
+
+Time
+CostModel::spanFor(double flops, int devices) const
+{
+    return quantizeMs(msFor(flops, devices));
+}
+
+double
+CostModel::boundaryMB(int hidden, int seq_len) const
+{
+    // fp16 activations.
+    return 2.0 * batch_ * seq_len * hidden / 1e6;
+}
+
+Mem
+CostModel::stageActivationMB(int layers_in_stage, int hidden, int seq_len,
+                             int devices) const
+{
+    const double per_layer = boundaryMB(hidden, seq_len);
+    const double total = per_layer * (layers_in_stage + 1) / devices;
+    return std::max<Mem>(1, static_cast<Mem>(std::ceil(total)));
+}
+
+Mem
+CostModel::paramMB(double params, bool training, int devices) const
+{
+    const double bytes = params * (training ? hw_.trainBytesPerParam
+                                            : hw_.inferBytesPerParam);
+    return static_cast<Mem>(std::ceil(bytes / devices / 1e6));
+}
+
+Time
+CostModel::quantizeMs(double ms)
+{
+    return std::max<Time>(1, static_cast<Time>(std::llround(ms)));
+}
+
+} // namespace tessel

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Analytic hardware + model cost model. Substitutes for profiling on the
+ * paper's 32x V100 testbed: standard transformer FLOPs/bytes formulas are
+ * lowered to integer block spans (milliseconds) and memory (MB), which is
+ * all the schedule search and the cluster simulator consume.
+ */
+
+#ifndef TESSEL_MODELS_COSTMODEL_H
+#define TESSEL_MODELS_COSTMODEL_H
+
+#include "ir/types.h"
+
+namespace tessel {
+
+/** Cluster hardware description (defaults model V100-32GB servers). */
+struct HardwareSpec
+{
+    /** Effective per-GPU throughput (FLOPs/s, post-efficiency). */
+    double effFlops = 45e12;
+    /** Multiplicative per-device efficiency when tensor-parallel over k
+     * devices: speedup = k * tpEfficiency^log2(k)). */
+    double tpEfficiency = 0.88;
+    /** Intra-server bandwidth (GB/s, NVLink). */
+    double nvlinkGBs = 130.0;
+    /** Inter-server bandwidth (GB/s, 100 Gb InfiniBand). */
+    double ibGBs = 10.0;
+    /** Per-transfer latency (ms). */
+    double linkLatencyMs = 0.03;
+    /** GPUs per server (NVLink domain). */
+    int gpusPerServer = 8;
+    /** Device memory (GB). */
+    double memGB = 32.0;
+    /** Fraction reserved for runtime/fragmentation. */
+    double memReserveFraction = 0.2;
+    /** Training bytes per parameter (fp16 + grads + sharded states). */
+    double trainBytesPerParam = 8.0;
+    /** Inference bytes per parameter (fp16 weights only). */
+    double inferBytesPerParam = 2.0;
+
+    /** Usable per-device memory in MB. */
+    Mem
+    usableMemMB() const
+    {
+        return static_cast<Mem>(memGB * (1.0 - memReserveFraction) *
+                                1024.0);
+    }
+};
+
+/** Transformer cost helper: all times in ms, memory in MB. */
+class CostModel
+{
+  public:
+    /**
+     * @param hw hardware description.
+     * @param batch micro-batch size (samples).
+     */
+    CostModel(HardwareSpec hw, int batch) : hw_(hw), batch_(batch) {}
+
+    const HardwareSpec &hw() const { return hw_; }
+    int batch() const { return batch_; }
+
+    /** Forward FLOPs of one transformer layer for one micro-batch. */
+    double layerFwdFlops(int hidden, int seq_len) const;
+
+    /** Forward FLOPs of the vocabulary projection (LM head). */
+    double headFwdFlops(int hidden, int seq_len, int64_t vocab) const;
+
+    /** ms to execute @p flops on @p devices tensor-parallel GPUs. */
+    double msFor(double flops, int devices = 1) const;
+
+    /** Quantized span: ms rounded to an integer Time, at least 1. */
+    Time spanFor(double flops, int devices = 1) const;
+
+    /** Activation bytes at a stage boundary (MB, per micro-batch). */
+    double boundaryMB(int hidden, int seq_len) const;
+
+    /**
+     * Activation memory a stage holds per in-flight micro-batch with
+     * recompute enabled: one checkpoint per layer plus the boundary.
+     */
+    Mem stageActivationMB(int layers_in_stage, int hidden, int seq_len,
+                          int devices = 1) const;
+
+    /** Parameter storage of @p params parameters on one device (MB). */
+    Mem paramMB(double params, bool training, int devices = 1) const;
+
+    /** Quantize a raw ms value to a span (>= 1). */
+    static Time quantizeMs(double ms);
+
+  private:
+    HardwareSpec hw_;
+    int batch_;
+};
+
+} // namespace tessel
+
+#endif // TESSEL_MODELS_COSTMODEL_H

@@ -1,0 +1,795 @@
+#include "models/lower.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "placement/shapes.h"
+#include "support/logging.h"
+
+namespace tessel {
+
+namespace {
+
+/** Shared lowering machinery. */
+class Lowering
+{
+  public:
+    Lowering(const HardwareSpec &hw, int gpus, int batch)
+        : cm_(hw, batch), gpus_(gpus)
+    {
+        fatal_if(gpus < 1, "lowering: bad GPU count");
+        mem_.assign(gpus, 0);
+    }
+
+    const CostModel &cm() const { return cm_; }
+
+    /** True when @p mask spans more than one NVLink domain. */
+    bool
+    crossesServer(DeviceMask mask) const
+    {
+        int first = -1;
+        for (int d = 0; d < gpus_; ++d) {
+            if (!(mask & oneDevice(d)))
+                continue;
+            const int server = d / cm_.hw().gpusPerServer;
+            if (first < 0)
+                first = server;
+            else if (server != first)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Span of a tensor-parallel block: compute plus the all-reduce cost,
+     * paid over IB when the group spans servers (the effect that makes
+     * cross-server tensor parallelism expensive in Fig. 13).
+     */
+    Time
+    tpSpan(double flops, DeviceMask mask, double allreduce_mb) const
+    {
+        const int k = std::popcount(mask);
+        double ms = cm_.msFor(flops, k);
+        if (k > 1) {
+            const double bw = crossesServer(mask) ? cm_.hw().ibGBs
+                                                  : cm_.hw().nvlinkGBs;
+            ms += 2.0 * allreduce_mb / 1024.0 / bw * 1e3;
+        }
+        return CostModel::quantizeMs(ms);
+    }
+
+    /** Contiguous device group [first, first+count). */
+    DeviceMask
+    group(int first, int count) const
+    {
+        DeviceMask mask = 0;
+        for (int d = first; d < first + count; ++d)
+            mask |= oneDevice(d);
+        return mask;
+    }
+
+    int
+    addBlock(std::string name, BlockKind kind, DeviceMask devices,
+             Time span, Mem memory, std::vector<int> deps)
+    {
+        BlockSpec b;
+        b.name = std::move(name);
+        b.kind = kind;
+        b.devices = devices;
+        b.span = span;
+        b.memory = memory;
+        b.deps = std::move(deps);
+        specs_.push_back(std::move(b));
+        return static_cast<int>(specs_.size()) - 1;
+    }
+
+    /** Charge parameter storage on every device in @p mask. */
+    void
+    chargeParams(DeviceMask mask, double params, bool training)
+    {
+        const int k = std::popcount(mask);
+        const Mem mb = cm_.paramMB(params, training, k);
+        for (int d = 0; d < gpus_; ++d)
+            if (mask & oneDevice(d))
+                mem_[d] += mb;
+    }
+
+    void
+    edge(LoweredModel &out, int producer, int consumer, double mb) const
+    {
+        out.edgeMB[{producer, consumer}] = mb;
+    }
+
+    LoweredModel
+    finish(std::string name, bool training)
+    {
+        LoweredModel out;
+        out.placement = Placement(std::move(name), gpus_, specs_);
+        out.initialMemMB = mem_;
+        out.memCapacityMB = cm_.hw().usableMemMB();
+        out.microBatch = cm_.batch();
+        out.fits = true;
+        for (Mem m : mem_)
+            if (m > out.memCapacityMB)
+                out.fits = false;
+        (void)training;
+        return out;
+    }
+
+    /** Split @p total layers into @p parts nearly-even groups. */
+    static std::vector<int>
+    splitLayers(int total, int parts)
+    {
+        std::vector<int> out(parts, total / parts);
+        for (int i = 0; i < total % parts; ++i)
+            ++out[parts - 1 - i]; // Heavier groups later (head side).
+        return out;
+    }
+
+  private:
+    CostModel cm_;
+    int gpus_;
+    std::vector<BlockSpec> specs_;
+    std::vector<Mem> mem_;
+};
+
+/** Backward-to-forward hardware ratio with recompute (Sec. VI-B). */
+constexpr double kBwdFactor = 3.0;
+
+} // namespace
+
+std::vector<LayerCost>
+gptLayerCosts(const GptConfig &cfg, const CostModel &cm)
+{
+    std::vector<LayerCost> layers;
+    const bool training = true;
+    // Embedding: negligible compute, huge parameter memory.
+    LayerCost emb;
+    emb.name = "embedding";
+    emb.fwdTime = cm.msFor(128.0 * cm.batch() * cfg.seqLen * cfg.hidden);
+    emb.bwdTime = 2.0 * emb.fwdTime;
+    emb.memory = static_cast<double>(cm.paramMB(
+        static_cast<double>(cfg.vocab) * cfg.hidden, training));
+    layers.push_back(emb);
+
+    const double layer_flops = cm.layerFwdFlops(cfg.hidden, cfg.seqLen);
+    for (int l = 0; l < cfg.layers; ++l) {
+        LayerCost lc;
+        lc.name = "layer" + std::to_string(l);
+        lc.fwdTime = cm.msFor(layer_flops);
+        lc.bwdTime = kBwdFactor * lc.fwdTime;
+        lc.memory = static_cast<double>(
+            cm.paramMB(12.0 * cfg.hidden * cfg.hidden, training));
+        layers.push_back(lc);
+    }
+
+    // LM head (tied to the embedding; the optimizer state stays with
+    // the embedding stage, so the head carries little extra storage).
+    LayerCost head;
+    head.name = "head";
+    head.fwdTime =
+        cm.msFor(cm.headFwdFlops(cfg.hidden, cfg.seqLen, cfg.vocab));
+    head.bwdTime = 2.0 * head.fwdTime;
+    head.memory = 64.0;
+    layers.push_back(head);
+    return layers;
+}
+
+LoweredModel
+lowerGptMShape(const GptConfig &cfg, int gpus, int batch,
+               const HardwareSpec &hw, int pipeline_stages)
+{
+    const int num_stages = std::min(gpus, pipeline_stages);
+    fatal_if(gpus % num_stages != 0,
+             "GPT M-Shape: gpus must divide into pipeline stages");
+    const int group = gpus / num_stages; // TP degree per stage.
+
+    Lowering lw(hw, gpus, batch);
+    const CostModel &cm = lw.cm();
+    const DeviceMask all = allDevices(gpus);
+    const double boundary = cm.boundaryMB(cfg.hidden, cfg.seqLen);
+    const std::vector<int> stages =
+        Lowering::splitLayers(cfg.layers, num_stages);
+    const double layer_flops = cm.layerFwdFlops(cfg.hidden, cfg.seqLen);
+    const double head_flops =
+        cm.headFwdFlops(cfg.hidden, cfg.seqLen, cfg.vocab);
+    const double emb_flops = 128.0 * batch * cfg.seqLen * cfg.hidden;
+
+    LoweredModel out;
+    const Mem emb_act = std::max<Mem>(
+        1, static_cast<Mem>(std::ceil(boundary / gpus)));
+
+    // Forward pass.
+    const int emb_f =
+        lw.addBlock("embF", BlockKind::Forward, all,
+                    lw.tpSpan(emb_flops, all, boundary), emb_act, {});
+    std::vector<int> fwd(num_stages);
+    std::vector<Mem> stage_act(num_stages);
+    for (int s = 0; s < num_stages; ++s) {
+        const DeviceMask mask = lw.group(s * group, group);
+        stage_act[s] = cm.stageActivationMB(stages[s], cfg.hidden,
+                                            cfg.seqLen, group);
+        fwd[s] = lw.addBlock(
+            "f" + std::to_string(s), BlockKind::Forward, mask,
+            lw.tpSpan(stages[s] * layer_flops, mask,
+                      stages[s] * boundary),
+            stage_act[s], {s == 0 ? emb_f : fwd[s - 1]});
+        lw.edge(out, s == 0 ? emb_f : fwd[s - 1], fwd[s], boundary);
+    }
+
+    // LM head fwd + loss + head bwd fused, tensor parallel.
+    const int head = lw.addBlock(
+        "headFB", BlockKind::Forward, all,
+        lw.tpSpan(3.0 * head_flops, all, 2.0 * boundary), 0,
+        {fwd[num_stages - 1]});
+    lw.edge(out, fwd[num_stages - 1], head, boundary);
+
+    // Backward sweep with recompute.
+    int prev = head;
+    for (int s = num_stages - 1; s >= 0; --s) {
+        const DeviceMask mask = lw.group(s * group, group);
+        const int b = lw.addBlock(
+            "b" + std::to_string(s), BlockKind::Backward, mask,
+            lw.tpSpan(kBwdFactor * stages[s] * layer_flops, mask,
+                      stages[s] * boundary),
+            -stage_act[s], {prev});
+        lw.edge(out, prev, b, boundary);
+        prev = b;
+    }
+    const int emb_b = lw.addBlock(
+        "embB", BlockKind::Backward, all,
+        lw.tpSpan(2.0 * emb_flops, all, boundary), -emb_act, {prev});
+    lw.edge(out, prev, emb_b, boundary);
+
+    // Parameter storage: embedding tensor-parallel, stages per group.
+    lw.chargeParams(all, static_cast<double>(cfg.vocab) * cfg.hidden,
+                    true);
+    for (int s = 0; s < num_stages; ++s)
+        lw.chargeParams(lw.group(s * group, group),
+                        stages[s] * 12.0 * cfg.hidden * cfg.hidden, true);
+
+    LoweredModel lowered = lw.finish("GPT-M-Shape", true);
+    lowered.edgeMB = out.edgeMB;
+    lowered.flopsPerMicrobatch =
+        4.0 * (cfg.layers * layer_flops + head_flops);
+    return lowered;
+}
+
+LoweredModel
+lowerGptVShapePiper(const GptConfig &cfg, int gpus, int batch,
+                    const HardwareSpec &hw)
+{
+    Lowering lw(hw, gpus, batch);
+    const CostModel &cm = lw.cm();
+    const double boundary = cm.boundaryMB(cfg.hidden, cfg.seqLen);
+
+    const std::vector<LayerCost> layers = gptLayerCosts(cfg, cm);
+    // Reserve activation headroom when partitioning (Piper plans under
+    // the usable capacity minus in-flight activations).
+    const double act_reserve =
+        boundary * gpus * 2.0; // ~D in-flight boundaries.
+    const double plan_cap =
+        static_cast<double>(cm.hw().usableMemMB()) - act_reserve;
+    // Bound the per-stage tensor-parallel degree: at least what the
+    // heaviest single layer (the embedding) needs to fit, but no wider —
+    // Piper keeps a pipeline structure rather than collapsing into
+    // whole-model tensor parallelism (Sec. II / Fig. 2).
+    double heaviest = 0.0;
+    for (const LayerCost &lc : layers)
+        heaviest = std::max(heaviest, lc.memory);
+    const int k_min = std::max(
+        1, static_cast<int>(std::ceil(heaviest / plan_cap)));
+    const int max_tp = std::min(gpus, std::max(2, k_min));
+    const PiperResult part = piperPartition(layers, gpus, plan_cap,
+                                            cm.hw().tpEfficiency, max_tp);
+
+    LoweredModel out;
+    if (!part.feasible) {
+        // Parameters cannot be placed at all: report an OOM model.
+        out.placement = makeShapeByName("V", std::max(2, gpus));
+        out.fits = false;
+        out.note = "piper: no feasible partition (OOM)";
+        out.memCapacityMB = cm.hw().usableMemMB();
+        out.initialMemMB.assign(gpus, out.memCapacityMB + 1);
+        return out;
+    }
+
+    const int num_stages = static_cast<int>(part.stages.size());
+    std::vector<DeviceMask> masks(num_stages);
+    std::vector<Mem> acts(num_stages);
+    int base = 0;
+    for (int s = 0; s < num_stages; ++s) {
+        masks[s] = lw.group(base, part.stages[s].numDevices);
+        base += part.stages[s].numDevices;
+        const int n_layers =
+            part.stages[s].lastLayer - part.stages[s].firstLayer + 1;
+        acts[s] = cm.stageActivationMB(n_layers, cfg.hidden, cfg.seqLen,
+                                       part.stages[s].numDevices);
+    }
+
+    // Cross-server tensor parallelism pays IB all-reduce costs on top of
+    // the Piper stage time (the effect that slows 1F1B at 16/32 GPUs).
+    auto stage_span = [&](int s, double base_ms) {
+        double ms = base_ms;
+        const int k = part.stages[s].numDevices;
+        if (k > 1) {
+            const int n_layers =
+                part.stages[s].lastLayer - part.stages[s].firstLayer + 1;
+            const double bw = lw.crossesServer(masks[s])
+                                  ? cm.hw().ibGBs
+                                  : cm.hw().nvlinkGBs;
+            ms += 2.0 * n_layers * boundary / 1024.0 / bw * 1e3;
+        }
+        return CostModel::quantizeMs(ms);
+    };
+
+    std::vector<int> fwd(num_stages);
+    for (int s = 0; s < num_stages; ++s) {
+        fwd[s] = lw.addBlock("sF" + std::to_string(s), BlockKind::Forward,
+                             masks[s],
+                             stage_span(s, part.stages[s].fwdTime),
+                             acts[s],
+                             s == 0 ? std::vector<int>{}
+                                    : std::vector<int>{fwd[s - 1]});
+        if (s > 0)
+            lw.edge(out, fwd[s - 1], fwd[s], boundary);
+    }
+    int prev = fwd[num_stages - 1];
+    for (int s = num_stages - 1; s >= 0; --s) {
+        const int b =
+            lw.addBlock("sB" + std::to_string(s), BlockKind::Backward,
+                        masks[s],
+                        stage_span(s, part.stages[s].bwdTime), -acts[s],
+                        {prev});
+        lw.edge(out, prev, b, boundary);
+        prev = b;
+    }
+
+    // Parameter storage per stage group.
+    for (int s = 0; s < num_stages; ++s) {
+        double params = 0.0;
+        for (int l = part.stages[s].firstLayer;
+             l <= part.stages[s].lastLayer; ++l) {
+            params += layers[l].memory * 1e6 / cm.hw().trainBytesPerParam;
+        }
+        lw.chargeParams(masks[s], params, true);
+    }
+
+    LoweredModel lowered = lw.finish("GPT-Piper-V", true);
+    lowered.edgeMB = out.edgeMB;
+    const double layer_flops = cm.layerFwdFlops(cfg.hidden, cfg.seqLen);
+    lowered.flopsPerMicrobatch =
+        4.0 * (cfg.layers * layer_flops +
+               cm.headFwdFlops(cfg.hidden, cfg.seqLen, cfg.vocab));
+    lowered.note = "stages=" + std::to_string(num_stages);
+    return lowered;
+}
+
+namespace {
+
+/** Shared Chimera X-shape lowering: two replicas, even layer split. */
+LoweredModel
+lowerChimeraCommon(const std::string &name, int gpus, int batch,
+                   const HardwareSpec &hw, double total_layer_flops,
+                   double head_flops, double total_params, double boundary,
+                   int hidden, int seq_len, double flops_per_mb)
+{
+    Lowering lw(hw, gpus, batch);
+    const CostModel &cm = lw.cm();
+    LoweredModel edges;
+
+    // Pipelines of depth min(gpus, 4) with tensor-parallel stage groups;
+    // embedding + head costs fold into the stages, as Chimera replicates
+    // the whole model per pipeline.
+    const int depth = std::min(gpus, 4);
+    const int group = gpus / depth;
+    const double stage_flops =
+        (total_layer_flops + head_flops) / gpus * group;
+    const double stage_params = total_params / depth;
+    const Mem act = cm.stageActivationMB(
+        std::max(1, static_cast<int>(std::round(
+                        total_layer_flops / gpus /
+                        cm.layerFwdFlops(hidden, seq_len)))),
+        hidden, seq_len);
+
+    auto build_pipeline = [&](const std::string &prefix, bool reversed) {
+        std::vector<int> fwd(depth);
+        for (int i = 0; i < depth; ++i) {
+            const int slot = reversed ? depth - 1 - i : i;
+            const DeviceMask mask = lw.group(slot * group, group);
+            fwd[i] = lw.addBlock(
+                prefix + "F" + std::to_string(i), BlockKind::Forward,
+                mask, lw.tpSpan(stage_flops, mask, boundary), act,
+                i == 0 ? std::vector<int>{} : std::vector<int>{fwd[i - 1]});
+            if (i > 0)
+                lw.edge(edges, fwd[i - 1], fwd[i], boundary);
+            lw.chargeParams(mask, stage_params, true);
+        }
+        int prev = fwd[depth - 1];
+        for (int i = depth - 1; i >= 0; --i) {
+            const int slot = reversed ? depth - 1 - i : i;
+            const DeviceMask mask = lw.group(slot * group, group);
+            const int b = lw.addBlock(
+                prefix + "B" + std::to_string(i), BlockKind::Backward,
+                mask,
+                lw.tpSpan(kBwdFactor * stage_flops, mask, boundary),
+                -act, {prev});
+            lw.edge(edges, prev, b, boundary);
+            prev = b;
+        }
+    };
+    build_pipeline("d", false);
+    build_pipeline("u", true);
+
+    LoweredModel out = lw.finish(name, true);
+    out.edgeMB = edges.edgeMB;
+    // One X-shape scheduling unit carries two micro-batches (one per
+    // direction), hence 2x the per-micro-batch FLOPs.
+    out.flopsPerMicrobatch = 2.0 * flops_per_mb;
+    return out;
+}
+
+} // namespace
+
+LoweredModel
+lowerGptXShapeChimera(const GptConfig &cfg, int gpus, int batch,
+                      const HardwareSpec &hw)
+{
+    CostModel cm(hw, batch);
+    const double layer_flops = cm.layerFwdFlops(cfg.hidden, cfg.seqLen);
+    const double head_flops =
+        cm.headFwdFlops(cfg.hidden, cfg.seqLen, cfg.vocab);
+    return lowerChimeraCommon(
+        "GPT-X-Chimera", gpus, batch, hw, cfg.layers * layer_flops,
+        head_flops, cfg.params(), cm.boundaryMB(cfg.hidden, cfg.seqLen),
+        cfg.hidden, cfg.seqLen,
+        4.0 * (cfg.layers * layer_flops + head_flops));
+}
+
+LoweredModel
+lowerMt5XShapeChimera(const Mt5Config &cfg, int gpus, int batch,
+                      const HardwareSpec &hw)
+{
+    CostModel cm(hw, batch);
+    const double enc_flops =
+        cfg.encLayers * cm.layerFwdFlops(cfg.hidden, cfg.seqLen);
+    const double dec_flops = cfg.decLayers * (16.0 / 12.0) *
+                             cm.layerFwdFlops(cfg.hidden, cfg.seqLen);
+    const double head_flops =
+        cm.headFwdFlops(cfg.hidden, cfg.seqLen, cfg.vocab);
+    return lowerChimeraCommon(
+        "mT5-X-Chimera", gpus, batch, hw, enc_flops + dec_flops,
+        head_flops, cfg.params(), cm.boundaryMB(cfg.hidden, cfg.seqLen),
+        cfg.hidden, cfg.seqLen,
+        4.0 * (enc_flops + dec_flops + head_flops));
+}
+
+LoweredModel
+lowerMt5NnShape(const Mt5Config &cfg, int gpus, int batch,
+                const HardwareSpec &hw, int pipeline_stages)
+{
+    const int num_stages = std::min(gpus, pipeline_stages);
+    fatal_if(gpus % num_stages != 0,
+             "mT5 NN-Shape: gpus must divide into pipeline stages");
+    const int group = gpus / num_stages;
+
+    Lowering lw(hw, gpus, batch);
+    const CostModel &cm = lw.cm();
+    const DeviceMask all = allDevices(gpus);
+    const double boundary = cm.boundaryMB(cfg.hidden, cfg.seqLen);
+    const double layer_flops = cm.layerFwdFlops(cfg.hidden, cfg.seqLen);
+    const double dec_layer_flops = (16.0 / 12.0) * layer_flops;
+    const double head_flops =
+        cm.headFwdFlops(cfg.hidden, cfg.seqLen, cfg.vocab);
+    const double emb_flops = 128.0 * batch * cfg.seqLen * cfg.hidden;
+    const std::vector<int> enc_stages =
+        Lowering::splitLayers(cfg.encLayers, num_stages);
+    const std::vector<int> dec_stages =
+        Lowering::splitLayers(cfg.decLayers, num_stages);
+
+    LoweredModel edges;
+    const Mem emb_act = std::max<Mem>(
+        1, static_cast<Mem>(std::ceil(boundary / gpus)));
+
+    const int emb_f =
+        lw.addBlock("embF", BlockKind::Forward, all,
+                    lw.tpSpan(emb_flops, all, boundary), emb_act, {});
+    // Encoder sweep.
+    std::vector<int> enc(num_stages);
+    std::vector<Mem> enc_act(num_stages);
+    for (int s = 0; s < num_stages; ++s) {
+        const DeviceMask mask = lw.group(s * group, group);
+        enc_act[s] = cm.stageActivationMB(enc_stages[s], cfg.hidden,
+                                          cfg.seqLen, group);
+        enc[s] = lw.addBlock(
+            "eF" + std::to_string(s), BlockKind::Forward, mask,
+            lw.tpSpan(enc_stages[s] * layer_flops, mask,
+                      enc_stages[s] * boundary),
+            enc_act[s], {s == 0 ? emb_f : enc[s - 1]});
+        lw.edge(edges, s == 0 ? emb_f : enc[s - 1], enc[s], boundary);
+    }
+    // Decoder sweep (cross-attends the encoder output; shares embF).
+    std::vector<int> dec(num_stages);
+    std::vector<Mem> dec_act(num_stages);
+    for (int s = 0; s < num_stages; ++s) {
+        const DeviceMask mask = lw.group(s * group, group);
+        dec_act[s] = cm.stageActivationMB(dec_stages[s], cfg.hidden,
+                                          cfg.seqLen, group);
+        std::vector<int> deps;
+        if (s == 0)
+            deps = {enc[num_stages - 1], emb_f};
+        else
+            deps = {dec[s - 1]};
+        dec[s] = lw.addBlock(
+            "dF" + std::to_string(s), BlockKind::Forward, mask,
+            lw.tpSpan(dec_stages[s] * dec_layer_flops, mask,
+                      dec_stages[s] * boundary),
+            dec_act[s], std::move(deps));
+        lw.edge(edges, s == 0 ? enc[num_stages - 1] : dec[s - 1], dec[s],
+                boundary);
+    }
+    // Shared-vocabulary head, tensor parallel.
+    const int head = lw.addBlock(
+        "headFB", BlockKind::Forward, all,
+        lw.tpSpan(3.0 * head_flops, all, 2.0 * boundary), 0,
+        {dec[num_stages - 1]});
+    lw.edge(edges, dec[num_stages - 1], head, boundary);
+
+    // Decoder backward sweep.
+    int prev = head;
+    std::vector<int> decb(num_stages);
+    for (int s = num_stages - 1; s >= 0; --s) {
+        const DeviceMask mask = lw.group(s * group, group);
+        const int dep = prev;
+        prev = lw.addBlock(
+            "dB" + std::to_string(s), BlockKind::Backward, mask,
+            lw.tpSpan(kBwdFactor * dec_stages[s] * dec_layer_flops, mask,
+                      dec_stages[s] * boundary),
+            -dec_act[s], {dep});
+        decb[s] = prev;
+        lw.edge(edges, dep, prev, boundary);
+    }
+    // Encoder backward sweep.
+    for (int s = num_stages - 1; s >= 0; --s) {
+        const DeviceMask mask = lw.group(s * group, group);
+        const int dep = s == num_stages - 1 ? decb[0] : prev;
+        const int b = lw.addBlock(
+            "eB" + std::to_string(s), BlockKind::Backward, mask,
+            lw.tpSpan(kBwdFactor * enc_stages[s] * layer_flops, mask,
+                      enc_stages[s] * boundary),
+            -enc_act[s], {dep});
+        lw.edge(edges, dep, b, boundary);
+        prev = b;
+    }
+    const int emb_b = lw.addBlock(
+        "embB", BlockKind::Backward, all,
+        lw.tpSpan(2.0 * emb_flops, all, boundary), -emb_act,
+        {prev, decb[0]});
+    lw.edge(edges, prev, emb_b, boundary);
+
+    lw.chargeParams(all, static_cast<double>(cfg.vocab) * cfg.hidden,
+                    true);
+    for (int s = 0; s < num_stages; ++s) {
+        const DeviceMask mask = lw.group(s * group, group);
+        lw.chargeParams(mask,
+                        enc_stages[s] * 12.0 * cfg.hidden * cfg.hidden,
+                        true);
+        lw.chargeParams(mask,
+                        dec_stages[s] * 16.0 * cfg.hidden * cfg.hidden,
+                        true);
+    }
+
+    LoweredModel out = lw.finish("mT5-NN-Shape", true);
+    out.edgeMB = edges.edgeMB;
+    out.flopsPerMicrobatch =
+        4.0 * (cfg.encLayers * layer_flops +
+               cfg.decLayers * dec_layer_flops + head_flops);
+    return out;
+}
+
+LoweredModel
+lowerMt5VShapePiper(const Mt5Config &cfg, int gpus, int batch,
+                    const HardwareSpec &hw)
+{
+    // Reuse the GPT Piper path on an equivalent layer table.
+    GptConfig as_gpt;
+    as_gpt.name = cfg.name + "-as-chain";
+    as_gpt.layers = cfg.encLayers + cfg.decLayers;
+    as_gpt.hidden = cfg.hidden;
+    as_gpt.heads = cfg.heads;
+    as_gpt.vocab = cfg.vocab;
+    as_gpt.seqLen = cfg.seqLen;
+    LoweredModel out = lowerGptVShapePiper(as_gpt, gpus, batch, hw);
+    CostModel cm(hw, batch);
+    const double layer_flops = cm.layerFwdFlops(cfg.hidden, cfg.seqLen);
+    out.flopsPerMicrobatch =
+        4.0 * (cfg.encLayers * layer_flops +
+               cfg.decLayers * (16.0 / 12.0) * layer_flops +
+               cm.headFwdFlops(cfg.hidden, cfg.seqLen, cfg.vocab));
+    return out;
+}
+
+LoweredModel
+lowerFlavaKShape(const FlavaConfig &cfg, int gpus, int batch,
+                 const HardwareSpec &hw, bool training)
+{
+    fatal_if(gpus % 2 != 0, "Flava K-Shape needs an even GPU count");
+    Lowering lw(hw, gpus, batch);
+    const CostModel &cm = lw.cm();
+    const int half = gpus / 2;
+    const DeviceMask all = allDevices(gpus);
+    const double text_layer = cm.layerFwdFlops(cfg.hidden, cfg.textSeqLen);
+    const double vis_layer =
+        cm.layerFwdFlops(cfg.hidden, cfg.visionSeqLen);
+    const double cross_layer =
+        cm.layerFwdFlops(cfg.hidden, cfg.textSeqLen + cfg.visionSeqLen);
+    const double t_boundary = cm.boundaryMB(cfg.hidden, cfg.textSeqLen);
+    const double v_boundary = cm.boundaryMB(cfg.hidden, cfg.visionSeqLen);
+    const std::vector<int> t_stages =
+        Lowering::splitLayers(cfg.textLayers, half);
+    const std::vector<int> v_stages =
+        Lowering::splitLayers(cfg.visionLayers, half);
+
+    LoweredModel edges;
+    const Mem t_act = training ? cm.stageActivationMB(
+                                     t_stages[0], cfg.hidden,
+                                     cfg.textSeqLen)
+                               : 0;
+    const Mem v_act = training ? cm.stageActivationMB(
+                                     v_stages[0], cfg.hidden,
+                                     cfg.visionSeqLen)
+                               : 0;
+
+    std::vector<int> text(half), vision(half);
+    for (int i = 0; i < half; ++i) {
+        text[i] = lw.addBlock(
+            "tF" + std::to_string(i), BlockKind::Forward, oneDevice(i),
+            cm.spanFor(t_stages[i] * text_layer), t_act,
+            i == 0 ? std::vector<int>{} : std::vector<int>{text[i - 1]});
+        vision[i] = lw.addBlock(
+            "vF" + std::to_string(i), BlockKind::Forward,
+            oneDevice(half + i), cm.spanFor(v_stages[i] * vis_layer),
+            v_act,
+            i == 0 ? std::vector<int>{} : std::vector<int>{vision[i - 1]});
+        if (i > 0) {
+            lw.edge(edges, text[i - 1], text[i], t_boundary);
+            lw.edge(edges, vision[i - 1], vision[i], v_boundary);
+        }
+    }
+    const int cross_f = lw.addBlock(
+        "xF", BlockKind::Forward, all,
+        lw.tpSpan(cfg.crossLayers * cross_layer, all,
+                  cfg.crossLayers * (t_boundary + v_boundary)),
+        0, {text[half - 1], vision[half - 1]});
+    lw.edge(edges, text[half - 1], cross_f, t_boundary);
+    lw.edge(edges, vision[half - 1], cross_f, v_boundary);
+
+    if (training) {
+        const int cross_b = lw.addBlock(
+            "xB", BlockKind::Backward, all,
+            lw.tpSpan(kBwdFactor * cfg.crossLayers * cross_layer, all,
+                      cfg.crossLayers * (t_boundary + v_boundary)),
+            0, {cross_f});
+        int tprev = cross_b, vprev = cross_b;
+        for (int i = half - 1; i >= 0; --i) {
+            const int tb = lw.addBlock(
+                "tB" + std::to_string(i), BlockKind::Backward,
+                oneDevice(i),
+                cm.spanFor(kBwdFactor * t_stages[i] * text_layer), -t_act,
+                {tprev});
+            lw.edge(edges, tprev, tb, t_boundary);
+            tprev = tb;
+            const int vb = lw.addBlock(
+                "vB" + std::to_string(i), BlockKind::Backward,
+                oneDevice(half + i),
+                cm.spanFor(kBwdFactor * v_stages[i] * vis_layer), -v_act,
+                {vprev});
+            lw.edge(edges, vprev, vb, v_boundary);
+            vprev = vb;
+        }
+    }
+
+    const double layer_params = 12.0 * cfg.hidden * cfg.hidden;
+    for (int i = 0; i < half; ++i) {
+        lw.chargeParams(oneDevice(i), t_stages[i] * layer_params,
+                        training);
+        lw.chargeParams(oneDevice(half + i), v_stages[i] * layer_params,
+                        training);
+    }
+    lw.chargeParams(all, cfg.crossLayers * layer_params, training);
+    lw.chargeParams(lw.group(0, 1),
+                    static_cast<double>(cfg.vocab) * cfg.hidden, training);
+
+    LoweredModel out = lw.finish(
+        training ? "Flava-K-Shape" : "Flava-K-Shape-infer", training);
+    out.edgeMB = edges.edgeMB;
+    const double fwd = cfg.textLayers * text_layer +
+                       cfg.visionLayers * vis_layer +
+                       cfg.crossLayers * cross_layer;
+    out.flopsPerMicrobatch = training ? 4.0 * fwd : fwd;
+    return out;
+}
+
+LoweredModel
+lowerFlavaTensorParallel(const FlavaConfig &cfg, int gpus, int batch,
+                         const HardwareSpec &hw)
+{
+    Lowering lw(hw, gpus, batch);
+    const CostModel &cm = lw.cm();
+    const DeviceMask all = allDevices(gpus);
+    const double text_layer = cm.layerFwdFlops(cfg.hidden, cfg.textSeqLen);
+    const double vis_layer =
+        cm.layerFwdFlops(cfg.hidden, cfg.visionSeqLen);
+    const double cross_layer =
+        cm.layerFwdFlops(cfg.hidden, cfg.textSeqLen + cfg.visionSeqLen);
+    const double t_boundary = cm.boundaryMB(cfg.hidden, cfg.textSeqLen);
+    const double v_boundary = cm.boundaryMB(cfg.hidden, cfg.visionSeqLen);
+
+    LoweredModel edges;
+    const int text = lw.addBlock(
+        "textF", BlockKind::Forward, all,
+        lw.tpSpan(cfg.textLayers * text_layer, all,
+                  cfg.textLayers * t_boundary),
+        0, {});
+    const int vision = lw.addBlock(
+        "visionF", BlockKind::Forward, all,
+        lw.tpSpan(cfg.visionLayers * vis_layer, all,
+                  cfg.visionLayers * v_boundary),
+        0, {text});
+    const int cross = lw.addBlock(
+        "crossF", BlockKind::Forward, all,
+        lw.tpSpan(cfg.crossLayers * cross_layer, all,
+                  cfg.crossLayers * (t_boundary + v_boundary)),
+        0, {vision});
+    lw.edge(edges, text, vision, 0.0);
+    lw.edge(edges, vision, cross, 0.0);
+
+    lw.chargeParams(all, cfg.params(), false);
+
+    LoweredModel out = lw.finish("Flava-TP", false);
+    out.edgeMB = edges.edgeMB;
+    out.flopsPerMicrobatch = cfg.textLayers * text_layer +
+                             cfg.visionLayers * vis_layer +
+                             cfg.crossLayers * cross_layer;
+    return out;
+}
+
+LoweredModel
+lowerFlavaVShape(const FlavaConfig &cfg, int gpus, int batch,
+                 const HardwareSpec &hw)
+{
+    // 1F1B baseline: branches serialized into one chain, split evenly by
+    // compute across the devices.
+    Lowering lw(hw, gpus, batch);
+    const CostModel &cm = lw.cm();
+    const double text_layer = cm.layerFwdFlops(cfg.hidden, cfg.textSeqLen);
+    const double vis_layer =
+        cm.layerFwdFlops(cfg.hidden, cfg.visionSeqLen);
+    const double cross_layer =
+        cm.layerFwdFlops(cfg.hidden, cfg.textSeqLen + cfg.visionSeqLen);
+    const double boundary =
+        cm.boundaryMB(cfg.hidden, cfg.textSeqLen + cfg.visionSeqLen);
+
+    const double total = cfg.textLayers * text_layer +
+                         cfg.visionLayers * vis_layer +
+                         cfg.crossLayers * cross_layer;
+    LoweredModel edges;
+    std::vector<int> fwd(gpus);
+    for (int d = 0; d < gpus; ++d) {
+        fwd[d] = lw.addBlock(
+            "sF" + std::to_string(d), BlockKind::Forward, oneDevice(d),
+            cm.spanFor(total / gpus), 0,
+            d == 0 ? std::vector<int>{} : std::vector<int>{fwd[d - 1]});
+        if (d > 0)
+            lw.edge(edges, fwd[d - 1], fwd[d], boundary);
+        lw.chargeParams(oneDevice(d), cfg.params() / gpus, false);
+    }
+
+    LoweredModel out = lw.finish("Flava-V-Shape-infer", false);
+    out.edgeMB = edges.edgeMB;
+    out.flopsPerMicrobatch = total;
+    return out;
+}
+
+} // namespace tessel

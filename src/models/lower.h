@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Lowering of concrete models (GPT / mT5 / Flava) under each placement
+ * strategy into schedulable Placements with realistic integer costs,
+ * per-device parameter memory, and per-edge communication volumes. These
+ * feed both the schedule searches and the cluster simulator for the
+ * end-to-end experiments (Figs. 2, 13-17).
+ */
+
+#ifndef TESSEL_MODELS_LOWER_H
+#define TESSEL_MODELS_LOWER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/placement.h"
+#include "models/config.h"
+#include "models/costmodel.h"
+#include "placement/piper.h"
+
+namespace tessel {
+
+/** A model lowered onto devices: placement + memory + comm volumes. */
+struct LoweredModel
+{
+    Placement placement;
+    /** Per-device parameter/optimizer storage (MB). */
+    std::vector<Mem> initialMemMB;
+    /** Usable per-device capacity (MB). */
+    Mem memCapacityMB = kUnlimitedMem;
+    /** Activation bytes (MB) carried by each dependency edge
+     * (producer spec, consumer spec). */
+    std::map<std::pair<int, int>, double> edgeMB;
+    /** Hardware FLOPs per micro-batch (incl. recompute), for PFLOPS. */
+    double flopsPerMicrobatch = 0.0;
+    /** Micro-batch size used for the cost model. */
+    int microBatch = 1;
+    /** Whether parameters alone fit the per-device capacity. */
+    bool fits = true;
+    std::string note;
+};
+
+/**
+ * GPT with the M-Shape placement Tessel uses (Sec. VI-A).
+ *
+ * @param pipeline_stages number of pipeline groups; each stage block is
+ *        tensor-parallel over gpus/pipeline_stages devices (the paper
+ *        combines tensor/data parallelism within blocks, Sec. III-A),
+ *        keeping the schedule problem small as the cluster grows.
+ */
+LoweredModel lowerGptMShape(const GptConfig &cfg, int gpus, int batch,
+                            const HardwareSpec &hw,
+                            int pipeline_stages = 4);
+
+/** GPT with the Piper-partitioned V-Shape used by the 1F1B baseline. */
+LoweredModel lowerGptVShapePiper(const GptConfig &cfg, int gpus, int batch,
+                                 const HardwareSpec &hw);
+
+/** GPT with Chimera's X-Shape (two model replicas, Sec. VI-D). */
+LoweredModel lowerGptXShapeChimera(const GptConfig &cfg, int gpus,
+                                   int batch, const HardwareSpec &hw);
+
+/** mT5 with the NN-Shape placement (shared embedding + enc/dec sweeps). */
+LoweredModel lowerMt5NnShape(const Mt5Config &cfg, int gpus, int batch,
+                             const HardwareSpec &hw,
+                             int pipeline_stages = 4);
+
+/** mT5 with the Piper-partitioned V-Shape (1F1B baseline). */
+LoweredModel lowerMt5VShapePiper(const Mt5Config &cfg, int gpus, int batch,
+                                 const HardwareSpec &hw);
+
+/** mT5 with Chimera's X-Shape. */
+LoweredModel lowerMt5XShapeChimera(const Mt5Config &cfg, int gpus,
+                                   int batch, const HardwareSpec &hw);
+
+/**
+ * Flava with the K-Shape placement (branches on device halves, cross
+ * encoder tensor-parallel).
+ * @param training include backward blocks when true.
+ */
+LoweredModel lowerFlavaKShape(const FlavaConfig &cfg, int gpus, int batch,
+                              const HardwareSpec &hw, bool training);
+
+/** Flava inference with pure tensor parallelism (Fig. 15 baseline). */
+LoweredModel lowerFlavaTensorParallel(const FlavaConfig &cfg, int gpus,
+                                      int batch, const HardwareSpec &hw);
+
+/** Flava inference with a V-Shape pipeline (Fig. 15's 1F1B baseline). */
+LoweredModel lowerFlavaVShape(const FlavaConfig &cfg, int gpus, int batch,
+                              const HardwareSpec &hw);
+
+/**
+ * Piper layer-cost table for a GPT model (embedding + layers + head),
+ * exposed for the Fig. 2 imbalance study.
+ */
+std::vector<LayerCost> gptLayerCosts(const GptConfig &cfg,
+                                     const CostModel &cm);
+
+} // namespace tessel
+
+#endif // TESSEL_MODELS_LOWER_H

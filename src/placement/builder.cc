@@ -1,0 +1,100 @@
+#include "placement/builder.h"
+
+#include "support/logging.h"
+
+namespace tessel {
+
+PlacementBuilder::BlockHandle &
+PlacementBuilder::BlockHandle::on(DeviceId d)
+{
+    parent_.blocks_[index_].devices = oneDevice(d);
+    return *this;
+}
+
+PlacementBuilder::BlockHandle &
+PlacementBuilder::BlockHandle::onDevices(std::initializer_list<DeviceId> ds)
+{
+    DeviceMask mask = 0;
+    for (DeviceId d : ds)
+        mask |= oneDevice(d);
+    parent_.blocks_[index_].devices = mask;
+    return *this;
+}
+
+PlacementBuilder::BlockHandle &
+PlacementBuilder::BlockHandle::onAll()
+{
+    parent_.blocks_[index_].devices = allDevices(parent_.numDevices_);
+    return *this;
+}
+
+PlacementBuilder::BlockHandle &
+PlacementBuilder::BlockHandle::span(Time t)
+{
+    parent_.blocks_[index_].span = t;
+    return *this;
+}
+
+PlacementBuilder::BlockHandle &
+PlacementBuilder::BlockHandle::mem(Mem m)
+{
+    parent_.blocks_[index_].memory = m;
+    return *this;
+}
+
+PlacementBuilder::BlockHandle &
+PlacementBuilder::BlockHandle::after(int block_index)
+{
+    fatal_if(block_index < 0 || block_index >= index_,
+             "after(): dependency must reference an earlier block");
+    parent_.blocks_[index_].deps.push_back(block_index);
+    return *this;
+}
+
+int
+PlacementBuilder::BlockHandle::done()
+{
+    return index_;
+}
+
+PlacementBuilder::PlacementBuilder(std::string name, int num_devices)
+    : name_(std::move(name)), numDevices_(num_devices)
+{
+    fatal_if(num_devices <= 0, "PlacementBuilder: bad device count");
+}
+
+PlacementBuilder::BlockHandle
+PlacementBuilder::begin(std::string name, BlockKind kind)
+{
+    BlockSpec b;
+    b.name = std::move(name);
+    b.kind = kind;
+    blocks_.push_back(std::move(b));
+    return BlockHandle(*this, static_cast<int>(blocks_.size()) - 1);
+}
+
+PlacementBuilder::BlockHandle
+PlacementBuilder::forward(std::string name)
+{
+    return begin(std::move(name), BlockKind::Forward);
+}
+
+PlacementBuilder::BlockHandle
+PlacementBuilder::backward(std::string name)
+{
+    return begin(std::move(name), BlockKind::Backward);
+}
+
+PlacementBuilder::BlockHandle
+PlacementBuilder::other(std::string name)
+{
+    return begin(std::move(name), BlockKind::Other);
+}
+
+Placement
+PlacementBuilder::build() const
+{
+    return Placement(name_, numDevices_, blocks_);
+}
+
+} // namespace tessel

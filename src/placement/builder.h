@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fluent public API for describing custom operator placement strategies,
+ * the primary user-facing input to Tessel (see examples/custom_placement).
+ */
+
+#ifndef TESSEL_PLACEMENT_BUILDER_H
+#define TESSEL_PLACEMENT_BUILDER_H
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "ir/placement.h"
+
+namespace tessel {
+
+/**
+ * Incremental builder for Placement objects.
+ *
+ * Usage:
+ * @code
+ *   PlacementBuilder b("my-shape", 4);
+ *   int f0 = b.forward("f0").on(0).span(2).mem(1).done();
+ *   int f1 = b.forward("f1").on(1).span(2).mem(1).after(f0).done();
+ *   ...
+ *   Placement p = b.build();
+ * @endcode
+ */
+class PlacementBuilder
+{
+  public:
+    /** Handle used to finish describing one block. */
+    class BlockHandle
+    {
+      public:
+        /** Run on a single device. */
+        BlockHandle &on(DeviceId d);
+        /** Run tensor-parallel on an explicit device set. */
+        BlockHandle &onDevices(std::initializer_list<DeviceId> ds);
+        /** Run tensor-parallel on all devices. */
+        BlockHandle &onAll();
+        /** Execution time (default 1). */
+        BlockHandle &span(Time t);
+        /** Per-device memory delta (default 0). */
+        BlockHandle &mem(Mem m);
+        /** Add a dependency on a previously created block. */
+        BlockHandle &after(int block_index);
+        /** Finish and return this block's index. */
+        int done();
+
+      private:
+        friend class PlacementBuilder;
+        BlockHandle(PlacementBuilder &parent, int index)
+            : parent_(parent), index_(index)
+        {
+        }
+        PlacementBuilder &parent_;
+        int index_;
+    };
+
+    /**
+     * @param name placement name.
+     * @param num_devices device count D.
+     */
+    PlacementBuilder(std::string name, int num_devices);
+
+    /** Begin a forward block. */
+    BlockHandle forward(std::string name);
+    /** Begin a backward block. */
+    BlockHandle backward(std::string name);
+    /** Begin an 'other' block (e.g. optimizer step). */
+    BlockHandle other(std::string name);
+
+    /** Number of blocks added so far. */
+    int size() const { return static_cast<int>(blocks_.size()); }
+
+    /** Validate and construct the immutable Placement. */
+    Placement build() const;
+
+  private:
+    BlockHandle begin(std::string name, BlockKind kind);
+
+    std::string name_;
+    int numDevices_;
+    std::vector<BlockSpec> blocks_;
+};
+
+} // namespace tessel
+
+#endif // TESSEL_PLACEMENT_BUILDER_H

@@ -1,0 +1,163 @@
+#include "placement/piper.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/logging.h"
+
+namespace tessel {
+
+namespace {
+
+/** Effective speedup of spreading one stage over k devices. */
+double
+tpSpeedup(int k, double efficiency)
+{
+    // One efficiency factor per doubling (see CostModel::msFor).
+    return k * std::pow(efficiency, std::log2(k));
+}
+
+} // namespace
+
+PiperResult
+piperPartition(const std::vector<LayerCost> &layers, int num_devices,
+               double mem_capacity, double tp_efficiency, int max_tp)
+{
+    fatal_if(layers.empty(), "piper: no layers");
+    fatal_if(num_devices <= 0, "piper: bad device count");
+    if (max_tp <= 0)
+        max_tp = num_devices;
+
+    const int n = static_cast<int>(layers.size());
+    constexpr double inf = std::numeric_limits<double>::infinity();
+
+    // Prefix sums for O(1) stage cost queries.
+    std::vector<double> time_pfx(n + 1, 0.0), mem_pfx(n + 1, 0.0);
+    for (int i = 0; i < n; ++i) {
+        time_pfx[i + 1] =
+            time_pfx[i] + layers[i].fwdTime + layers[i].bwdTime;
+        mem_pfx[i + 1] = mem_pfx[i] + layers[i].memory;
+    }
+
+    // dp[i][d]: minimal bottleneck covering layers [0, i) with d devices.
+    std::vector<std::vector<double>> dp(
+        n + 1, std::vector<double>(num_devices + 1, inf));
+    // choice[i][d] = (start layer j, devices k) realizing dp[i][d].
+    std::vector<std::vector<std::pair<int, int>>> choice(
+        n + 1, std::vector<std::pair<int, int>>(num_devices + 1, {-1, -1}));
+    dp[0][0] = 0.0;
+
+    for (int i = 1; i <= n; ++i) {
+        for (int d = 1; d <= num_devices; ++d) {
+            for (int j = 0; j < i; ++j) {
+                const double seg_time = time_pfx[i] - time_pfx[j];
+                const double seg_mem = mem_pfx[i] - mem_pfx[j];
+                for (int k = 1; k <= std::min(d, max_tp); ++k) {
+                    if (dp[j][d - k] == inf)
+                        continue;
+                    if (seg_mem / k > mem_capacity)
+                        continue;
+                    const double stage_time =
+                        seg_time / tpSpeedup(k, tp_efficiency);
+                    const double bottleneck =
+                        std::max(dp[j][d - k], stage_time);
+                    if (bottleneck < dp[i][d]) {
+                        dp[i][d] = bottleneck;
+                        choice[i][d] = {j, k};
+                    }
+                }
+            }
+        }
+    }
+
+    PiperResult result;
+    if (dp[n][num_devices] == inf)
+        return result; // No feasible partition under the memory cap.
+    result.feasible = true;
+    result.bottleneckTime = dp[n][num_devices];
+
+    // Reconstruct stages back-to-front.
+    std::vector<PiperStage> rev;
+    int i = n, d = num_devices;
+    while (i > 0) {
+        auto [j, k] = choice[i][d];
+        panic_if(j < 0, "piper: broken reconstruction");
+        PiperStage st;
+        st.firstLayer = j;
+        st.lastLayer = i - 1;
+        st.numDevices = k;
+        double fwd = 0.0, bwd = 0.0;
+        for (int l = j; l < i; ++l) {
+            fwd += layers[l].fwdTime;
+            bwd += layers[l].bwdTime;
+        }
+        const double sp = tpSpeedup(k, tp_efficiency);
+        st.fwdTime = fwd / sp;
+        st.bwdTime = bwd / sp;
+        st.memoryPerDevice = (mem_pfx[i] - mem_pfx[j]) / k;
+        rev.push_back(st);
+        i = j;
+        d -= k;
+    }
+    result.stages.assign(rev.rbegin(), rev.rend());
+
+    result.fastestTime = inf;
+    for (const PiperStage &st : result.stages)
+        result.fastestTime = std::min(result.fastestTime,
+                                      st.fwdTime + st.bwdTime);
+    return result;
+}
+
+Placement
+piperToPlacement(const PiperResult &result, double time_scale,
+                 Mem mem_units)
+{
+    fatal_if(!result.feasible, "piperToPlacement: infeasible partition");
+    const int num_stages = static_cast<int>(result.stages.size());
+
+    std::vector<BlockSpec> specs;
+    auto span_of = [&](double t) {
+        return std::max<Time>(1, static_cast<Time>(std::llround(
+                                     t * time_scale)));
+    };
+
+    int dev_base = 0;
+    std::vector<DeviceMask> masks(num_stages);
+    for (int s = 0; s < num_stages; ++s) {
+        DeviceMask mask = 0;
+        for (int k = 0; k < result.stages[s].numDevices; ++k)
+            mask |= oneDevice(dev_base + k);
+        masks[s] = mask;
+        dev_base += result.stages[s].numDevices;
+    }
+
+    std::vector<int> fwd(num_stages);
+    for (int s = 0; s < num_stages; ++s) {
+        BlockSpec b;
+        b.name = "sF" + std::to_string(s);
+        b.kind = BlockKind::Forward;
+        b.devices = masks[s];
+        b.span = span_of(result.stages[s].fwdTime);
+        b.memory = mem_units;
+        if (s > 0)
+            b.deps.push_back(fwd[s - 1]);
+        specs.push_back(std::move(b));
+        fwd[s] = static_cast<int>(specs.size()) - 1;
+    }
+    int prev = fwd[num_stages - 1];
+    for (int s = num_stages - 1; s >= 0; --s) {
+        BlockSpec b;
+        b.name = "sB" + std::to_string(s);
+        b.kind = BlockKind::Backward;
+        b.devices = masks[s];
+        b.span = span_of(result.stages[s].bwdTime);
+        b.memory = -mem_units;
+        b.deps.push_back(prev);
+        specs.push_back(std::move(b));
+        prev = static_cast<int>(specs.size()) - 1;
+    }
+    return Placement("Piper-V", dev_base, std::move(specs));
+}
+
+} // namespace tessel

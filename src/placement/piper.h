@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Piper-style stage partitioner (Tarnawski et al., NeurIPS'21), the
+ * placement policy the paper's baselines use (Sec. II, Fig. 2; Sec. VI-A).
+ *
+ * Given a linear sequence of layers with per-layer time and memory costs,
+ * Piper chooses contiguous stages and a device count per stage (tensor +
+ * data parallelism inside a stage) to minimize the bottleneck stage time
+ * under per-device memory capacity. For models with huge embedding
+ * layers, memory forces the embedding onto several devices, starving the
+ * compute-heavy transformer layers — the imbalance Fig. 2 demonstrates.
+ */
+
+#ifndef TESSEL_PLACEMENT_PIPER_H
+#define TESSEL_PLACEMENT_PIPER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/placement.h"
+
+namespace tessel {
+
+/** Cost description of one model layer for the partitioner. */
+struct LayerCost
+{
+    std::string name;
+    /** Forward time on one device (arbitrary but consistent units). */
+    double fwdTime = 0.0;
+    /** Backward time on one device. */
+    double bwdTime = 0.0;
+    /** Total memory footprint (parameters + worst-case activations). */
+    double memory = 0.0;
+};
+
+/** One stage chosen by the partitioner. */
+struct PiperStage
+{
+    int firstLayer = 0; ///< inclusive
+    int lastLayer = 0;  ///< inclusive
+    int numDevices = 1; ///< devices assigned (tensor parallel within)
+    double fwdTime = 0.0;
+    double bwdTime = 0.0;
+    double memoryPerDevice = 0.0;
+};
+
+/** Result of the stage partitioning. */
+struct PiperResult
+{
+    bool feasible = false;
+    std::vector<PiperStage> stages;
+    /** Bottleneck per-micro-batch stage time (fwd+bwd). */
+    double bottleneckTime = 0.0;
+    /** Fastest stage time, for the imbalance ratio of Fig. 2. */
+    double fastestTime = 0.0;
+};
+
+/**
+ * Partition @p layers into at most @p num_devices contiguous stages using
+ * exactly @p num_devices devices in total.
+ *
+ * Stage time scales as (fwd+bwd)/devices with a tensor-parallel
+ * efficiency discount; stage memory divides evenly across its devices.
+ *
+ * @param layers the model's layer costs in order.
+ * @param num_devices total devices available.
+ * @param mem_capacity per-device memory capacity (same units as layers).
+ * @param tp_efficiency multiplicative efficiency of splitting a stage
+ *        across k devices (effective speedup = k * tp_efficiency^(k-1)).
+ * @param max_tp cap on devices per stage (Piper co-tunes tensor/data
+ *        parallelism per stage; deployments bound the tensor-parallel
+ *        degree, which keeps the pipeline structure the paper's Fig. 2
+ *        baseline exhibits). 0 means unbounded.
+ */
+PiperResult piperPartition(const std::vector<LayerCost> &layers,
+                           int num_devices, double mem_capacity,
+                           double tp_efficiency = 0.92, int max_tp = 0);
+
+/**
+ * Lower a Piper partition into a V-shape Placement whose stage spans are
+ * the (integerized) per-stage times; stages with multiple devices become
+ * tensor-parallel blocks over a contiguous device range.
+ *
+ * @param result a feasible partition.
+ * @param time_scale multiply stage times by this before rounding to
+ *        integer spans (pick so the smallest stage is a few units).
+ * @param mem_units per-device integer memory charged per in-flight
+ *        micro-batch of a stage (activation footprint).
+ */
+Placement piperToPlacement(const PiperResult &result, double time_scale,
+                           Mem mem_units = 1);
+
+} // namespace tessel
+
+#endif // TESSEL_PLACEMENT_PIPER_H

@@ -1,0 +1,265 @@
+#include "placement/shapes.h"
+
+#include <unordered_map>
+
+#include "support/logging.h"
+
+namespace tessel {
+
+namespace {
+
+/** Small helper collecting specs and returning their indices. */
+class SpecList
+{
+  public:
+    int
+    add(std::string name, BlockKind kind, DeviceMask devices, Time span,
+        Mem memory, std::vector<int> deps)
+    {
+        BlockSpec b;
+        b.name = std::move(name);
+        b.kind = kind;
+        b.devices = devices;
+        b.span = span;
+        b.memory = memory;
+        b.deps = std::move(deps);
+        specs_.push_back(std::move(b));
+        return static_cast<int>(specs_.size()) - 1;
+    }
+
+    std::vector<BlockSpec> take() { return std::move(specs_); }
+
+  private:
+    std::vector<BlockSpec> specs_;
+};
+
+} // namespace
+
+Placement
+makeVShape(int num_devices, const ShapeCosts &costs)
+{
+    fatal_if(num_devices < 2, "V-Shape needs >= 2 devices");
+    SpecList s;
+    std::vector<int> fwd(num_devices);
+    for (int d = 0; d < num_devices; ++d) {
+        std::vector<int> deps;
+        if (d > 0)
+            deps.push_back(fwd[d - 1]);
+        fwd[d] = s.add("f" + std::to_string(d), BlockKind::Forward,
+                       oneDevice(d), costs.fwdSpan, costs.fwdMem,
+                       std::move(deps));
+    }
+    int prev = fwd[num_devices - 1];
+    for (int d = num_devices - 1; d >= 0; --d) {
+        prev = s.add("b" + std::to_string(d), BlockKind::Backward,
+                     oneDevice(d), costs.bwdSpan, costs.bwdMem, {prev});
+    }
+    return Placement("V-Shape", num_devices, s.take());
+}
+
+Placement
+makeXShape(int num_devices, const ShapeCosts &costs)
+{
+    fatal_if(num_devices < 2, "X-Shape needs >= 2 devices");
+    SpecList s;
+    // Down pipeline: stages 0..D-1 on devices 0..D-1.
+    std::vector<int> down(num_devices);
+    for (int d = 0; d < num_devices; ++d) {
+        std::vector<int> deps;
+        if (d > 0)
+            deps.push_back(down[d - 1]);
+        down[d] = s.add("dF" + std::to_string(d), BlockKind::Forward,
+                        oneDevice(d), costs.fwdSpan, costs.fwdMem,
+                        std::move(deps));
+    }
+    int prev = down[num_devices - 1];
+    for (int d = num_devices - 1; d >= 0; --d) {
+        prev = s.add("dB" + std::to_string(d), BlockKind::Backward,
+                     oneDevice(d), costs.bwdSpan, costs.bwdMem, {prev});
+    }
+    // Up pipeline: stages 0..D-1 on devices D-1..0.
+    std::vector<int> up(num_devices);
+    for (int i = 0; i < num_devices; ++i) {
+        const int d = num_devices - 1 - i;
+        std::vector<int> deps;
+        if (i > 0)
+            deps.push_back(up[i - 1]);
+        up[i] = s.add("uF" + std::to_string(i), BlockKind::Forward,
+                      oneDevice(d), costs.fwdSpan, costs.fwdMem,
+                      std::move(deps));
+    }
+    prev = up[num_devices - 1];
+    for (int i = num_devices - 1; i >= 0; --i) {
+        const int d = num_devices - 1 - i;
+        prev = s.add("uB" + std::to_string(i), BlockKind::Backward,
+                     oneDevice(d), costs.bwdSpan, costs.bwdMem, {prev});
+    }
+    return Placement("X-Shape", num_devices, s.take());
+}
+
+Placement
+makeMShape(int num_devices, const ShapeCosts &costs)
+{
+    fatal_if(num_devices < 2, "M-Shape needs >= 2 devices");
+    SpecList s;
+    const DeviceMask all = allDevices(num_devices);
+    const int emb_f = s.add("embF", BlockKind::Forward, all, costs.tpFwdSpan,
+                            costs.tpFwdMem, {});
+    std::vector<int> fwd(num_devices);
+    for (int d = 0; d < num_devices; ++d) {
+        std::vector<int> deps{d == 0 ? emb_f : fwd[d - 1]};
+        fwd[d] = s.add("f" + std::to_string(d), BlockKind::Forward,
+                       oneDevice(d), costs.fwdSpan, costs.fwdMem,
+                       std::move(deps));
+    }
+    // Forward head + loss + backward head fused into one TP block; it
+    // both allocates and releases, so its net memory is the forward TP
+    // delta followed by the backward release.
+    const int head = s.add("headFB", BlockKind::Forward, all,
+                           costs.tpFwdSpan + costs.tpBwdSpan,
+                           costs.tpFwdMem + costs.tpBwdMem,
+                           {fwd[num_devices - 1]});
+    int prev = head;
+    for (int d = num_devices - 1; d >= 0; --d) {
+        prev = s.add("b" + std::to_string(d), BlockKind::Backward,
+                     oneDevice(d), costs.bwdSpan, costs.bwdMem, {prev});
+    }
+    s.add("embB", BlockKind::Backward, all, costs.tpBwdSpan, costs.tpBwdMem,
+          {prev});
+    return Placement("M-Shape", num_devices, s.take());
+}
+
+Placement
+makeNnShape(int num_devices, const ShapeCosts &costs)
+{
+    fatal_if(num_devices < 2, "NN-Shape needs >= 2 devices");
+    SpecList s;
+    const DeviceMask all = allDevices(num_devices);
+    const int emb_f = s.add("embF", BlockKind::Forward, all, costs.tpFwdSpan,
+                            costs.tpFwdMem, {});
+    // Encoder sweep.
+    std::vector<int> enc(num_devices);
+    for (int d = 0; d < num_devices; ++d) {
+        std::vector<int> deps{d == 0 ? emb_f : enc[d - 1]};
+        enc[d] = s.add("eF" + std::to_string(d), BlockKind::Forward,
+                       oneDevice(d), costs.fwdSpan, costs.fwdMem,
+                       std::move(deps));
+    }
+    // Decoder sweep; the first decoder stage consumes the encoder output
+    // and the shared embedding.
+    std::vector<int> dec(num_devices);
+    for (int d = 0; d < num_devices; ++d) {
+        std::vector<int> deps;
+        if (d == 0)
+            deps = {enc[num_devices - 1], emb_f};
+        else
+            deps = {dec[d - 1]};
+        dec[d] = s.add("dF" + std::to_string(d), BlockKind::Forward,
+                       oneDevice(d), costs.fwdSpan, costs.fwdMem,
+                       std::move(deps));
+    }
+    // Decoder backward sweep.
+    int prev = dec[num_devices - 1];
+    std::vector<int> decb(num_devices);
+    for (int d = num_devices - 1; d >= 0; --d) {
+        prev = s.add("dB" + std::to_string(d), BlockKind::Backward,
+                     oneDevice(d), costs.bwdSpan, costs.bwdMem, {prev});
+        decb[d] = prev;
+    }
+    // Encoder backward sweep (gradients flow from the decoder's first
+    // stage backward into the encoder's last stage).
+    for (int d = num_devices - 1; d >= 0; --d) {
+        std::vector<int> deps{d == num_devices - 1 ? decb[0] : prev};
+        prev = s.add("eB" + std::to_string(d), BlockKind::Backward,
+                     oneDevice(d), costs.bwdSpan, costs.bwdMem,
+                     std::move(deps));
+    }
+    // Shared embedding gradient needs both sweeps complete.
+    s.add("embB", BlockKind::Backward, all, costs.tpBwdSpan, costs.tpBwdMem,
+          {prev, decb[0]});
+    return Placement("NN-Shape", num_devices, s.take());
+}
+
+Placement
+makeKShape(int num_devices, const ShapeCosts &costs)
+{
+    fatal_if(num_devices < 2 || num_devices % 2 != 0,
+             "K-Shape needs an even device count >= 2");
+    SpecList s;
+    const int half = num_devices / 2;
+    const DeviceMask all = allDevices(num_devices);
+
+    // Text branch on devices [0, half), vision branch on [half, D).
+    std::vector<int> text(half), vision(half);
+    for (int i = 0; i < half; ++i) {
+        std::vector<int> tdeps, vdeps;
+        if (i > 0) {
+            tdeps.push_back(text[i - 1]);
+            vdeps.push_back(vision[i - 1]);
+        }
+        text[i] = s.add("tF" + std::to_string(i), BlockKind::Forward,
+                        oneDevice(i), costs.fwdSpan, costs.fwdMem,
+                        std::move(tdeps));
+        vision[i] = s.add("vF" + std::to_string(i), BlockKind::Forward,
+                          oneDevice(half + i), costs.fwdSpan, costs.fwdMem,
+                          std::move(vdeps));
+    }
+    const int cross_f =
+        s.add("xF", BlockKind::Forward, all, costs.tpFwdSpan, costs.tpFwdMem,
+              {text[half - 1], vision[half - 1]});
+    const int cross_b = s.add("xB", BlockKind::Backward, all,
+                              costs.tpBwdSpan, costs.tpBwdMem, {cross_f});
+    int tprev = cross_b, vprev = cross_b;
+    for (int i = half - 1; i >= 0; --i) {
+        tprev = s.add("tB" + std::to_string(i), BlockKind::Backward,
+                      oneDevice(i), costs.bwdSpan, costs.bwdMem, {tprev});
+        vprev = s.add("vB" + std::to_string(i), BlockKind::Backward,
+                      oneDevice(half + i), costs.bwdSpan, costs.bwdMem,
+                      {vprev});
+    }
+    return Placement("K-Shape", num_devices, s.take());
+}
+
+Placement
+forwardOnly(const Placement &placement)
+{
+    std::vector<int> remap(placement.numBlocks(), -1);
+    std::vector<BlockSpec> kept;
+    for (int i = 0; i < placement.numBlocks(); ++i) {
+        const BlockSpec &b = placement.block(i);
+        if (b.kind == BlockKind::Backward)
+            continue;
+        remap[i] = static_cast<int>(kept.size());
+        BlockSpec nb = b;
+        nb.memory = 0; // Inference activations are transient.
+        nb.deps.clear();
+        for (int dep : b.deps) {
+            fatal_if(remap[dep] < 0, "forwardOnly: forward block '", b.name,
+                     "' depends on backward block '",
+                     placement.block(dep).name, "'");
+            nb.deps.push_back(remap[dep]);
+        }
+        kept.push_back(std::move(nb));
+    }
+    return Placement(placement.name() + "-infer", placement.numDevices(),
+                     std::move(kept));
+}
+
+Placement
+makeShapeByName(const std::string &name, int num_devices,
+                const ShapeCosts &costs)
+{
+    if (name == "V" || name == "V-Shape")
+        return makeVShape(num_devices, costs);
+    if (name == "X" || name == "X-Shape")
+        return makeXShape(num_devices, costs);
+    if (name == "M" || name == "M-Shape")
+        return makeMShape(num_devices, costs);
+    if (name == "NN" || name == "NN-Shape")
+        return makeNnShape(num_devices, costs);
+    if (name == "K" || name == "K-Shape")
+        return makeKShape(num_devices, costs);
+    fatal("unknown shape name: ", name);
+}
+
+} // namespace tessel

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Canonical operator placement strategies from the paper (Fig. 1 and
+ * Sec. VI-A): V-Shape (classic pipeline / 1F1B), X-Shape (Chimera's
+ * bidirectional pipelines), M-Shape (memory-heavy embedding distributed
+ * across all devices, used for GPT), NN-Shape (mT5's encoder-decoder with
+ * a shared full-device embedding), and K-Shape (Flava's two independent
+ * modality branches joined by a full-device cross encoder).
+ */
+
+#ifndef TESSEL_PLACEMENT_SHAPES_H
+#define TESSEL_PLACEMENT_SHAPES_H
+
+#include "ir/placement.h"
+
+namespace tessel {
+
+/**
+ * Span/memory parameters for shape construction.
+ *
+ * Defaults follow the paper's evaluation convention: integer costs with
+ * backward twice the forward (Fig. 3/4) or three times with recompute
+ * (Sec. VI-B), and unit memory deltas for the ablations (Fig. 12).
+ */
+struct ShapeCosts
+{
+    /** Span of a per-device pipeline-stage forward block. */
+    Time fwdSpan = 1;
+    /** Span of a per-device backward block. */
+    Time bwdSpan = 2;
+    /** Memory a forward block retains until its backward runs. */
+    Mem fwdMem = 1;
+    /** Memory released by a backward block. */
+    Mem bwdMem = -1;
+    /** Span of a tensor-parallel (all-device) forward block. */
+    Time tpFwdSpan = 1;
+    /** Span of a tensor-parallel backward block. */
+    Time tpBwdSpan = 2;
+    /** Per-device memory of a tensor-parallel forward block. */
+    Mem tpFwdMem = 1;
+    /** Per-device memory released by a tensor-parallel backward block. */
+    Mem tpBwdMem = -1;
+
+    /** @return costs with recompute enabled (backward = 3x forward). */
+    static ShapeCosts
+    withRecompute()
+    {
+        ShapeCosts c;
+        c.bwdSpan = 3;
+        c.tpBwdSpan = 3;
+        return c;
+    }
+};
+
+/**
+ * V-Shape (Fig. 1a): stages placed sequentially across devices; the
+ * placement underlying GPipe/1F1B.
+ *
+ * Blocks: f0..f{D-1} down the devices, then b{D-1}..b0 back up.
+ */
+Placement makeVShape(int num_devices, const ShapeCosts &costs = {});
+
+/**
+ * X-Shape (Fig. 1b): Chimera's bidirectional pipelines. One scheduling
+ * unit carries two samples, one through each direction, so each device
+ * hosts two stages (a down-pipeline stage and an up-pipeline stage).
+ */
+Placement makeXShape(int num_devices, const ShapeCosts &costs = {});
+
+/**
+ * M-Shape (Fig. 1c): the memory-intensive embedding is tensor-parallel
+ * across all devices (entry and exit), with compute-heavy stages placed
+ * sequentially in between. Used for GPT with large vocabularies.
+ *
+ * Blocks: embF(all) -> f0..f{D-1} -> headFB(all) -> b{D-1}..b0 ->
+ * embB(all).
+ */
+Placement makeMShape(int num_devices, const ShapeCosts &costs = {});
+
+/**
+ * NN-Shape (Sec. VI-A, mT5): shared embedding tensor-parallel across all
+ * devices; encoder stages then decoder stages each swept across the
+ * devices (two diagonal strokes), with mirrored backward passes.
+ */
+Placement makeNnShape(int num_devices, const ShapeCosts &costs = {});
+
+/**
+ * K-Shape (Fig. 1d, Flava): two independent modality branches placed on
+ * disjoint device halves, joined by a full-device tensor-parallel cross
+ * encoder. Requires an even device count >= 2.
+ */
+Placement makeKShape(int num_devices, const ShapeCosts &costs = {});
+
+/**
+ * Derive the inference variant of a training placement by dropping all
+ * backward blocks (Sec. VI-B observes inference schedules are training
+ * schedules minus backward execution). Forward memory deltas are zeroed:
+ * inference activations are transient.
+ */
+Placement forwardOnly(const Placement &placement);
+
+/** Look up a shape builder by name ("V", "X", "M", "NN", "K"). */
+Placement makeShapeByName(const std::string &name, int num_devices,
+                          const ShapeCosts &costs = {});
+
+} // namespace tessel
+
+#endif // TESSEL_PLACEMENT_SHAPES_H

@@ -1,0 +1,54 @@
+#include "runtime/codegen.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace tessel {
+
+std::string
+emitDeviceCode(const Program &program, DeviceId device)
+{
+    panic_if(device < 0 || device >= program.numDevices,
+             "emitDeviceCode: bad device ", device);
+    std::ostringstream os;
+    os << "# device " << device << " program (auto-generated)\n";
+    os << "def run_device_" << device << "(blocks, comm, inputs):\n";
+    if (program.code[device].empty()) {
+        os << "    pass\n";
+        return os.str();
+    }
+    for (const Instruction &op : program.code[device]) {
+        switch (op.kind) {
+          case OpKind::Compute:
+            for (int tensor : op.waits)
+                os << "    comm.wait(tensor_id=" << tensor << ")\n";
+            os << "    out_" << op.name << "_mb" << op.block.mb
+               << " = blocks['" << op.name << "'](mb=" << op.block.mb
+               << ")  # " << op.spanMs << " ms\n";
+            break;
+          case OpKind::Send:
+            os << "    comm.isend(tensor_id=" << op.tensor << ", dst="
+               << op.peer << ", mb=" << op.block.mb << ")  # "
+               << op.sizeMB << " MB, " << op.name << "\n";
+            break;
+          case OpKind::Recv:
+            os << "    comm.irecv(tensor_id=" << op.tensor << ", src="
+               << op.peer << ", mb=" << op.block.mb << ")  # "
+               << op.sizeMB << " MB, " << op.name << "\n";
+            break;
+        }
+    }
+    return os.str();
+}
+
+std::string
+emitAllDeviceCode(const Program &program)
+{
+    std::ostringstream os;
+    for (DeviceId d = 0; d < program.numDevices; ++d)
+        os << emitDeviceCode(program, d) << "\n";
+    return os.str();
+}
+
+} // namespace tessel

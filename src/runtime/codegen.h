@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Pseudo-PyTorch code emission from instantiated programs, standing in
+ * for the paper's TorchScript-based per-device code generation (Sec. V).
+ * The emitted listing is what a device's training loop would execute:
+ * block calls, asynchronous isend/irecv on the communication stream, and
+ * tensor waits before dependent blocks.
+ */
+
+#ifndef TESSEL_RUNTIME_CODEGEN_H
+#define TESSEL_RUNTIME_CODEGEN_H
+
+#include <string>
+
+#include "runtime/program.h"
+
+namespace tessel {
+
+/** Emit the pseudo-code listing of one device's program. */
+std::string emitDeviceCode(const Program &program, DeviceId device);
+
+/** Emit all device programs, separated by headers. */
+std::string emitAllDeviceCode(const Program &program);
+
+} // namespace tessel
+
+#endif // TESSEL_RUNTIME_CODEGEN_H

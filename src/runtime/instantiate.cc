@@ -1,0 +1,96 @@
+#include "runtime/instantiate.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/logging.h"
+
+namespace tessel {
+
+Program
+instantiate(const Schedule &schedule,
+            const std::map<std::pair<int, int>, double> &edge_mb)
+{
+    const Problem &problem = schedule.problem();
+    const Placement &p = problem.placement();
+
+    Program prog;
+    prog.numDevices = problem.numDevices();
+    prog.code.resize(prog.numDevices);
+
+    // Tensors awaiting each consumer instance, filled as producers emit.
+    std::map<std::pair<int, DeviceId>, std::vector<int>> pending_waits;
+
+    // Consumers of each spec, to emit sends right after the producer.
+    std::vector<std::vector<int>> consumers(p.numBlocks());
+    for (int spec = 0; spec < p.numBlocks(); ++spec)
+        for (int dep : p.block(spec).deps)
+            consumers[dep].push_back(spec);
+
+    int next_tensor = 0;
+    for (int id : schedule.globalOrder()) {
+        const BlockRef ref = problem.refOf(id);
+        const BlockSpec &spec = p.block(ref.spec);
+
+        // Emit the compute on every device of the block.
+        for (DeviceId d = 0; d < prog.numDevices; ++d) {
+            if (!(spec.devices & oneDevice(d)))
+                continue;
+            Instruction op;
+            op.kind = OpKind::Compute;
+            op.block = ref;
+            op.name = spec.name;
+            op.spanMs = spec.span;
+            op.memDeltaMB = spec.memory;
+            auto it = pending_waits.find({id, d});
+            if (it != pending_waits.end())
+                op.waits = it->second;
+            prog.code[d].push_back(std::move(op));
+        }
+
+        // Emit send/recv pairs for cross-device consumers, immediately
+        // after the producing block (global-order consistency).
+        const DeviceId src = static_cast<DeviceId>(
+            std::countr_zero(spec.devices));
+        for (int consumer : consumers[ref.spec]) {
+            const BlockSpec &cspec = p.block(consumer);
+            const int cid = problem.instanceId({consumer, ref.mb});
+            double mb = 0.0;
+            if (auto it = edge_mb.find({ref.spec, consumer});
+                it != edge_mb.end()) {
+                mb = it->second;
+            }
+            for (DeviceId dst = 0; dst < prog.numDevices; ++dst) {
+                if (!(cspec.devices & oneDevice(dst)))
+                    continue;
+                if (spec.devices & oneDevice(dst))
+                    continue; // Producer output already resident.
+                const int tensor = next_tensor++;
+
+                Instruction send;
+                send.kind = OpKind::Send;
+                send.block = ref;
+                send.name = spec.name + "->" + cspec.name;
+                send.tensor = tensor;
+                send.peer = dst;
+                send.sizeMB = mb;
+                prog.code[src].push_back(std::move(send));
+
+                Instruction recv;
+                recv.kind = OpKind::Recv;
+                recv.block = ref;
+                recv.name = spec.name + "->" + cspec.name;
+                recv.tensor = tensor;
+                recv.peer = src;
+                recv.sizeMB = mb;
+                prog.code[dst].push_back(std::move(recv));
+
+                pending_waits[{cid, dst}].push_back(tensor);
+            }
+        }
+    }
+    prog.numTensors = next_tensor;
+    return prog;
+}
+
+} // namespace tessel

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Runtime instantiation (Sec. IV-D): lower a validated schedule into
+ * per-device programs. A topological sort over the schedule yields a
+ * global sequence; each cross-device dependency inserts a send/receive
+ * pair immediately after its producing block, so every device observes
+ * communication pairs in one consistent global order — the paper's
+ * deadlock-avoidance argument.
+ */
+
+#ifndef TESSEL_RUNTIME_INSTANTIATE_H
+#define TESSEL_RUNTIME_INSTANTIATE_H
+
+#include <map>
+
+#include "ir/schedule.h"
+#include "runtime/program.h"
+
+namespace tessel {
+
+/**
+ * Build the device programs for @p schedule.
+ *
+ * @param schedule a complete, valid schedule.
+ * @param edge_mb activation volume (MB) per placement dependency edge
+ *        (producer spec, consumer spec); missing edges default to 0 MB
+ *        (still materialized as zero-byte transfers for ordering).
+ */
+Program instantiate(const Schedule &schedule,
+                    const std::map<std::pair<int, int>, double> &edge_mb);
+
+} // namespace tessel
+
+#endif // TESSEL_RUNTIME_INSTANTIATE_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Executable per-device programs: the output of runtime instantiation
+ * (Sec. IV-D). A schedule fixes only per-device execution order; the
+ * instantiation inserts matched send/receive primitives in a globally
+ * consistent order (deadlock freedom) and tags consumer blocks with the
+ * tensors they must await (non-blocking communication).
+ */
+
+#ifndef TESSEL_RUNTIME_PROGRAM_H
+#define TESSEL_RUNTIME_PROGRAM_H
+
+#include <string>
+#include <vector>
+
+#include "ir/problem.h"
+
+namespace tessel {
+
+/** Instruction opcode. */
+enum class OpKind {
+    Compute, ///< execute one block
+    Send,    ///< transmit a tensor to a peer device
+    Recv,    ///< receive a tensor from a peer device
+};
+
+/** One instruction of a device program. */
+struct Instruction
+{
+    OpKind kind = OpKind::Compute;
+
+    // Compute fields.
+    BlockRef block;           ///< (spec, mb) executed
+    std::string name;         ///< block name for rendering
+    Time spanMs = 0;          ///< execution time
+    Mem memDeltaMB = 0;       ///< memory delta at start
+    std::vector<int> waits;   ///< tensor ids to await before starting
+
+    // Communication fields.
+    int tensor = -1;          ///< unique transfer id
+    DeviceId peer = -1;       ///< other endpoint
+    double sizeMB = 0.0;      ///< transfer volume
+};
+
+/** A complete multi-device program. */
+struct Program
+{
+    int numDevices = 0;
+    int numTensors = 0;
+    /** code[d] is device d's instruction sequence. */
+    std::vector<std::vector<Instruction>> code;
+
+    /** Total compute instructions (sanity/metrics). */
+    int
+    numComputeOps() const
+    {
+        int n = 0;
+        for (const auto &seq : code)
+            for (const Instruction &op : seq)
+                if (op.kind == OpKind::Compute)
+                    ++n;
+        return n;
+    }
+};
+
+} // namespace tessel
+
+#endif // TESSEL_RUNTIME_PROGRAM_H

@@ -1,0 +1,237 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.h"
+
+namespace tessel {
+
+namespace {
+
+/** Node of the simulation dependency graph. */
+struct Node
+{
+    bool isTransfer = false;
+    DeviceId device = -1; // Compute nodes only.
+    double duration = 0.0;
+    Mem memDelta = 0;
+    int streamPos = -1; // Order within its device compute stream.
+    std::vector<int> deps;
+    double start = 0.0;
+    double finish = 0.0;
+};
+
+} // namespace
+
+double
+SimResult::slowestBusyMs() const
+{
+    double worst = 0.0;
+    for (double b : busyMs)
+        worst = std::max(worst, b);
+    return worst;
+}
+
+double
+SimResult::slowestWaitFraction() const
+{
+    if (makespanMs <= 0.0)
+        return 0.0;
+    // Wait fraction of the device with the largest compute time (the
+    // bottleneck stage the paper profiles in Fig. 16).
+    double worst_busy = -1.0;
+    double wait = 0.0;
+    for (size_t d = 0; d < busyMs.size(); ++d) {
+        if (busyMs[d] > worst_busy) {
+            worst_busy = busyMs[d];
+            wait = waitMs[d];
+        }
+    }
+    return wait / makespanMs;
+}
+
+SimResult
+simulate(const Program &program, const ClusterSpec &cluster)
+{
+    SimResult result;
+    const int nd = program.numDevices;
+    result.busyMs.assign(nd, 0.0);
+    result.waitMs.assign(nd, 0.0);
+    result.peakMemMB.assign(nd, 0);
+
+    auto link_ms = [&](DeviceId a, DeviceId b, double mb) {
+        const bool same_server = (a / cluster.gpusPerServer) ==
+                                 (b / cluster.gpusPerServer);
+        const double bw = same_server ? cluster.nvlinkGBs : cluster.ibGBs;
+        return cluster.linkLatencyMs + mb / 1024.0 / bw * 1e3;
+    };
+
+    // Build nodes: computes per instruction, one transfer per tensor.
+    std::vector<Node> nodes;
+    std::map<int, int> transfer_node;            // tensor -> node
+    std::map<int, std::pair<DeviceId, DeviceId>> endpoints; // src,dst
+
+    // First pass: create transfer nodes (durations need both endpoints).
+    for (DeviceId d = 0; d < nd; ++d) {
+        for (const Instruction &op : program.code[d]) {
+            if (op.kind == OpKind::Compute)
+                continue;
+            auto [it, inserted] =
+                transfer_node.try_emplace(op.tensor, -1);
+            if (inserted) {
+                it->second = static_cast<int>(nodes.size());
+                Node n;
+                n.isTransfer = true;
+                nodes.push_back(n);
+                endpoints[op.tensor] = {-1, -1};
+            }
+            if (op.kind == OpKind::Send)
+                endpoints[op.tensor].first = d;
+            else
+                endpoints[op.tensor].second = d;
+            // Volume is carried on both sides; either sets it.
+            nodes[transfer_node[op.tensor]].memDelta = 0;
+            nodes[transfer_node[op.tensor]].duration =
+                std::max(nodes[transfer_node[op.tensor]].duration,
+                         op.sizeMB);
+        }
+    }
+    for (auto &[tensor, node] : transfer_node) {
+        const auto [src, dst] = endpoints[tensor];
+        if (src < 0 || dst < 0)
+            return result; // Unmatched pair: deadlock by construction.
+        nodes[node].duration = link_ms(src, dst, nodes[node].duration);
+        result.commMs += nodes[node].duration;
+    }
+
+    // Second pass: compute nodes, stream chains, and engine chains.
+    // A tensor-parallel block appears in several device programs but is
+    // one gang-scheduled operation: all its devices synchronize on a
+    // single node (collectives inside the block enforce this on real
+    // hardware).
+    std::vector<std::vector<int>> compute_stream(nd); // Node ids.
+    std::vector<int> last_in_blocking_stream(nd, -1);
+    std::vector<int> last_comm_engine(nd, -1);
+    std::vector<int> last_compute(nd, -1);
+    std::map<std::pair<int, int>, int> gang; // (spec, mb) -> node.
+
+    for (DeviceId d = 0; d < nd; ++d) {
+        for (const Instruction &op : program.code[d]) {
+            if (op.kind == OpKind::Compute) {
+                // Anonymous computes (no block ref) never gang-merge.
+                const bool named = op.block.spec >= 0 && op.block.mb >= 0;
+                const auto key = std::make_pair(
+                    named ? op.block.spec : -1 - static_cast<int>(d),
+                    named ? op.block.mb
+                          : -1 - static_cast<int>(nodes.size()));
+                auto it = gang.find(key);
+                int id;
+                if (it == gang.end()) {
+                    id = static_cast<int>(nodes.size());
+                    Node n;
+                    n.device = d;
+                    n.duration = static_cast<double>(op.spanMs);
+                    n.memDelta = op.memDeltaMB;
+                    nodes.push_back(std::move(n));
+                    gang.emplace(key, id);
+                } else {
+                    id = it->second;
+                }
+                Node &n = nodes[id];
+                // Chain on this device's stream.
+                const int prev = cluster.nonBlockingComm
+                                     ? last_compute[d]
+                                     : last_in_blocking_stream[d];
+                if (prev >= 0 && prev != id)
+                    n.deps.push_back(prev);
+                // Await cross-device inputs (non-blocking mode; in
+                // blocking mode the recv sits in the stream already).
+                if (cluster.nonBlockingComm)
+                    for (int tensor : op.waits)
+                        n.deps.push_back(transfer_node.at(tensor));
+                compute_stream[d].push_back(id);
+                last_compute[d] = id;
+                last_in_blocking_stream[d] = id;
+                result.busyMs[d] += static_cast<double>(op.spanMs);
+            } else {
+                const int tnode = transfer_node.at(op.tensor);
+                if (cluster.nonBlockingComm) {
+                    // Comm engine chain + tensor availability (send side
+                    // waits for the producing compute).
+                    if (last_comm_engine[d] >= 0)
+                        nodes[tnode].deps.push_back(last_comm_engine[d]);
+                    if (op.kind == OpKind::Send && last_compute[d] >= 0)
+                        nodes[tnode].deps.push_back(last_compute[d]);
+                    last_comm_engine[d] = tnode;
+                } else {
+                    // Blocking: the transfer occupies the compute stream
+                    // of both endpoints (rendezvous).
+                    if (last_in_blocking_stream[d] >= 0)
+                        nodes[tnode].deps.push_back(
+                            last_in_blocking_stream[d]);
+                    last_in_blocking_stream[d] = tnode;
+                }
+            }
+        }
+    }
+
+    // Longest-path evaluation (Kahn) with cycle detection.
+    const int num_nodes = static_cast<int>(nodes.size());
+    std::vector<std::vector<int>> succs(num_nodes);
+    std::vector<int> indeg(num_nodes, 0);
+    for (int i = 0; i < num_nodes; ++i)
+        for (int dep : nodes[i].deps) {
+            succs[dep].push_back(i);
+            ++indeg[i];
+        }
+    std::vector<int> ready;
+    for (int i = 0; i < num_nodes; ++i)
+        if (indeg[i] == 0)
+            ready.push_back(i);
+    int processed = 0;
+    double makespan = 0.0;
+    while (!ready.empty()) {
+        const int i = ready.back();
+        ready.pop_back();
+        ++processed;
+        double start = 0.0;
+        for (int dep : nodes[i].deps)
+            start = std::max(start, nodes[dep].finish);
+        nodes[i].start = start;
+        nodes[i].finish = start + nodes[i].duration;
+        makespan = std::max(makespan, nodes[i].finish);
+        for (int s : succs[i])
+            if (--indeg[s] == 0)
+                ready.push_back(s);
+    }
+    if (processed != num_nodes)
+        return result; // Cycle: communication deadlock.
+
+    result.makespanMs = makespan;
+    for (DeviceId d = 0; d < nd; ++d)
+        result.waitMs[d] = makespan - result.busyMs[d];
+
+    // Memory accounting over the compute-stream order.
+    for (DeviceId d = 0; d < nd; ++d) {
+        Mem used = cluster.initialMemMB.empty()
+                       ? 0
+                       : cluster.initialMemMB[d];
+        Mem peak = used;
+        for (int id : compute_stream[d]) {
+            used += nodes[id].memDelta;
+            peak = std::max(peak, used);
+        }
+        result.peakMemMB[d] = peak;
+        if (peak > cluster.memCapacityMB) {
+            result.oom = true;
+            if (result.oomDevice < 0)
+                result.oomDevice = d;
+        }
+    }
+
+    result.ok = !result.oom;
+    return result;
+}
+
+} // namespace tessel

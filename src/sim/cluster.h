@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Discrete-event cluster simulator: the substitution for the paper's
+ * 4-server x 8-GPU V100 testbed. Executes instantiated device programs
+ * with per-device compute streams, per-device communication engines
+ * (non-blocking mode runs them concurrently with compute; blocking mode
+ * rendezvouses both compute streams, Fig. 7), an NVLink/InfiniBand link
+ * model, and per-device memory accounting with OOM detection.
+ */
+
+#ifndef TESSEL_SIM_CLUSTER_H
+#define TESSEL_SIM_CLUSTER_H
+
+#include <vector>
+
+#include "runtime/program.h"
+
+namespace tessel {
+
+/** Cluster hardware for simulation. */
+struct ClusterSpec
+{
+    /** GPUs per NVLink domain (server). */
+    int gpusPerServer = 8;
+    /** Intra-server bandwidth (GB/s). */
+    double nvlinkGBs = 130.0;
+    /** Inter-server bandwidth (GB/s). */
+    double ibGBs = 10.0;
+    /** Per-transfer latency (ms). */
+    double linkLatencyMs = 0.03;
+    /** Per-device memory capacity (MB); kUnlimitedMem disables. */
+    Mem memCapacityMB = kUnlimitedMem;
+    /** Per-device pre-allocated memory (parameters); empty = zeros. */
+    std::vector<Mem> initialMemMB;
+    /** Overlap communication with computation (Sec. IV-D / Fig. 17). */
+    bool nonBlockingComm = true;
+};
+
+/** Result of simulating one iteration. */
+struct SimResult
+{
+    bool ok = false;
+    /** Out-of-memory: parameters or activations exceeded capacity. */
+    bool oom = false;
+    DeviceId oomDevice = -1;
+    /** End-to-end iteration time (ms). */
+    double makespanMs = 0.0;
+    /** Per-device compute-busy ms. */
+    std::vector<double> busyMs;
+    /** Per-device wait ms (makespan - busy). */
+    std::vector<double> waitMs;
+    /** Per-device peak memory (MB, incl. parameters). */
+    std::vector<Mem> peakMemMB;
+    /** Total ms spent in transfers (all links). */
+    double commMs = 0.0;
+
+    /** Slowest device's compute time (Fig. 16a). */
+    double slowestBusyMs() const;
+    /** Wait-time occupation of the slowest device (Fig. 16b). */
+    double slowestWaitFraction() const;
+};
+
+/**
+ * Simulate the execution of @p program on @p cluster.
+ *
+ * Deadlock (mismatched send/recv ordering) is reported as !ok with
+ * makespanMs = 0; the instantiation pipeline guarantees this cannot
+ * happen for programs it produces (a property the tests assert).
+ */
+SimResult simulate(const Program &program, const ClusterSpec &cluster);
+
+} // namespace tessel
+
+#endif // TESSEL_SIM_CLUSTER_H

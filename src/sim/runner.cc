@@ -1,0 +1,15 @@
+#include "sim/runner.h"
+
+#include "runtime/instantiate.h"
+
+namespace tessel {
+
+SimResult
+simulateSchedule(const Schedule &schedule,
+                 const std::map<std::pair<int, int>, double> &edge_mb,
+                 const ClusterSpec &cluster)
+{
+    return simulate(instantiate(schedule, edge_mb), cluster);
+}
+
+} // namespace tessel

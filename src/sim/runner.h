@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Convenience wrapper: instantiate a schedule and simulate it in one
+ * call (what every end-to-end bench does).
+ */
+
+#ifndef TESSEL_SIM_RUNNER_H
+#define TESSEL_SIM_RUNNER_H
+
+#include <map>
+
+#include "ir/schedule.h"
+#include "sim/cluster.h"
+
+namespace tessel {
+
+/**
+ * Lower @p schedule to device programs and simulate them on @p cluster.
+ *
+ * @param edge_mb per-dependency-edge activation volume (MB).
+ */
+SimResult simulateSchedule(
+    const Schedule &schedule,
+    const std::map<std::pair<int, int>, double> &edge_mb,
+    const ClusterSpec &cluster);
+
+} // namespace tessel
+
+#endif // TESSEL_SIM_RUNNER_H

@@ -1,0 +1,526 @@
+#include "solver/bnb.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "support/bitset.h"
+#include "support/logging.h"
+#include "support/timer.h"
+
+namespace tessel {
+
+namespace {
+
+/** Per-key cap on dominance entries; beyond this, insertion stops. */
+constexpr size_t kMaxEntriesPerKey = 24;
+
+} // namespace
+
+struct BnbSolver::Impl
+{
+    const SolverProblem &prob;
+    SolverOptions opts;
+    int nb = 0;
+    int nd = 0;
+
+    // Static derived data.
+    std::vector<std::vector<int>> succs;
+    std::vector<Time> tail; // Longest dependency path incl. own span.
+    std::vector<int> topo;
+
+    // Dynamic search state.
+    std::vector<char> scheduled;
+    std::vector<int> depsLeft;
+    std::vector<int> openSuccs; // Unscheduled successors per block.
+    std::vector<Time> startOf;
+    std::vector<Time> finishOf;
+    std::vector<Time> avail;   // Per-device next free time.
+    std::vector<Mem> memUsed;  // Per-device current usage.
+    std::vector<Time> remWork; // Per-device unscheduled work.
+    BlockSet schedSet;
+    Time curMakespan = 0;
+    int numScheduled = 0;
+
+    // Incumbent.
+    Time bestMakespan = 0;
+    bool haveIncumbent = false;
+    std::vector<Time> bestStarts;
+
+    // Mode / control.
+    bool decideMode = false;
+    Time deadline = 0;
+    bool stop = false;
+    bool provenInfeasibleDisabled = false; // Set when budget tripped.
+    TimeBudget budget{0.0};
+    SolveStats stats;
+
+    using DomVec = std::vector<Time>;
+    std::unordered_map<BlockSet, std::vector<DomVec>, BlockSetHash> memo;
+
+    explicit Impl(const SolverProblem &p, SolverOptions o)
+        : prob(p), opts(o)
+    {
+        nb = static_cast<int>(prob.blocks.size());
+        nd = prob.numDevices;
+        fatal_if(nb == 0, "solver: empty problem");
+        fatal_if(nb > BlockSet::maxBits, "solver: too many blocks (", nb,
+                 " > ", BlockSet::maxBits, ")");
+        fatal_if(nd <= 0 || nd > 64, "solver: bad device count ", nd);
+        buildStatic();
+    }
+
+    void
+    buildStatic()
+    {
+        succs.assign(nb, {});
+        std::vector<int> indeg(nb, 0);
+        for (int i = 0; i < nb; ++i) {
+            const SolverBlock &b = prob.blocks[i];
+            fatal_if(b.span <= 0, "solver: block ", i,
+                     " has non-positive span");
+            fatal_if(b.devices == 0, "solver: block ", i, " has no devices");
+            fatal_if((b.devices >> nd) != 0, "solver: block ", i,
+                     " uses out-of-range device");
+            for (int dep : b.deps) {
+                fatal_if(dep < 0 || dep >= nb || dep == i,
+                         "solver: block ", i, " has bad dependency ", dep);
+                succs[dep].push_back(i);
+                ++indeg[i];
+            }
+            fatal_if(b.orderAfter >= nb,
+                     "solver: block ", i, " has bad orderAfter");
+        }
+        // Topological order (Kahn) for tail computation.
+        topo.clear();
+        std::vector<int> ready;
+        for (int i = 0; i < nb; ++i)
+            if (indeg[i] == 0)
+                ready.push_back(i);
+        while (!ready.empty()) {
+            int i = ready.back();
+            ready.pop_back();
+            topo.push_back(i);
+            for (int s : succs[i])
+                if (--indeg[s] == 0)
+                    ready.push_back(s);
+        }
+        fatal_if(static_cast<int>(topo.size()) != nb,
+                 "solver: dependency cycle");
+        tail.assign(nb, 0);
+        for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+            const int i = *it;
+            Time t = 0;
+            for (int s : succs[i])
+                t = std::max(t, tail[s]);
+            tail[i] = t + prob.blocks[i].span;
+        }
+    }
+
+    void
+    resetDynamic()
+    {
+        scheduled.assign(nb, 0);
+        depsLeft.assign(nb, 0);
+        openSuccs.assign(nb, 0);
+        startOf.assign(nb, kUnscheduled);
+        finishOf.assign(nb, kUnscheduled);
+        for (int i = 0; i < nb; ++i) {
+            depsLeft[i] = static_cast<int>(prob.blocks[i].deps.size());
+            openSuccs[i] = static_cast<int>(succs[i].size());
+        }
+        avail.assign(nd, 0);
+        if (!prob.initialAvail.empty()) {
+            panic_if(static_cast<int>(prob.initialAvail.size()) != nd,
+                     "initialAvail size mismatch");
+            for (int d = 0; d < nd; ++d)
+                avail[d] = prob.initialAvail[d];
+        }
+        memUsed.assign(nd, 0);
+        if (!prob.initialMem.empty()) {
+            panic_if(static_cast<int>(prob.initialMem.size()) != nd,
+                     "initialMem size mismatch");
+            for (int d = 0; d < nd; ++d)
+                memUsed[d] = prob.initialMem[d];
+        }
+        remWork.assign(nd, 0);
+        for (int i = 0; i < nb; ++i)
+            for (int d = 0; d < nd; ++d)
+                if (prob.blocks[i].devices & oneDevice(d))
+                    remWork[d] += prob.blocks[i].span;
+        schedSet = BlockSet{};
+        curMakespan = 0;
+        for (int d = 0; d < nd; ++d)
+            curMakespan = std::max(curMakespan, avail[d]);
+        numScheduled = 0;
+        haveIncumbent = false;
+        bestMakespan = 0;
+        bestStarts.clear();
+        stop = false;
+        provenInfeasibleDisabled = false;
+        stats = SolveStats{};
+        memo.clear();
+    }
+
+    /** Earliest start of a dispatchable block in the current state. */
+    Time
+    estOf(int i) const
+    {
+        const SolverBlock &b = prob.blocks[i];
+        Time est = b.release;
+        for (int dep : b.deps)
+            est = std::max(est, finishOf[dep]);
+        for (int d = 0; d < nd; ++d)
+            if (b.devices & oneDevice(d))
+                est = std::max(est, avail[d]);
+        return est;
+    }
+
+    /** Admissible lower bound on the completed makespan of this state. */
+    Time
+    lowerBound()
+    {
+        Time lb = curMakespan;
+        for (int d = 0; d < nd; ++d)
+            lb = std::max(lb, avail[d] + remWork[d]);
+        for (int i = 0; i < nb; ++i) {
+            if (scheduled[i] || depsLeft[i] != 0)
+                continue;
+            lb = std::max(lb, estOf(i) + tail[i]);
+        }
+        return lb;
+    }
+
+    /** Upper limit a node must beat to keep exploring. */
+    Time
+    currentLimit() const
+    {
+        if (decideMode)
+            return deadline;
+        if (haveIncumbent)
+            return bestMakespan - 1;
+        return kUnlimitedMem; // Effectively +inf.
+    }
+
+    /** Build the dominance vector for the current state. */
+    DomVec
+    domVector() const
+    {
+        DomVec v;
+        v.reserve(nd + 4);
+        for (int d = 0; d < nd; ++d)
+            v.push_back(avail[d]);
+        for (int i = 0; i < nb; ++i)
+            if (scheduled[i] && openSuccs[i] > 0)
+                v.push_back(finishOf[i]);
+        v.push_back(curMakespan);
+        return v;
+    }
+
+    static bool
+    dominates(const DomVec &a, const DomVec &b)
+    {
+        // Same scheduled set implies same layout, hence same length.
+        for (size_t k = 0; k < a.size(); ++k)
+            if (a[k] > b[k])
+                return false;
+        return true;
+    }
+
+    /** @return true when the current state is dominated (prune it). */
+    bool
+    checkAndInsertMemo()
+    {
+        if (!opts.useDominance)
+            return false;
+        auto &entries = memo[schedSet];
+        const DomVec cur = domVector();
+        for (const DomVec &e : entries) {
+            if (dominates(e, cur)) {
+                ++stats.memoHits;
+                return true;
+            }
+        }
+        // Drop entries the current state dominates, then insert.
+        std::erase_if(entries,
+                      [&](const DomVec &e) { return dominates(cur, e); });
+        if (entries.size() < kMaxEntriesPerKey &&
+            memo.size() < opts.memoCap) {
+            entries.push_back(cur);
+        }
+        return false;
+    }
+
+    bool
+    budgetTripped()
+    {
+        if ((stats.nodes & 1023) == 0) {
+            if (budget.expired() ||
+                (opts.nodeLimit && stats.nodes >= opts.nodeLimit)) {
+                stats.budgetExhausted = true;
+                provenInfeasibleDisabled = true;
+                stop = true;
+            }
+        }
+        return stop;
+    }
+
+    void
+    dispatch(int i, Time est, Time *saved_avail, Mem *saved_mem)
+    {
+        const SolverBlock &b = prob.blocks[i];
+        scheduled[i] = 1;
+        schedSet.set(i);
+        ++numScheduled;
+        startOf[i] = est;
+        finishOf[i] = est + b.span;
+        for (int d = 0; d < nd; ++d) {
+            if (!(b.devices & oneDevice(d)))
+                continue;
+            saved_avail[d] = avail[d];
+            saved_mem[d] = memUsed[d];
+            avail[d] = finishOf[i];
+            memUsed[d] += b.memory;
+            remWork[d] -= b.span;
+        }
+        for (int s : succs[i])
+            --depsLeft[s];
+        for (int dep : b.deps)
+            --openSuccs[dep];
+    }
+
+    void
+    undo(int i, Time saved_makespan, const Time *saved_avail,
+         const Mem *saved_mem)
+    {
+        const SolverBlock &b = prob.blocks[i];
+        scheduled[i] = 0;
+        schedSet.reset(i);
+        --numScheduled;
+        startOf[i] = kUnscheduled;
+        finishOf[i] = kUnscheduled;
+        for (int d = 0; d < nd; ++d) {
+            if (!(b.devices & oneDevice(d)))
+                continue;
+            avail[d] = saved_avail[d];
+            memUsed[d] = saved_mem[d];
+            remWork[d] += b.span;
+        }
+        for (int s : succs[i])
+            ++depsLeft[s];
+        for (int dep : b.deps)
+            ++openSuccs[dep];
+        curMakespan = saved_makespan;
+    }
+
+    void
+    search()
+    {
+        if (stop || budgetTripped())
+            return;
+        ++stats.nodes;
+
+        if (numScheduled == nb) {
+            // Leaf: complete schedule.
+            if (decideMode) {
+                if (curMakespan <= deadline) {
+                    bestMakespan = curMakespan;
+                    bestStarts = startOf;
+                    haveIncumbent = true;
+                    stop = true;
+                }
+            } else if (!haveIncumbent || curMakespan < bestMakespan) {
+                bestMakespan = curMakespan;
+                bestStarts = startOf;
+                haveIncumbent = true;
+            }
+            return;
+        }
+
+        const Time limit = currentLimit();
+        if (lowerBound() > limit) {
+            ++stats.boundPrunes;
+            return;
+        }
+        if (checkAndInsertMemo())
+            return;
+
+        // Gather dispatchable candidates.
+        struct Cand
+        {
+            int block;
+            Time est;
+        };
+        std::vector<Cand> cands;
+        cands.reserve(8);
+        for (int i = 0; i < nb; ++i) {
+            if (scheduled[i] || depsLeft[i] != 0)
+                continue;
+            const SolverBlock &b = prob.blocks[i];
+            if (opts.useSymmetry && b.orderAfter >= 0 &&
+                !scheduled[b.orderAfter]) {
+                continue;
+            }
+            if (b.memory > 0) {
+                bool mem_ok = true;
+                for (int d = 0; d < nd && mem_ok; ++d)
+                    if ((b.devices & oneDevice(d)) &&
+                        memUsed[d] + b.memory > prob.memLimit) {
+                        mem_ok = false;
+                    }
+                if (!mem_ok)
+                    continue; // May become dispatchable after a release.
+            }
+            const Time est = estOf(i);
+            if (est + tail[i] > limit) {
+                ++stats.boundPrunes;
+                continue;
+            }
+            cands.push_back({i, est});
+        }
+        if (cands.empty())
+            return; // Memory deadlock or all candidates pruned.
+
+        std::sort(cands.begin(), cands.end(),
+                  [&](const Cand &a, const Cand &b) {
+                      if (a.est != b.est)
+                          return a.est < b.est;
+                      if (tail[a.block] != tail[b.block])
+                          return tail[a.block] > tail[b.block];
+                      return a.block < b.block;
+                  });
+
+        std::vector<Time> saved_avail(nd);
+        std::vector<Mem> saved_mem(nd);
+        for (const Cand &c : cands) {
+            if (stop)
+                return;
+            const Time saved_makespan = curMakespan;
+            dispatch(c.block, c.est, saved_avail.data(), saved_mem.data());
+            curMakespan = std::max(curMakespan, finishOf[c.block]);
+            search();
+            undo(c.block, saved_makespan, saved_avail.data(),
+                 saved_mem.data());
+        }
+    }
+
+    SolveResult
+    run(bool decide_mode, Time decide_deadline)
+    {
+        resetDynamic();
+        decideMode = decide_mode;
+        deadline = decide_deadline;
+        budget = TimeBudget(opts.timeBudgetSec);
+
+        // Initial-state feasibility.
+        bool initial_ok = true;
+        for (int d = 0; d < nd; ++d)
+            if (memUsed[d] > prob.memLimit)
+                initial_ok = false;
+
+        if (initial_ok)
+            search();
+
+        SolveResult res;
+        stats.seconds = budget.elapsed();
+        res.stats = stats;
+        if (haveIncumbent) {
+            res.makespan = bestMakespan;
+            res.starts = bestStarts;
+            res.status = (stats.budgetExhausted && !decideMode)
+                             ? SolveStatus::Feasible
+                             : SolveStatus::Optimal;
+            if (decideMode)
+                res.status = SolveStatus::Optimal; // Deadline met: SAT.
+        } else {
+            res.status = provenInfeasibleDisabled ? SolveStatus::Unknown
+                                                  : SolveStatus::Infeasible;
+        }
+        return res;
+    }
+
+    /** Static lower bound used to seed the binary search. */
+    Time
+    staticLowerBound() const
+    {
+        Time lb = 0;
+        std::vector<Time> work(nd, 0);
+        for (int i = 0; i < nb; ++i)
+            for (int d = 0; d < nd; ++d)
+                if (prob.blocks[i].devices & oneDevice(d))
+                    work[d] += prob.blocks[i].span;
+        for (int d = 0; d < nd; ++d) {
+            const Time base =
+                prob.initialAvail.empty() ? 0 : prob.initialAvail[d];
+            lb = std::max(lb, base + work[d]);
+        }
+        // Critical path with release times.
+        std::vector<Time> head(nb, 0);
+        for (int i : topo) {
+            Time h = prob.blocks[i].release;
+            for (int dep : prob.blocks[i].deps)
+                h = std::max(h, head[dep]);
+            head[i] = h + prob.blocks[i].span;
+            lb = std::max(lb, head[i]);
+        }
+        return lb;
+    }
+};
+
+BnbSolver::BnbSolver(const SolverProblem &problem, SolverOptions options)
+    : impl_(std::make_unique<Impl>(problem, options))
+{
+}
+
+BnbSolver::~BnbSolver() = default;
+
+SolveResult
+BnbSolver::minimizeMakespan()
+{
+    return impl_->run(false, 0);
+}
+
+SolveResult
+BnbSolver::decide(Time deadline)
+{
+    SolveResult res = impl_->run(true, deadline);
+    // In decide mode a found schedule means SAT; classify accordingly.
+    return res;
+}
+
+SolveResult
+BnbSolver::binarySearchMakespan()
+{
+    const Time lb = impl_->staticLowerBound();
+    // First find any feasible schedule to bound the search from above.
+    SolveResult any = decide(kUnlimitedMem);
+    if (!any.feasible())
+        return any;
+    SolveStats total = any.stats;
+    Time lo = lb;
+    Time hi = any.makespan;
+    SolveResult best = any;
+    while (lo < hi) {
+        const Time mid = lo + (hi - lo) / 2;
+        SolveResult r = decide(mid);
+        total.nodes += r.stats.nodes;
+        total.seconds += r.stats.seconds;
+        total.memoHits += r.stats.memoHits;
+        total.boundPrunes += r.stats.boundPrunes;
+        if (r.feasible()) {
+            best = r;
+            hi = r.makespan;
+        } else if (r.status == SolveStatus::Infeasible) {
+            lo = mid + 1;
+        } else {
+            // Budget exhausted: return the best found so far, unproven.
+            best.status = SolveStatus::Feasible;
+            total.budgetExhausted = true;
+            break;
+        }
+    }
+    best.stats = total;
+    return best;
+}
+
+} // namespace tessel

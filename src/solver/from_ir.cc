@@ -1,0 +1,66 @@
+#include "solver/from_ir.h"
+
+#include "solver/bnb.h"
+#include "support/logging.h"
+
+namespace tessel {
+
+SolverProblem
+buildFullInstance(const Problem &problem)
+{
+    const Placement &p = problem.placement();
+    const int n = problem.numMicrobatches();
+
+    SolverProblem sp;
+    sp.numDevices = p.numDevices();
+    sp.memLimit = problem.memLimit();
+    sp.initialMem = problem.initialMem();
+    sp.blocks.resize(problem.numInstances());
+
+    for (int spec = 0; spec < p.numBlocks(); ++spec) {
+        const BlockSpec &b = p.block(spec);
+        for (int mb = 0; mb < n; ++mb) {
+            const int id = problem.instanceId({spec, mb});
+            SolverBlock &sb = sp.blocks[id];
+            sb.span = b.span;
+            sb.devices = b.devices;
+            sb.memory = b.memory;
+            sb.tag = id;
+            for (int dep : b.deps)
+                sb.deps.push_back(problem.instanceId({dep, mb}));
+            if (mb > 0)
+                sb.orderAfter = problem.instanceId({spec, mb - 1});
+        }
+    }
+    return sp;
+}
+
+Schedule
+liftSchedule(const Problem &problem, const std::vector<SolverBlock> &blocks,
+             const std::vector<Time> &starts)
+{
+    panic_if(blocks.size() != starts.size(),
+             "liftSchedule: size mismatch");
+    Schedule sched(problem);
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        const int tag = blocks[i].tag;
+        panic_if(tag < 0 || tag >= problem.numInstances(),
+                 "liftSchedule: bad tag ", tag);
+        sched.setStart(problem.refOf(tag), starts[i]);
+    }
+    return sched;
+}
+
+ToBaselineResult
+solveTimeOptimal(const Problem &problem, const SolverOptions &options)
+{
+    const SolverProblem sp = buildFullInstance(problem);
+    BnbSolver solver(sp, options);
+    ToBaselineResult out;
+    out.result = solver.minimizeMakespan();
+    if (out.result.feasible())
+        out.schedule = liftSchedule(problem, sp.blocks, out.result.starts);
+    return out;
+}
+
+} // namespace tessel

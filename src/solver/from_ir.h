@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Lowering from the Tessel IR to solver instances and lifting results
+ * back. `buildFullInstance` encodes a whole N-micro-batch problem, which
+ * is exactly the paper's "time-optimal (TO)" baseline search (Sec. III-B,
+ * Figs. 3 and 9): optimal but exponentially expensive in N.
+ */
+
+#ifndef TESSEL_SOLVER_FROM_IR_H
+#define TESSEL_SOLVER_FROM_IR_H
+
+#include "ir/problem.h"
+#include "ir/schedule.h"
+#include "solver/problem.h"
+
+namespace tessel {
+
+/**
+ * Encode the complete problem (all K x N block instances).
+ *
+ * Solver block index = problem instance id (spec * N + mb). Property 4.1
+ * symmetry chains are added: instance (spec, mb) may only dispatch after
+ * (spec, mb-1).
+ */
+SolverProblem buildFullInstance(const Problem &problem);
+
+/**
+ * Lift solver start times into an IR schedule.
+ *
+ * @param problem the IR problem the instance was built from.
+ * @param starts per-solver-block start times; solver block tags must hold
+ *        instance ids (buildFullInstance guarantees this).
+ * @param blocks the solver blocks (for their tags).
+ */
+Schedule liftSchedule(const Problem &problem,
+                      const std::vector<SolverBlock> &blocks,
+                      const std::vector<Time> &starts);
+
+/**
+ * Solve the full instance to optimality (the TO baseline).
+ *
+ * @param problem IR problem.
+ * @param options solver budget knobs (Fig. 3 runs with a wall budget).
+ * @return solve result plus the lifted schedule when feasible.
+ */
+struct ToBaselineResult
+{
+    SolveResult result;
+    Schedule schedule; // Valid only when result.feasible().
+};
+
+ToBaselineResult solveTimeOptimal(const Problem &problem,
+                                  const SolverOptions &options = {});
+
+} // namespace tessel
+
+#endif // TESSEL_SOLVER_FROM_IR_H

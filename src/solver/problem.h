@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Generic block-scheduling instance consumed by the exact solver.
+ *
+ * This is the substitution for the paper's Z3 encoding: block start times
+ * are the decision variables; exclusivity, dependency, release-time, and
+ * peak-memory constraints match Eq. 1. Tessel's repetend, warmup, and
+ * cooldown searches all lower onto this structure, as does the
+ * time-optimal (TO) baseline of Figs. 3 and 9.
+ */
+
+#ifndef TESSEL_SOLVER_PROBLEM_H
+#define TESSEL_SOLVER_PROBLEM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/types.h"
+
+namespace tessel {
+
+/** One schedulable block in a solver instance. */
+struct SolverBlock
+{
+    /** Execution time (> 0). */
+    Time span = 1;
+    /** Devices occupied while executing (>= 1 bit). */
+    DeviceMask devices = 0;
+    /** Per-device memory delta applied at start. */
+    Mem memory = 0;
+    /** Indices of blocks that must finish before this one starts. */
+    std::vector<int> deps;
+    /** Earliest permitted start time (stitching with earlier phases). */
+    Time release = 0;
+    /**
+     * Symmetry chain (Property 4.1): this block may only be dispatched
+     * after block `orderAfter` has been dispatched. Used to deduplicate
+     * schedules that differ only by permuting equivalent micro-batches.
+     * -1 disables.
+     */
+    int orderAfter = -1;
+    /** Caller-defined tag for mapping results back (e.g. instance id). */
+    int tag = -1;
+};
+
+/** A complete solver instance. */
+struct SolverProblem
+{
+    int numDevices = 1;
+    /** Per-device memory capacity. */
+    Mem memLimit = kUnlimitedMem;
+    /** Per-device memory already allocated at time 0 (empty = zeros). */
+    std::vector<Mem> initialMem;
+    /** Per-device earliest availability (empty = zeros). */
+    std::vector<Time> initialAvail;
+    std::vector<SolverBlock> blocks;
+};
+
+/** Outcome classification of a solve. */
+enum class SolveStatus {
+    Optimal,    ///< best possible schedule found and proven
+    Feasible,   ///< a schedule was found but the budget cut the proof
+    Infeasible, ///< proven that no schedule satisfies the constraints
+    Unknown,    ///< budget exhausted before any schedule was found
+};
+
+/** Search-effort counters reported with every solve. */
+struct SolveStats
+{
+    uint64_t nodes = 0;
+    double seconds = 0.0;
+    bool budgetExhausted = false;
+    uint64_t memoHits = 0;
+    uint64_t boundPrunes = 0;
+};
+
+/** Result of a solve: status, objective, and per-block start times. */
+struct SolveResult
+{
+    SolveStatus status = SolveStatus::Unknown;
+    Time makespan = -1;
+    std::vector<Time> starts;
+    SolveStats stats;
+
+    bool
+    feasible() const
+    {
+        return status == SolveStatus::Optimal ||
+               status == SolveStatus::Feasible;
+    }
+};
+
+/** Knobs controlling the branch-and-bound search. */
+struct SolverOptions
+{
+    /** Wall-clock budget in seconds (<= 0: unlimited). */
+    double timeBudgetSec = 0.0;
+    /** Node expansion cap (0: unlimited). */
+    uint64_t nodeLimit = 0;
+    /** Enable the dominance memo (ablation knob for the solver bench). */
+    bool useDominance = true;
+    /** Honor SolverBlock::orderAfter symmetry chains. */
+    bool useSymmetry = true;
+    /** Maximum number of memo entries kept before insertion stops. */
+    size_t memoCap = size_t{1} << 22;
+};
+
+} // namespace tessel
+
+#endif // TESSEL_SOLVER_PROBLEM_H

@@ -1,0 +1,34 @@
+#include "logging.h"
+
+#include <atomic>
+
+namespace tessel {
+
+namespace {
+
+std::atomic<bool> verbose{true};
+
+} // namespace
+
+bool
+logVerbose()
+{
+    return verbose.load(std::memory_order_relaxed);
+}
+
+bool
+setLogVerbose(bool enabled)
+{
+    return verbose.exchange(enabled, std::memory_order_relaxed);
+}
+
+void
+logMessage(const std::string &msg)
+{
+    if (!logVerbose())
+        return;
+    std::fputs(msg.c_str(), stderr);
+    std::fputc('\n', stderr);
+}
+
+} // namespace tessel

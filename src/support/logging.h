@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (bugs in Tessel itself), fatal() for unrecoverable user errors (bad
+ * configuration, infeasible inputs), warn()/inform() for status messages
+ * that never stop execution.
+ */
+
+#ifndef TESSEL_SUPPORT_LOGGING_H
+#define TESSEL_SUPPORT_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tessel {
+
+namespace detail {
+
+/** Append the remaining arguments of a log call to an output stream. */
+inline void
+logAppend(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+logAppend(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    logAppend(os, rest...);
+}
+
+/** Format a log message with source location prefix. */
+template <typename... Args>
+std::string
+logFormat(const char *kind, const char *file, int line, const Args &...args)
+{
+    std::ostringstream os;
+    os << kind << ": ";
+    logAppend(os, args...);
+    os << " [" << file << ":" << line << "]";
+    return os.str();
+}
+
+[[noreturn]] inline void
+logAbort(const std::string &msg)
+{
+    std::fputs(msg.c_str(), stderr);
+    std::fputc('\n', stderr);
+    std::abort();
+}
+
+[[noreturn]] inline void
+logExit(const std::string &msg)
+{
+    std::fputs(msg.c_str(), stderr);
+    std::fputc('\n', stderr);
+    std::exit(1);
+}
+
+} // namespace detail
+
+/** Whether warn()/inform() output is enabled (tests may silence it). */
+bool logVerbose();
+
+/** Enable or disable warn()/inform() output; returns the previous value. */
+bool setLogVerbose(bool enabled);
+
+/** Print an informational message to stderr. */
+void logMessage(const std::string &msg);
+
+} // namespace tessel
+
+/** Internal invariant violated: a Tessel bug. Aborts (may dump core). */
+#define panic(...)                                                          \
+    ::tessel::detail::logAbort(::tessel::detail::logFormat(                 \
+        "panic", __FILE__, __LINE__, __VA_ARGS__))
+
+/** Unrecoverable user-level error (bad config, infeasible input). */
+#define fatal(...)                                                          \
+    ::tessel::detail::logExit(::tessel::detail::logFormat(                  \
+        "fatal", __FILE__, __LINE__, __VA_ARGS__))
+
+/** Condition-checked panic, active in all build types. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            panic(__VA_ARGS__);                                             \
+        }                                                                   \
+    } while (0)
+
+/** Condition-checked fatal, active in all build types. */
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            fatal(__VA_ARGS__);                                             \
+        }                                                                   \
+    } while (0)
+
+/** Non-fatal diagnostic about questionable behaviour. */
+#define warn(...)                                                           \
+    ::tessel::logMessage(::tessel::detail::logFormat(                       \
+        "warn", __FILE__, __LINE__, __VA_ARGS__))
+
+/** Informational status message. */
+#define inform(...)                                                         \
+    ::tessel::logMessage(::tessel::detail::logFormat(                       \
+        "info", __FILE__, __LINE__, __VA_ARGS__))
+
+#endif // TESSEL_SUPPORT_LOGGING_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**) so tests and
+ * benches are reproducible across platforms and standard libraries.
+ */
+
+#ifndef TESSEL_SUPPORT_RNG_H
+#define TESSEL_SUPPORT_RNG_H
+
+#include <cstdint>
+
+#include "logging.h"
+
+namespace tessel {
+
+/**
+ * xoshiro256** PRNG with splitmix64 seeding.
+ *
+ * std::mt19937 would work, but its distributions are not specified to be
+ * identical across standard libraries; this keeps property tests stable.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        uint64_t x = seed;
+        for (auto &word : s_) {
+            // splitmix64 step.
+            x += 0x9e3779b97f4a7c15ull;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** @return the next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        auto rotl = [](uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        panic_if(lo > hi, "Rng::range: lo > hi");
+        const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+        return lo + static_cast<int64_t>(next() % span);
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** @return true with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace tessel
+
+#endif // TESSEL_SUPPORT_RNG_H

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to emit
+ * paper-style rows (and optional CSV for post-processing).
+ */
+
+#ifndef TESSEL_SUPPORT_TABLE_H
+#define TESSEL_SUPPORT_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tessel {
+
+/**
+ * Accumulates rows of string cells and prints them with aligned columns.
+ *
+ * Each bench binary builds one Table per reproduced paper table/figure and
+ * prints it to stdout, so `bench_output.txt` reads like the paper's
+ * evaluation section.
+ */
+class Table
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit Table(std::string title);
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row (may be ragged; missing cells print empty). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header first) to @p os. */
+    void printCsv(std::ostream &os) const;
+
+    const std::string &title() const { return title_; }
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits fractional digits. */
+std::string fmtDouble(double v, int digits = 2);
+
+/** Format a ratio as a percentage string, e.g. 0.25 -> "25.0%". */
+std::string fmtPercent(double v, int digits = 1);
+
+} // namespace tessel
+
+#endif // TESSEL_SUPPORT_TABLE_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Wall-clock stopwatch and a cooperative time budget used to cap the
+ * exponential time-optimal baseline searches (Fig. 3 / Fig. 9).
+ */
+
+#ifndef TESSEL_SUPPORT_TIMER_H
+#define TESSEL_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace tessel {
+
+/** Simple wall-clock stopwatch. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** @return elapsed seconds since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** @return elapsed milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * A deadline that long-running searches poll cooperatively.
+ *
+ * A non-positive budget means "unlimited". Polling is cheap enough to do
+ * every few thousand search nodes.
+ */
+class TimeBudget
+{
+  public:
+    /** @param seconds wall-clock allowance; <= 0 disables the limit. */
+    explicit TimeBudget(double seconds = 0.0) : limit_(seconds) {}
+
+    /** @return true once the budget is exhausted. */
+    bool
+    expired() const
+    {
+        return limit_ > 0.0 && watch_.seconds() >= limit_;
+    }
+
+    /** @return elapsed seconds since construction. */
+    double elapsed() const { return watch_.seconds(); }
+
+    /** @return the configured limit in seconds (<= 0: unlimited). */
+    double limit() const { return limit_; }
+
+  private:
+    double limit_;
+    Stopwatch watch_;
+};
+
+} // namespace tessel
+
+#endif // TESSEL_SUPPORT_TIMER_H

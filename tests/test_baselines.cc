@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the baseline schedule generators: classic 1F1B behavior on
+ * V-Shape, 1F1B+ splicing on M/NN shapes, GPipe, Chimera-direct rounds,
+ * sequential execution, and OOM-deadlock reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/schedules.h"
+#include "placement/shapes.h"
+
+namespace tessel {
+namespace {
+
+TEST(OneFOneB, VShapeZeroSteadyBubble)
+{
+    Problem prob(makeVShape(4), 24, kUnlimitedMem);
+    const auto s = schedule1F1B(prob);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_TRUE(s->validate().ok);
+    EXPECT_NEAR(measuredSteadyBubble(*s), 0.0, 0.02);
+}
+
+TEST(OneFOneB, VShapeMakespanMatchesClassicFormula)
+{
+    // 1F1B with balanced stages: fill (critical path) + (N-1) periods.
+    for (int n : {4, 8, 16}) {
+        Problem prob(makeVShape(4), n, kUnlimitedMem);
+        const auto s = schedule1F1B(prob);
+        ASSERT_TRUE(s.has_value());
+        EXPECT_EQ(s->makespan(), 12 + 3 * (n - 1)) << "n=" << n;
+    }
+}
+
+TEST(OneFOneB, AdmissionBoundsInflightMemory)
+{
+    // Device 0 of a 4-stage V-shape holds at most D in-flight
+    // micro-batches under the classic 1F1B admission rule.
+    Problem prob(makeVShape(4), 32, kUnlimitedMem);
+    const auto s = schedule1F1B(prob);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_LE(s->peakMemory(0), 4);
+}
+
+TEST(OneFOneB, RespectsMemoryLimit)
+{
+    Problem prob(makeVShape(4), 16, 2);
+    const auto s = schedule1F1B(prob);
+    ASSERT_TRUE(s.has_value());
+    const auto check = s->validate();
+    EXPECT_TRUE(check.ok) << check.message;
+    for (DeviceId d = 0; d < 4; ++d)
+        EXPECT_LE(s->peakMemory(d), 2);
+}
+
+TEST(OneFOneB, DeadlockWithImpossibleMemoryReturnsNullopt)
+{
+    // Every forward needs +1 but the capacity is 0: nothing dispatches.
+    Problem prob(makeVShape(4), 2, 1);
+    prob.setInitialMem({1, 1, 1, 1});
+    EXPECT_FALSE(schedule1F1B(prob).has_value());
+}
+
+TEST(GPipe, AllForwardsBeforeBackwardsPerDevice)
+{
+    Problem prob(makeVShape(4), 6, kUnlimitedMem);
+    const auto s = scheduleGPipe(prob);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_TRUE(s->validate().ok);
+    // On device 3 the first backward comes after all its forwards.
+    Time last_fwd = 0, first_bwd = kUnlimitedMem;
+    const Placement &p = prob.placement();
+    for (int id : s->deviceOrder(3)) {
+        const BlockRef ref = prob.refOf(id);
+        if (p.block(ref.spec).kind == BlockKind::Forward)
+            last_fwd = std::max(last_fwd, s->start(ref));
+        else
+            first_bwd = std::min(first_bwd, s->start(ref));
+    }
+    EXPECT_LT(last_fwd, first_bwd);
+}
+
+TEST(GPipe, SlowerOrEqualToOneFOneBUnderMemory)
+{
+    Problem prob(makeVShape(4), 16, 4);
+    const auto g = scheduleGPipe(prob);
+    const auto o = schedule1F1B(prob);
+    ASSERT_TRUE(o.has_value());
+    if (g.has_value())
+        EXPECT_GE(g->makespan(), o->makespan());
+}
+
+TEST(OneFOneBPlus, MShapeBubbleNearPaperValue)
+{
+    // Table II reports 25% for the GPT (M-Shape) 1F1B+ adaptation.
+    Problem prob(makeMShape(4), 24, kUnlimitedMem);
+    const auto s = schedule1F1BPlus(prob);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_TRUE(s->validate().ok);
+    EXPECT_NEAR(measuredSteadyBubble(*s), 0.25, 0.08);
+}
+
+TEST(OneFOneBPlus, NnShapeBubbleNearPaperValue)
+{
+    // Table II reports 20% for the mT5 (NN-Shape) 1F1B+ adaptation.
+    Problem prob(makeNnShape(4), 24, kUnlimitedMem);
+    const auto s = schedule1F1BPlus(prob);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_TRUE(s->validate().ok);
+    EXPECT_NEAR(measuredSteadyBubble(*s), 0.20, 0.08);
+}
+
+TEST(OneFOneBPlus, FallsBackOnPlainPlacements)
+{
+    // V-shape has no full-device blocks: 1F1B+ degenerates to 1F1B.
+    Problem prob(makeVShape(4), 8, kUnlimitedMem);
+    const auto plus = schedule1F1BPlus(prob);
+    const auto classic = schedule1F1B(prob);
+    ASSERT_TRUE(plus.has_value());
+    ASSERT_TRUE(classic.has_value());
+    EXPECT_EQ(plus->makespan(), classic->makespan());
+}
+
+TEST(OneFOneBPlus, TensorParallelBlocksAdjacentToAnchors)
+{
+    Problem prob(makeMShape(4), 8, kUnlimitedMem);
+    const auto s = schedule1F1BPlus(prob);
+    ASSERT_TRUE(s.has_value());
+    const Placement &p = prob.placement();
+    // embF(m) must finish before f0(m) starts (dependency), and start
+    // after f0(m-1) started (adjacency: no unbounded run-ahead).
+    int emb = -1, f0 = -1;
+    for (int i = 0; i < p.numBlocks(); ++i) {
+        if (p.block(i).name == "embF")
+            emb = i;
+        if (p.block(i).name == "f0")
+            f0 = i;
+    }
+    ASSERT_GE(emb, 0);
+    ASSERT_GE(f0, 0);
+    for (int mb = 1; mb < 8; ++mb)
+        EXPECT_GE(s->start({emb, mb}), s->start({f0, mb - 1}));
+}
+
+TEST(ChimeraDirect, XShapeBubbleNearPaperValue)
+{
+    // Table II reports 20% for Chimera-direct.
+    Problem prob(makeXShape(4), 24, kUnlimitedMem);
+    const auto s = scheduleChimeraDirect(prob);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_TRUE(s->validate().ok);
+    EXPECT_NEAR(measuredSteadyBubble(*s), 0.22, 0.08);
+}
+
+TEST(ChimeraDirect, RoundsDoNotOverlap)
+{
+    Problem prob(makeXShape(4), 8, kUnlimitedMem);
+    const auto s = scheduleChimeraDirect(prob);
+    ASSERT_TRUE(s.has_value());
+    // Units 0-1 form round 0; everything in round 1 starts after all of
+    // round 0 finishes.
+    Time round0_end = 0;
+    Time round1_start = kUnlimitedMem;
+    const Placement &p = prob.placement();
+    for (int spec = 0; spec < p.numBlocks(); ++spec) {
+        for (int u = 0; u < 2; ++u)
+            round0_end = std::max(round0_end, s->finish({spec, u}));
+        for (int u = 2; u < 4; ++u)
+            round1_start = std::min(round1_start, s->start({spec, u}));
+    }
+    EXPECT_GE(round1_start, round0_end);
+}
+
+TEST(ChimeraDirect, HandlesPartialLastRound)
+{
+    Problem prob(makeXShape(4), 5, kUnlimitedMem);
+    const auto s = scheduleChimeraDirect(prob);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_TRUE(s->validate().ok);
+}
+
+TEST(Sequential, MinimalMemoryMaximalTime)
+{
+    Problem prob(makeVShape(4), 6, kUnlimitedMem);
+    const Schedule s = scheduleSequential(prob);
+    EXPECT_TRUE(s.validate().ok);
+    EXPECT_EQ(s.makespan(), 6 * 12); // One critical path per mb.
+    for (DeviceId d = 0; d < 4; ++d)
+        EXPECT_LE(s.peakMemory(d), 1);
+}
+
+TEST(Baselines, ForwardFirstVsBackwardFirstMemory)
+{
+    // GPipe accumulates all forwards; 1F1B drains. Peak memory must
+    // reflect that on the first device.
+    Problem prob(makeVShape(4), 12, kUnlimitedMem);
+    const auto gpipe = scheduleGPipe(prob);
+    const auto ofob = schedule1F1B(prob);
+    ASSERT_TRUE(gpipe.has_value());
+    ASSERT_TRUE(ofob.has_value());
+    EXPECT_GT(gpipe->peakMemory(0), ofob->peakMemory(0));
+}
+
+TEST(Baselines, MeasuredSteadyBubbleOfSequentialIsHigh)
+{
+    Problem prob(makeVShape(4), 9, kUnlimitedMem);
+    const Schedule s = scheduleSequential(prob);
+    EXPECT_NEAR(measuredSteadyBubble(s), 0.75, 0.05);
+}
+
+} // namespace
+} // namespace tessel

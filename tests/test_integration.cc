@@ -1,0 +1,219 @@
+/**
+ * @file
+ * End-to-end integration tests: search -> plan -> instantiate ->
+ * simulate pipelines on unit-cost shapes and realistic model lowerings,
+ * plus the headline comparative claims (Tessel never loses to the
+ * baselines it shares a placement with).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/schedules.h"
+#include "core/search.h"
+#include "models/lower.h"
+#include "placement/shapes.h"
+#include "runtime/instantiate.h"
+#include "sim/runner.h"
+
+namespace tessel {
+namespace {
+
+TEST(Integration, TesselBeatsOrMatches1F1BPlusOnMShape)
+{
+    const Placement p = makeMShape(4);
+    TesselOptions opts;
+    opts.totalBudgetSec = 120.0;
+    const auto tessel = tesselSearch(p, opts);
+    ASSERT_TRUE(tessel.found);
+    const int n = 24;
+    const Schedule ours = tessel.plan.instantiate(n);
+    Problem prob(p, n, kUnlimitedMem);
+    const auto theirs = schedule1F1BPlus(prob);
+    ASSERT_TRUE(theirs.has_value());
+    EXPECT_LE(ours.makespan(), theirs->makespan());
+    // Asymptotically the gap approaches the Table II bubble gap.
+    EXPECT_LT(static_cast<double>(ours.makespan()),
+              0.9 * static_cast<double>(theirs->makespan()));
+}
+
+TEST(Integration, TesselMatches1F1BOnVShape)
+{
+    // On the classic V-shape both are zero-bubble: Tessel should tie.
+    const Placement p = makeVShape(4);
+    TesselOptions opts;
+    opts.totalBudgetSec = 60.0;
+    const auto tessel = tesselSearch(p, opts);
+    ASSERT_TRUE(tessel.found);
+    const int n = 16;
+    Problem prob(p, n, kUnlimitedMem);
+    const auto ofob = schedule1F1B(prob);
+    ASSERT_TRUE(ofob.has_value());
+    EXPECT_LE(tessel.plan.makespanFor(n), ofob->makespan() + 3);
+}
+
+TEST(Integration, SearchedScheduleSurvivesRuntimeAndSim)
+{
+    for (const char *name : {"V", "M", "K"}) {
+        TesselOptions opts;
+        opts.totalBudgetSec = 120.0;
+        const auto r = tesselSearch(makeShapeByName(name, 4), opts);
+        ASSERT_TRUE(r.found) << name;
+        const Schedule sched =
+            r.plan.instantiate(r.plan.minMicrobatches() + 6);
+        std::map<std::pair<int, int>, double> edges;
+        const Program prog = instantiate(sched, edges);
+        const SimResult sim = simulate(prog, ClusterSpec{});
+        EXPECT_TRUE(sim.ok) << name;
+        EXPECT_GT(sim.makespanMs, 0.0) << name;
+    }
+}
+
+TEST(Integration, GptEndToEndOrdering)
+{
+    // Fig. 13's qualitative result at 4 GPUs: Tessel >= 1F1B+ >= OOM'd
+    // Chimera; 1F1B on its own Piper V-shape is also beaten.
+    HardwareSpec hw;
+    const auto cfg = gptConfigForGpus(4);
+    const auto m = lowerGptMShape(cfg, 4, 1, hw);
+    ASSERT_TRUE(m.fits);
+    const int n = 16;
+
+    TesselOptions topts;
+    topts.memLimit = m.memCapacityMB;
+    topts.initialMem = m.initialMemMB;
+    topts.totalBudgetSec = 120.0;
+    const auto tessel = tesselSearch(m.placement, topts);
+    ASSERT_TRUE(tessel.found);
+
+    ClusterSpec cs;
+    cs.memCapacityMB = m.memCapacityMB;
+    cs.initialMemMB = m.initialMemMB;
+    const SimResult sim_tessel =
+        simulateSchedule(tessel.plan.instantiate(n), m.edgeMB, cs);
+    ASSERT_TRUE(sim_tessel.ok);
+
+    Problem prob(m.placement, n, m.memCapacityMB);
+    prob.setInitialMem(m.initialMemMB);
+    const auto plus = schedule1F1BPlus(prob);
+    ASSERT_TRUE(plus.has_value());
+    const SimResult sim_plus = simulateSchedule(*plus, m.edgeMB, cs);
+    ASSERT_TRUE(sim_plus.ok);
+
+    EXPECT_LT(sim_tessel.makespanMs, sim_plus.makespanMs);
+
+    const auto chim = lowerGptXShapeChimera(cfg, 4, 1, hw);
+    EXPECT_FALSE(chim.fits); // The paper's OOM column.
+}
+
+TEST(Integration, FlavaInferenceLatencyOrdering)
+{
+    // Fig. 15's qualitative result: K-shape Tessel has lower single-
+    // batch latency than the serialized V-shape pipeline, and better
+    // throughput than pure tensor parallelism at high batch counts.
+    HardwareSpec hw;
+    const auto cfg = flavaConfig();
+    const auto k = lowerFlavaKShape(cfg, 4, 4, hw, false);
+    const auto tp = lowerFlavaTensorParallel(cfg, 4, 4, hw);
+    ASSERT_TRUE(k.fits);
+    ASSERT_TRUE(tp.fits);
+
+    TesselOptions topts;
+    topts.totalBudgetSec = 120.0;
+    const auto tessel = tesselSearch(k.placement, topts);
+    ASSERT_TRUE(tessel.found);
+
+    // Steady-state throughput: K-shape period vs TP serial time.
+    const double tessel_rate = static_cast<double>(tessel.period);
+    const double tp_rate = static_cast<double>(tp.placement.totalWork());
+    EXPECT_LT(tessel_rate, tp_rate); // Higher throughput for Tessel.
+}
+
+TEST(Integration, SimulatedWaitTimeTracksScheduleBubble)
+{
+    // Fig. 16's consistency check: simulated wait occupation is close
+    // to the schedule's theoretical bubble (within a few percent when
+    // communication is cheap).
+    TesselOptions opts;
+    opts.totalBudgetSec = 60.0;
+    const auto r = tesselSearch(makeVShape(4), opts);
+    ASSERT_TRUE(r.found);
+    const int n = 40;
+    const Schedule sched = r.plan.instantiate(n);
+    ClusterSpec cs;
+    cs.linkLatencyMs = 0.0;
+    const SimResult sim = simulateSchedule(sched, {}, cs);
+    ASSERT_TRUE(sim.ok);
+    const double theoretical = sched.bubbleRate();
+    double mean_wait = 0.0;
+    for (DeviceId d = 0; d < 4; ++d)
+        mean_wait += sim.waitMs[d] / sim.makespanMs;
+    mean_wait /= 4.0;
+    EXPECT_NEAR(mean_wait, theoretical, 0.02);
+}
+
+TEST(Integration, NonBlockingCommNeverSlower)
+{
+    HardwareSpec hw;
+    const auto m = lowerGptMShape(gptConfigForGpus(4), 4, 1, hw);
+    TesselOptions topts;
+    topts.memLimit = m.memCapacityMB;
+    topts.initialMem = m.initialMemMB;
+    topts.totalBudgetSec = 120.0;
+    const auto tessel = tesselSearch(m.placement, topts);
+    ASSERT_TRUE(tessel.found);
+    const Schedule sched = tessel.plan.instantiate(12);
+
+    ClusterSpec nb, bl;
+    nb.memCapacityMB = bl.memCapacityMB = m.memCapacityMB;
+    nb.initialMemMB = bl.initialMemMB = m.initialMemMB;
+    nb.nonBlockingComm = true;
+    bl.nonBlockingComm = false;
+    const SimResult r_nb = simulateSchedule(sched, m.edgeMB, nb);
+    const SimResult r_bl = simulateSchedule(sched, m.edgeMB, bl);
+    ASSERT_TRUE(r_nb.ok);
+    ASSERT_TRUE(r_bl.ok);
+    EXPECT_LE(r_nb.makespanMs, r_bl.makespanMs + 1e-6);
+}
+
+TEST(Integration, SequentialIsTheMemoryFloor)
+{
+    // Property: among valid schedules, sequential execution minimizes
+    // peak memory; every baseline and Tessel must use at least as much.
+    const Placement p = makeVShape(4);
+    Problem prob(p, 8, kUnlimitedMem);
+    const Schedule seq = scheduleSequential(prob);
+    const auto ofob = schedule1F1B(prob);
+    ASSERT_TRUE(ofob.has_value());
+    for (DeviceId d = 0; d < 4; ++d)
+        EXPECT_GE(ofob->peakMemory(d), seq.peakMemory(d));
+}
+
+class ShapeByDevices
+    : public ::testing::TestWithParam<std::tuple<const char *, int>>
+{
+};
+
+TEST_P(ShapeByDevices, SearchInstantiateSimulate)
+{
+    const auto [name, devices] = GetParam();
+    TesselOptions opts;
+    opts.totalBudgetSec = 120.0;
+    const auto r = tesselSearch(makeShapeByName(name, devices), opts);
+    ASSERT_TRUE(r.found) << name << "/" << devices;
+    EXPECT_EQ(r.period, r.lowerBound) << name << "/" << devices;
+    const Schedule sched =
+        r.plan.instantiate(r.plan.minMicrobatches() + 4);
+    EXPECT_TRUE(sched.validate().ok);
+    const SimResult sim = simulateSchedule(sched, {}, ClusterSpec{});
+    EXPECT_TRUE(sim.ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShapeByDevices,
+    ::testing::Values(std::make_tuple("V", 2), std::make_tuple("V", 4),
+                      std::make_tuple("X", 2), std::make_tuple("X", 4),
+                      std::make_tuple("K", 2), std::make_tuple("K", 4),
+                      std::make_tuple("M", 2), std::make_tuple("M", 4)));
+
+} // namespace
+} // namespace tessel

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for schedules: constraint validation (Eq. 1), metrics, the
+ * sequence scheduler, and the Gantt renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/gantt.h"
+#include "ir/sequence.h"
+#include "placement/shapes.h"
+
+namespace tessel {
+namespace {
+
+/** Two-device, two-block chain placement used across these tests. */
+Placement
+chain2()
+{
+    std::vector<BlockSpec> blocks(2);
+    blocks[0] = {"a", BlockKind::Forward, oneDevice(0), 2, 1, {}};
+    blocks[1] = {"b", BlockKind::Backward, oneDevice(1), 3, -1, {0}};
+    return Placement("chain2", 2, blocks);
+}
+
+TEST(Schedule, EmptyScheduleIsIncomplete)
+{
+    Schedule s(Problem(chain2(), 2));
+    EXPECT_FALSE(s.complete());
+    EXPECT_FALSE(s.validate().ok);
+}
+
+TEST(Schedule, ValidChainSchedule)
+{
+    Problem prob(chain2(), 2);
+    Schedule s(prob);
+    s.setStart({0, 0}, 0);
+    s.setStart({1, 0}, 2);
+    s.setStart({0, 1}, 2);
+    s.setStart({1, 1}, 5);
+    ASSERT_TRUE(s.complete());
+    const auto check = s.validate();
+    EXPECT_TRUE(check.ok) << check.message;
+    EXPECT_EQ(s.makespan(), 8);
+    EXPECT_EQ(s.busyTime(0), 4);
+    EXPECT_EQ(s.busyTime(1), 6);
+    EXPECT_NEAR(s.bubbleRate(), 1.0 - 10.0 / 16.0, 1e-9);
+}
+
+TEST(Schedule, DetectsDependencyViolation)
+{
+    Problem prob(chain2(), 1);
+    Schedule s(prob);
+    s.setStart({0, 0}, 0);
+    s.setStart({1, 0}, 1); // b starts before a finishes (t=2).
+    const auto check = s.validate();
+    EXPECT_FALSE(check.ok);
+    EXPECT_NE(check.message.find("dependency"), std::string::npos);
+}
+
+TEST(Schedule, DetectsExclusivityViolation)
+{
+    Problem prob(chain2(), 2);
+    Schedule s(prob);
+    s.setStart({0, 0}, 0);
+    s.setStart({0, 1}, 1); // Overlaps mb 0 on device 0.
+    s.setStart({1, 0}, 2);
+    s.setStart({1, 1}, 5);
+    EXPECT_FALSE(s.validate().ok);
+}
+
+TEST(Schedule, DetectsNegativeStart)
+{
+    Problem prob(chain2(), 1);
+    Schedule s(prob);
+    s.setStart({0, 0}, -1);
+    s.setStart({1, 0}, 2);
+    EXPECT_FALSE(s.validate().ok);
+}
+
+TEST(Schedule, DetectsMemoryViolation)
+{
+    // Two forwards in flight exceed a capacity of 1.
+    Problem prob(chain2(), 2, 1);
+    Schedule s(prob);
+    s.setStart({0, 0}, 0);
+    s.setStart({0, 1}, 2); // Second allocation before any release.
+    s.setStart({1, 0}, 4);
+    s.setStart({1, 1}, 7);
+    const auto check = s.validate();
+    EXPECT_FALSE(check.ok);
+    EXPECT_NE(check.message.find("memory"), std::string::npos);
+}
+
+TEST(Schedule, InitialMemCountsTowardPeak)
+{
+    Problem prob(chain2(), 1, 10);
+    prob.setInitialMem({10, 0});
+    Schedule s(prob);
+    s.setStart({0, 0}, 0);
+    s.setStart({1, 0}, 2);
+    EXPECT_FALSE(s.validate().ok); // 10 + 1 > 10 on device 0.
+    EXPECT_EQ(s.peakMemory(0), 11);
+}
+
+TEST(Schedule, MultiDeviceBlockOccupiesAllDevices)
+{
+    std::vector<BlockSpec> blocks(2);
+    blocks[0] = {"tp", BlockKind::Forward, allDevices(2), 2, 0, {}};
+    blocks[1] = {"x", BlockKind::Forward, oneDevice(1), 1, 0, {}};
+    Problem prob(Placement("tp2", 2, blocks), 1);
+    Schedule s(prob);
+    s.setStart({0, 0}, 0);
+    s.setStart({1, 0}, 1); // Overlaps the TP block on device 1.
+    EXPECT_FALSE(s.validate().ok);
+    s.setStart({1, 0}, 2);
+    EXPECT_TRUE(s.validate().ok);
+}
+
+TEST(Schedule, ShiftAllMovesEverything)
+{
+    Problem prob(chain2(), 1);
+    Schedule s(prob);
+    s.setStart({0, 0}, 0);
+    s.setStart({1, 0}, 2);
+    s.shiftAll(5);
+    EXPECT_EQ(s.start({0, 0}), 5);
+    EXPECT_EQ(s.makespan(), 10);
+    EXPECT_EQ(s.earliestStart(), 5);
+}
+
+TEST(Schedule, DeviceOrderSortsByStart)
+{
+    Problem prob(chain2(), 3);
+    Schedule s(prob);
+    s.setStart({0, 2}, 0);
+    s.setStart({0, 0}, 2);
+    s.setStart({0, 1}, 4);
+    const auto order = s.deviceOrder(0);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(prob.refOf(order[0]).mb, 2);
+    EXPECT_EQ(prob.refOf(order[1]).mb, 0);
+    EXPECT_EQ(prob.refOf(order[2]).mb, 1);
+}
+
+TEST(SequenceScheduler, TimesAChain)
+{
+    Problem prob(chain2(), 2);
+    DeviceSequences seqs;
+    seqs.order = {{prob.instanceId({0, 0}), prob.instanceId({0, 1})},
+                  {prob.instanceId({1, 0}), prob.instanceId({1, 1})}};
+    auto s = scheduleFromSequences(prob, seqs);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_TRUE(s->validate().ok);
+    // Earliest-start: a0 @0, a1 @2, b0 @2, b1 @5.
+    EXPECT_EQ(s->start({0, 0}), 0);
+    EXPECT_EQ(s->start({0, 1}), 2);
+    EXPECT_EQ(s->start({1, 0}), 2);
+    EXPECT_EQ(s->start({1, 1}), 5);
+}
+
+TEST(SequenceScheduler, DetectsDeadlockCycle)
+{
+    // Device order contradicting the dependency chain: b before a with a
+    // TP block forcing the cycle across devices.
+    std::vector<BlockSpec> blocks(2);
+    blocks[0] = {"a", BlockKind::Forward, allDevices(2), 1, 0, {}};
+    blocks[1] = {"b", BlockKind::Forward, allDevices(2), 1, 0, {0}};
+    Problem prob(Placement("pp", 2, blocks), 1);
+    DeviceSequences seqs;
+    // Device 0 orders a then b, device 1 orders b then a: cycle.
+    seqs.order = {{prob.instanceId({0, 0}), prob.instanceId({1, 0})},
+                  {prob.instanceId({1, 0}), prob.instanceId({0, 0})}};
+    EXPECT_FALSE(scheduleFromSequences(prob, seqs).has_value());
+}
+
+TEST(SequenceScheduler, RejectsMissingInstances)
+{
+    Problem prob(chain2(), 2);
+    DeviceSequences seqs;
+    seqs.order = {{prob.instanceId({0, 0})}, {prob.instanceId({1, 0})}};
+    EXPECT_FALSE(scheduleFromSequences(prob, seqs).has_value());
+}
+
+TEST(SequenceScheduler, RoundTripsThroughSequencesOf)
+{
+    Problem prob(chain2(), 3);
+    DeviceSequences seqs;
+    seqs.order = {{}, {}};
+    for (int mb = 0; mb < 3; ++mb) {
+        seqs.order[0].push_back(prob.instanceId({0, mb}));
+        seqs.order[1].push_back(prob.instanceId({1, mb}));
+    }
+    auto s = scheduleFromSequences(prob, seqs);
+    ASSERT_TRUE(s.has_value());
+    const DeviceSequences back = sequencesOf(*s);
+    EXPECT_EQ(back.order[0], seqs.order[0]);
+    EXPECT_EQ(back.order[1], seqs.order[1]);
+}
+
+TEST(Gantt, RendersAllDevicesAndMarksRepetend)
+{
+    Problem prob(chain2(), 2);
+    DeviceSequences seqs;
+    seqs.order = {{prob.instanceId({0, 0}), prob.instanceId({0, 1})},
+                  {prob.instanceId({1, 0}), prob.instanceId({1, 1})}};
+    auto s = scheduleFromSequences(prob, seqs);
+    ASSERT_TRUE(s.has_value());
+    GanttOptions opts;
+    opts.repetendBegin = 2;
+    opts.repetendEnd = 5;
+    const std::string text = renderGantt(*s, opts);
+    EXPECT_NE(text.find("dev0"), std::string::npos);
+    EXPECT_NE(text.find("dev1"), std::string::npos);
+    EXPECT_NE(text.find("repetend"), std::string::npos);
+    // Backward blocks render with '*'.
+    EXPECT_NE(text.find("*0*"), std::string::npos);
+}
+
+TEST(Gantt, TruncatesAtMaxTime)
+{
+    Problem prob(chain2(), 4);
+    Schedule s(prob);
+    Time t = 0;
+    for (int mb = 0; mb < 4; ++mb) {
+        s.setStart({0, mb}, t);
+        s.setStart({1, mb}, t + 2);
+        t += 5;
+    }
+    GanttOptions opts;
+    opts.maxTime = 6;
+    const std::string text = renderGantt(s, opts);
+    // Time axis should stop at 5.
+    EXPECT_EQ(text.find("12"), std::string::npos);
+}
+
+TEST(Problem, InstanceIdRoundTrip)
+{
+    Problem prob(chain2(), 5);
+    for (int spec = 0; spec < 2; ++spec) {
+        for (int mb = 0; mb < 5; ++mb) {
+            const int id = prob.instanceId({spec, mb});
+            const BlockRef ref = prob.refOf(id);
+            EXPECT_EQ(ref.spec, spec);
+            EXPECT_EQ(ref.mb, mb);
+        }
+    }
+    EXPECT_EQ(prob.numInstances(), 10);
+}
+
+} // namespace
+} // namespace tessel

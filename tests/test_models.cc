@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for model configurations (Table III), the analytic cost model,
+ * and the model-to-placement lowerings used by the end-to-end benches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/config.h"
+#include "models/lower.h"
+
+namespace tessel {
+namespace {
+
+TEST(Configs, TableIIIGptParameterCounts)
+{
+    // Table III: {11B, 24B, 47B, 77B}.
+    EXPECT_NEAR(gptConfigForGpus(4).params() / 1e9, 11.0, 2.0);
+    EXPECT_NEAR(gptConfigForGpus(8).params() / 1e9, 24.0, 4.0);
+    EXPECT_NEAR(gptConfigForGpus(16).params() / 1e9, 47.0, 7.0);
+    EXPECT_NEAR(gptConfigForGpus(32).params() / 1e9, 77.0, 12.0);
+}
+
+TEST(Configs, TableIIIMt5ParameterCounts)
+{
+    EXPECT_NEAR(mt5ConfigForGpus(4).params() / 1e9, 1.8, 0.8);
+    EXPECT_NEAR(mt5ConfigForGpus(8).params() / 1e9, 9.5, 3.0);
+    EXPECT_NEAR(mt5ConfigForGpus(16).params() / 1e9, 43.0, 8.0);
+    EXPECT_NEAR(mt5ConfigForGpus(32).params() / 1e9, 88.0, 15.0);
+}
+
+TEST(Configs, Fig2GeometryIs6Point7B)
+{
+    const GptConfig cfg = gptFig2Config(32);
+    EXPECT_EQ(cfg.hidden, 4096);
+    EXPECT_EQ(cfg.vocab, 768000);
+    EXPECT_EQ(cfg.layers, 32);
+}
+
+TEST(CostModel, LayerFlopsScaleQuadraticallyInHidden)
+{
+    HardwareSpec hw;
+    CostModel cm(hw, 1);
+    const double f1 = cm.layerFwdFlops(1024, 512);
+    const double f2 = cm.layerFwdFlops(2048, 512);
+    EXPECT_GT(f2 / f1, 3.5);
+    EXPECT_LT(f2 / f1, 4.5);
+}
+
+TEST(CostModel, TensorParallelSpeedupIsSubLinear)
+{
+    HardwareSpec hw;
+    CostModel cm(hw, 1);
+    const double flops = 1e13;
+    const double t1 = cm.msFor(flops, 1);
+    const double t4 = cm.msFor(flops, 4);
+    EXPECT_LT(t4, t1 / 2.0); // Parallelism helps...
+    EXPECT_GT(t4, t1 / 4.0); // ...but below linear.
+}
+
+TEST(CostModel, SpansArePositiveIntegers)
+{
+    HardwareSpec hw;
+    CostModel cm(hw, 1);
+    EXPECT_GE(cm.spanFor(1.0), 1);
+    EXPECT_GE(cm.spanFor(0.0), 1);
+    EXPECT_EQ(CostModel::quantizeMs(2.4), 2);
+    EXPECT_EQ(CostModel::quantizeMs(2.6), 3);
+}
+
+TEST(CostModel, MemoryHelpers)
+{
+    HardwareSpec hw;
+    CostModel cm(hw, 2);
+    EXPECT_GT(cm.boundaryMB(4096, 1024), 0.0);
+    EXPECT_GT(cm.stageActivationMB(8, 4096, 1024), 0);
+    // Training bytes dominate inference bytes.
+    EXPECT_GT(cm.paramMB(1e9, true), cm.paramMB(1e9, false));
+    // Tensor parallel splits storage.
+    EXPECT_LT(cm.paramMB(1e9, true, 4), cm.paramMB(1e9, true, 1));
+}
+
+TEST(Lower, GptMShapeStructureAndFit)
+{
+    HardwareSpec hw;
+    const auto m = lowerGptMShape(gptConfigForGpus(4), 4, 1, hw);
+    EXPECT_TRUE(m.fits);
+    EXPECT_EQ(m.placement.numDevices(), 4);
+    EXPECT_EQ(m.placement.numBlocks(), 2 * 4 + 3);
+    // Net memory per device is zero (steady-state trainable).
+    for (DeviceId d = 0; d < 4; ++d)
+        EXPECT_EQ(m.placement.netMemoryOnDevice(d), 0);
+    EXPECT_GT(m.flopsPerMicrobatch, 0.0);
+    // Every chain edge carries activation volume.
+    EXPECT_GE(m.edgeMB.size(), 8u);
+}
+
+TEST(Lower, GptMShapeBalancedStages)
+{
+    HardwareSpec hw;
+    const auto m = lowerGptMShape(gptConfigForGpus(4), 4, 1, hw);
+    // Per-device work within 15% of each other (the paper's premise
+    // that M-Shape balances computation).
+    Time lo = kUnlimitedMem, hi = 0;
+    for (DeviceId d = 0; d < 4; ++d) {
+        lo = std::min(lo, m.placement.workOnDevice(d));
+        hi = std::max(hi, m.placement.workOnDevice(d));
+    }
+    EXPECT_LT(static_cast<double>(hi) / lo, 1.15);
+}
+
+TEST(Lower, PiperVShapeKeepsPipelineStructure)
+{
+    HardwareSpec hw;
+    const auto v = lowerGptVShapePiper(gptConfigForGpus(4), 4, 1, hw);
+    ASSERT_TRUE(v.fits);
+    // Multiple stages (the max-TP cap prevents whole-model TP).
+    EXPECT_GE(v.placement.numBlocks(), 4);
+}
+
+TEST(Lower, ChimeraDoublesParameterMemory)
+{
+    HardwareSpec hw;
+    const auto x = lowerGptXShapeChimera(gptConfigForGpus(4), 4, 1, hw);
+    const auto m = lowerGptMShape(gptConfigForGpus(4), 4, 1, hw);
+    // Chimera replicates the model onto both pipelines: it must not fit
+    // where the single-copy M-shape does (the paper's OOM column).
+    EXPECT_TRUE(m.fits);
+    EXPECT_FALSE(x.fits);
+    EXPECT_GT(x.initialMemMB[0], m.initialMemMB[0]);
+}
+
+TEST(Lower, Mt5NnShapeStructure)
+{
+    HardwareSpec hw;
+    const auto m = lowerMt5NnShape(mt5ConfigForGpus(4), 4, 2, hw);
+    EXPECT_TRUE(m.fits);
+    EXPECT_EQ(m.placement.numBlocks(), 4 * 4 + 3); // enc+dec+embx2+head.
+    for (DeviceId d = 0; d < 4; ++d)
+        EXPECT_EQ(m.placement.netMemoryOnDevice(d), 0);
+}
+
+TEST(Lower, FlavaKShapeTrainingAndInference)
+{
+    HardwareSpec hw;
+    const auto train = lowerFlavaKShape(flavaConfig(), 4, 4, hw, true);
+    const auto infer = lowerFlavaKShape(flavaConfig(), 4, 4, hw, false);
+    EXPECT_TRUE(train.fits);
+    EXPECT_TRUE(infer.fits);
+    EXPECT_GT(train.placement.numBlocks(), infer.placement.numBlocks());
+    // Inference holds only weights: less memory than training.
+    EXPECT_LT(infer.initialMemMB[0], train.initialMemMB[0]);
+    // Training counts backward+recompute FLOPs.
+    EXPECT_GT(train.flopsPerMicrobatch, 3.0 * infer.flopsPerMicrobatch);
+}
+
+TEST(Lower, FlavaTensorParallelIsSequentialChain)
+{
+    HardwareSpec hw;
+    const auto tp = lowerFlavaTensorParallel(flavaConfig(), 4, 4, hw);
+    EXPECT_EQ(tp.placement.numBlocks(), 3);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(tp.placement.block(i).devices, allDevices(4));
+    // Latency per micro-batch = total span (no pipelining possible).
+    EXPECT_EQ(tp.placement.criticalPath(), tp.placement.totalWork());
+}
+
+TEST(Lower, FlavaVShapeSerializesBranches)
+{
+    HardwareSpec hw;
+    const auto v = lowerFlavaVShape(flavaConfig(), 4, 4, hw);
+    const auto k = lowerFlavaKShape(flavaConfig(), 4, 4, hw, false);
+    // The V-shape chain's critical path exceeds the K-shape's because
+    // the branches cannot run concurrently.
+    EXPECT_GT(v.placement.criticalPath(),
+              k.placement.criticalPath() * 0.9);
+}
+
+TEST(Lower, CrossServerTensorParallelCostsMore)
+{
+    HardwareSpec hw;
+    // 16 GPUs = 2 servers: the full-device embedding spans servers.
+    const auto m16 = lowerGptMShape(gptConfigForGpus(16), 16, 1, hw);
+    const auto m4 = lowerGptMShape(gptConfigForGpus(4), 4, 1, hw);
+    // The cross-server embF pays IB all-reduce: compare per-FLOP span.
+    const double emb16 = static_cast<double>(m16.placement.block(0).span);
+    const double emb4 = static_cast<double>(m4.placement.block(0).span);
+    EXPECT_GT(emb16, emb4);
+}
+
+TEST(Lower, Fig2LayerCostsEmbeddingDominatesMemoryNotTime)
+{
+    HardwareSpec hw;
+    CostModel cm(hw, 1);
+    const auto layers = gptLayerCosts(gptFig2Config(32), cm);
+    ASSERT_GE(layers.size(), 3u);
+    const LayerCost &emb = layers.front();
+    const LayerCost &mid = layers[1];
+    EXPECT_GT(emb.memory, 10.0 * mid.memory);
+    EXPECT_LT(emb.fwdTime, mid.fwdTime);
+}
+
+} // namespace
+} // namespace tessel

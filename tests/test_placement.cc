@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for placement structures: shape builders (Fig. 1), the public
+ * PlacementBuilder API, derived placement queries, and the Piper stage
+ * partitioner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "placement/builder.h"
+#include "placement/piper.h"
+#include "placement/shapes.h"
+
+namespace tessel {
+namespace {
+
+TEST(Placement, TopoOrderRespectsDeps)
+{
+    const Placement p = makeVShape(4);
+    std::vector<int> pos(p.numBlocks());
+    for (size_t i = 0; i < p.topoOrder().size(); ++i)
+        pos[p.topoOrder()[i]] = static_cast<int>(i);
+    for (int i = 0; i < p.numBlocks(); ++i)
+        for (int dep : p.block(i).deps)
+            EXPECT_LT(pos[dep], pos[i]);
+}
+
+TEST(Placement, VShapeStructure)
+{
+    const Placement p = makeVShape(4);
+    EXPECT_EQ(p.numBlocks(), 8);
+    EXPECT_EQ(p.numDevices(), 4);
+    // First half forward down the devices, second half backward up.
+    for (int d = 0; d < 4; ++d) {
+        EXPECT_EQ(p.block(d).kind, BlockKind::Forward);
+        EXPECT_EQ(p.block(d).devices, oneDevice(d));
+    }
+    for (int i = 4; i < 8; ++i)
+        EXPECT_EQ(p.block(i).kind, BlockKind::Backward);
+    // Chain of length 8.
+    EXPECT_EQ(p.criticalPath(), 4 * 1 + 4 * 2);
+    EXPECT_EQ(p.totalWork(), 4 * 1 + 4 * 2);
+    EXPECT_EQ(p.perMicrobatchLowerBound(), 3);
+}
+
+TEST(Placement, VShapeMemoryNetZero)
+{
+    const Placement p = makeVShape(4);
+    for (DeviceId d = 0; d < 4; ++d)
+        EXPECT_EQ(p.netMemoryOnDevice(d), 0);
+}
+
+TEST(Placement, XShapeTwoPipelines)
+{
+    const Placement p = makeXShape(4);
+    EXPECT_EQ(p.numBlocks(), 16);
+    // Each device hosts exactly 4 blocks (2 fwd + 2 bwd).
+    for (DeviceId d = 0; d < 4; ++d) {
+        EXPECT_EQ(p.blocksOnDevice(d).size(), 4u);
+        EXPECT_EQ(p.workOnDevice(d), 2 * (1 + 2));
+    }
+}
+
+TEST(Placement, MShapeHasFullDeviceBlocks)
+{
+    const Placement p = makeMShape(4);
+    int full_device = 0;
+    for (int i = 0; i < p.numBlocks(); ++i)
+        if (p.block(i).devices == allDevices(4))
+            ++full_device;
+    EXPECT_EQ(full_device, 3); // embF, headFB, embB.
+    // Every device executes the TP blocks plus its own stage pair.
+    for (DeviceId d = 0; d < 4; ++d)
+        EXPECT_EQ(p.blocksOnDevice(d).size(), 5u);
+}
+
+TEST(Placement, NnShapeDecoderDependsOnEncoderAndEmbedding)
+{
+    const Placement p = makeNnShape(4);
+    // Find dF0 and check its dependencies include eF3 and embF.
+    int d0 = -1, e3 = -1, emb = -1;
+    for (int i = 0; i < p.numBlocks(); ++i) {
+        if (p.block(i).name == "dF0")
+            d0 = i;
+        if (p.block(i).name == "eF3")
+            e3 = i;
+        if (p.block(i).name == "embF")
+            emb = i;
+    }
+    ASSERT_GE(d0, 0);
+    ASSERT_GE(e3, 0);
+    ASSERT_GE(emb, 0);
+    const auto &deps = p.block(d0).deps;
+    EXPECT_NE(std::find(deps.begin(), deps.end(), e3), deps.end());
+    EXPECT_NE(std::find(deps.begin(), deps.end(), emb), deps.end());
+}
+
+TEST(Placement, KShapeBranchesAreIndependent)
+{
+    const Placement p = makeKShape(4);
+    // tF* on devices {0,1}, vF* on {2,3}; neither depends on the other.
+    for (int i = 0; i < p.numBlocks(); ++i) {
+        const BlockSpec &b = p.block(i);
+        if (b.name[0] == 't' && b.kind == BlockKind::Forward)
+            EXPECT_EQ(b.devices & ~DeviceMask{0x3}, 0u);
+        if (b.name[0] == 'v' && b.kind == BlockKind::Forward)
+            EXPECT_EQ(b.devices & ~DeviceMask{0xc}, 0u);
+    }
+}
+
+TEST(Placement, ShapesScaleWithDeviceCount)
+{
+    for (int d : {2, 4, 8, 16}) {
+        EXPECT_EQ(makeVShape(d).numBlocks(), 2 * d);
+        EXPECT_EQ(makeXShape(d).numBlocks(), 4 * d);
+        EXPECT_EQ(makeMShape(d).numBlocks(), 2 * d + 3);
+        EXPECT_EQ(makeNnShape(d).numBlocks(), 4 * d + 2);
+        EXPECT_EQ(makeKShape(d).numBlocks(), 2 * d + 2);
+    }
+}
+
+TEST(Placement, ShapeByNameRoundTrip)
+{
+    for (const char *name : {"V", "X", "M", "NN", "K"}) {
+        const Placement p = makeShapeByName(name, 4);
+        EXPECT_GT(p.numBlocks(), 0) << name;
+    }
+}
+
+TEST(Placement, ForwardOnlyDropsBackward)
+{
+    const Placement train = makeMShape(4);
+    const Placement infer = forwardOnly(train);
+    for (int i = 0; i < infer.numBlocks(); ++i) {
+        EXPECT_NE(infer.block(i).kind, BlockKind::Backward);
+        EXPECT_EQ(infer.block(i).memory, 0);
+    }
+    int fwd = 0;
+    for (int i = 0; i < train.numBlocks(); ++i)
+        if (train.block(i).kind != BlockKind::Backward)
+            ++fwd;
+    EXPECT_EQ(infer.numBlocks(), fwd);
+}
+
+TEST(Placement, ForwardOnlyPreservesDependencies)
+{
+    const Placement infer = forwardOnly(makeVShape(4));
+    EXPECT_EQ(infer.numBlocks(), 4);
+    for (int i = 1; i < 4; ++i) {
+        ASSERT_EQ(infer.block(i).deps.size(), 1u);
+        EXPECT_EQ(infer.block(i).deps[0], i - 1);
+    }
+}
+
+TEST(Placement, RecomputeCostsTripleBackward)
+{
+    const Placement p = makeVShape(4, ShapeCosts::withRecompute());
+    EXPECT_EQ(p.block(4).span, 3);
+    EXPECT_EQ(p.block(0).span, 1);
+}
+
+TEST(PlacementBuilder, BuildsCustomShape)
+{
+    PlacementBuilder b("custom", 2);
+    const int f0 = b.forward("f0").on(0).span(2).mem(1).done();
+    const int f1 = b.forward("f1").on(1).span(2).mem(1).after(f0).done();
+    const int bb =
+        b.backward("b").onDevices({0, 1}).span(4).mem(-1).after(f1).done();
+    EXPECT_EQ(b.size(), 3);
+    const Placement p = b.build();
+    EXPECT_EQ(p.numBlocks(), 3);
+    EXPECT_EQ(p.block(bb).devices, allDevices(2));
+    EXPECT_EQ(p.block(f1).deps, std::vector<int>{f0});
+    EXPECT_EQ(p.criticalPath(), 8);
+}
+
+TEST(PlacementBuilder, OnAllUsesEveryDevice)
+{
+    PlacementBuilder b("tp", 4);
+    const int x = b.other("x").onAll().span(3).done();
+    const Placement p = b.build();
+    EXPECT_EQ(p.block(x).devices, allDevices(4));
+    EXPECT_EQ(p.workOnDevice(3), 3);
+}
+
+TEST(Piper, BalancedSplitWithoutMemoryPressure)
+{
+    std::vector<LayerCost> layers;
+    for (int i = 0; i < 8; ++i)
+        layers.push_back({"l", 1.0, 2.0, 1.0});
+    const PiperResult r = piperPartition(layers, 4, 1e9, 1.0, 1);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.stages.size(), 4u);
+    EXPECT_DOUBLE_EQ(r.bottleneckTime, 6.0); // 2 layers x 3.
+    EXPECT_DOUBLE_EQ(r.fastestTime, 6.0);
+}
+
+TEST(Piper, MemoryForcesImbalance)
+{
+    // A huge first layer (embedding) must sit alone.
+    std::vector<LayerCost> layers;
+    layers.push_back({"emb", 0.1, 0.2, 90.0});
+    for (int i = 0; i < 6; ++i)
+        layers.push_back({"l", 1.0, 2.0, 10.0});
+    const PiperResult r = piperPartition(layers, 4, 95.0, 1.0, 1);
+    ASSERT_TRUE(r.feasible);
+    // First stage holds only the embedding.
+    EXPECT_EQ(r.stages[0].firstLayer, 0);
+    EXPECT_EQ(r.stages[0].lastLayer, 0);
+    EXPECT_GT(r.bottleneckTime / r.fastestTime, 2.0);
+}
+
+TEST(Piper, InfeasibleWhenNothingFits)
+{
+    std::vector<LayerCost> layers{{"big", 1.0, 2.0, 1000.0}};
+    const PiperResult r = piperPartition(layers, 4, 10.0, 1.0);
+    EXPECT_FALSE(r.feasible);
+}
+
+TEST(Piper, TensorParallelismRescuesBigLayers)
+{
+    std::vector<LayerCost> layers{{"big", 1.0, 2.0, 1000.0}};
+    const PiperResult r = piperPartition(layers, 4, 300.0, 1.0);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.stages.size(), 1u);
+    EXPECT_EQ(r.stages[0].numDevices, 4);
+}
+
+TEST(Piper, MaxTpCapsStageWidth)
+{
+    std::vector<LayerCost> layers;
+    for (int i = 0; i < 4; ++i)
+        layers.push_back({"l", 1.0, 1.0, 1.0});
+    const PiperResult r = piperPartition(layers, 4, 1e9, 1.0, 2);
+    ASSERT_TRUE(r.feasible);
+    for (const PiperStage &st : r.stages)
+        EXPECT_LE(st.numDevices, 2);
+}
+
+TEST(Piper, ToPlacementProducesValidVShape)
+{
+    std::vector<LayerCost> layers;
+    for (int i = 0; i < 8; ++i)
+        layers.push_back({"l", 1.0, 2.0, 1.0});
+    const PiperResult r = piperPartition(layers, 4, 1e9, 1.0, 1);
+    ASSERT_TRUE(r.feasible);
+    const Placement p = piperToPlacement(r, 1.0);
+    EXPECT_EQ(p.numDevices(), 4);
+    EXPECT_EQ(p.numBlocks(), 8); // 4 fwd + 4 bwd stages.
+    // Backward releases what forward allocated.
+    for (DeviceId d = 0; d < 4; ++d)
+        EXPECT_EQ(p.netMemoryOnDevice(d), 0);
+}
+
+TEST(Piper, UsesAllDevices)
+{
+    std::vector<LayerCost> layers;
+    for (int i = 0; i < 10; ++i)
+        layers.push_back({"l", 1.0, 1.0, 1.0});
+    for (int devices : {2, 3, 4, 6}) {
+        const PiperResult r = piperPartition(layers, devices, 1e9, 0.9);
+        ASSERT_TRUE(r.feasible);
+        int used = 0;
+        for (const PiperStage &st : r.stages)
+            used += st.numDevices;
+        EXPECT_EQ(used, devices);
+    }
+}
+
+} // namespace
+} // namespace tessel

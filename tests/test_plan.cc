@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for TesselPlan: schedule generalization to any micro-batch count
+ * (Sec. III-C), periodic growth of the makespan, and memory-safety of
+ * the expansion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/search.h"
+#include "placement/shapes.h"
+
+namespace tessel {
+namespace {
+
+TesselResult
+searchShape(const std::string &name, Mem mem_limit = kUnlimitedMem)
+{
+    TesselOptions opts;
+    opts.totalBudgetSec = 120.0;
+    opts.memLimit = mem_limit;
+    auto r = tesselSearch(makeShapeByName(name, 4), opts);
+    EXPECT_TRUE(r.found) << name;
+    return r;
+}
+
+class ExpandShape
+    : public ::testing::TestWithParam<std::tuple<const char *, int>>
+{
+};
+
+TEST_P(ExpandShape, InstantiatedSchedulesAreValid)
+{
+    const auto [name, extra] = GetParam();
+    const TesselResult r = searchShape(name);
+    const int n = r.plan.minMicrobatches() + extra;
+    const Schedule sched = r.plan.instantiate(n);
+    const auto check = sched.validate();
+    EXPECT_TRUE(check.ok) << name << " N=" << n << ": " << check.message;
+    EXPECT_TRUE(sched.complete());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExpandShape,
+    ::testing::Combine(::testing::Values("V", "X", "M", "K"),
+                       ::testing::Values(0, 1, 3, 8, 20)));
+
+TEST(TesselPlan, MakespanGrowsByOnePeriodPerMicrobatch)
+{
+    const TesselResult r = searchShape("V");
+    const int nr = r.plan.minMicrobatches();
+    const Time base = r.plan.makespanFor(nr + 4);
+    for (int extra = 5; extra <= 8; ++extra) {
+        const Time t = r.plan.makespanFor(nr + extra);
+        EXPECT_EQ(t - base,
+                  static_cast<Time>(extra - 4) * r.plan.period());
+    }
+}
+
+TEST(TesselPlan, AsymptoticRateMatchesPeriod)
+{
+    for (const char *name : {"V", "M", "K"}) {
+        const TesselResult r = searchShape(name);
+        const int nr = r.plan.minMicrobatches();
+        const Time t1 = r.plan.makespanFor(nr + 10);
+        const Time t2 = r.plan.makespanFor(nr + 40);
+        EXPECT_EQ((t2 - t1) / 30, r.plan.period()) << name;
+    }
+}
+
+TEST(TesselPlan, RequiresAtLeastNrMicrobatches)
+{
+    const TesselResult r = searchShape("V");
+    EXPECT_EQ(r.plan.minMicrobatches(), 4);
+    // instantiate(NR) is the smallest valid instantiation.
+    const Schedule sched = r.plan.instantiate(4);
+    EXPECT_TRUE(sched.validate().ok);
+}
+
+TEST(TesselPlan, MemoryConstrainedExpansionStaysFeasible)
+{
+    const TesselResult r = searchShape("V", 4);
+    for (int n = r.plan.minMicrobatches(); n <= 24; n += 5) {
+        const Schedule sched = r.plan.instantiate(n);
+        const auto check = sched.validate();
+        EXPECT_TRUE(check.ok) << "N=" << n << ": " << check.message;
+        for (DeviceId d = 0; d < 4; ++d)
+            EXPECT_LE(sched.peakMemory(d), 4) << "N=" << n;
+    }
+}
+
+TEST(TesselPlan, SteadyBubbleFormula)
+{
+    const TesselResult r = searchShape("V");
+    EXPECT_DOUBLE_EQ(r.plan.steadyBubbleRate(), 0.0);
+    EXPECT_DOUBLE_EQ(r.plan.worstDeviceBubbleRate(), 0.0);
+
+    TesselOptions opts;
+    opts.totalBudgetSec = 60.0;
+    opts.maxRepetendMicrobatches = 1; // Sequential repetend.
+    const auto seq = tesselSearch(makeVShape(4), opts);
+    ASSERT_TRUE(seq.found);
+    EXPECT_NEAR(seq.plan.steadyBubbleRate(), 0.75, 1e-9);
+    EXPECT_NEAR(seq.plan.worstDeviceBubbleRate(), 0.75, 1e-9);
+}
+
+TEST(TesselPlan, WholeRunBubbleApproachesSteadyBubble)
+{
+    const TesselResult r = searchShape("M");
+    const Schedule small = r.plan.instantiate(r.plan.minMicrobatches());
+    const Schedule large =
+        r.plan.instantiate(r.plan.minMicrobatches() + 60);
+    // With many micro-batches the warmup/cooldown overhead washes out.
+    EXPECT_LT(large.bubbleRate(), small.bubbleRate());
+    EXPECT_LT(large.bubbleRate(), 0.15);
+}
+
+TEST(TesselPlan, ProblemForCarriesMemoryConfig)
+{
+    TesselOptions opts;
+    opts.totalBudgetSec = 60.0;
+    opts.memLimit = 4;
+    opts.initialMem = {1, 0, 0, 0};
+    const auto r = tesselSearch(makeVShape(4), opts);
+    ASSERT_TRUE(r.found);
+    const Problem prob = r.plan.problemFor(8);
+    EXPECT_EQ(prob.memLimit(), 4);
+    EXPECT_EQ(prob.initialMem()[0], 1);
+    EXPECT_TRUE(r.plan.instantiate(8).validate().ok);
+}
+
+} // namespace
+} // namespace tessel

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Cross-cutting property tests: invariants that must hold for every
+ * shape x configuration combination — repetend consistency, expansion
+ * validity, the Sec. VI-B training-to-inference observation, and
+ * end-to-end agreement between the schedule metrics and the simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/schedules.h"
+#include "core/search.h"
+#include "placement/shapes.h"
+#include "sim/runner.h"
+#include "support/rng.h"
+
+namespace tessel {
+namespace {
+
+class EveryShape : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    Placement
+    placement() const
+    {
+        return makeShapeByName(GetParam(), 4);
+    }
+
+    TesselResult
+    search(TesselOptions opts = {}) const
+    {
+        if (opts.totalBudgetSec == 0.0)
+            opts.totalBudgetSec = 120.0;
+        return tesselSearch(placement(), opts);
+    }
+};
+
+TEST_P(EveryShape, PeriodNeverBelowWorkBound)
+{
+    const auto r = search();
+    ASSERT_TRUE(r.found);
+    EXPECT_GE(r.period, r.lowerBound);
+}
+
+TEST_P(EveryShape, RepetendEntryMemoryNonNegative)
+{
+    const auto r = search();
+    ASSERT_TRUE(r.found);
+    for (Mem m : repetendEntryMem(placement(), r.plan.assignment()))
+        EXPECT_GE(m, 0);
+}
+
+TEST_P(EveryShape, WindowRespectsIntraDependencies)
+{
+    const auto r = search();
+    ASSERT_TRUE(r.found);
+    const Placement p = placement();
+    const auto &assign = r.plan.assignment();
+    const auto &start = r.plan.windowStart();
+    for (int j = 0; j < p.numBlocks(); ++j)
+        for (int i : p.block(j).deps)
+            if (assign.r[i] == assign.r[j])
+                EXPECT_LE(start[i] + p.block(i).span, start[j]);
+}
+
+TEST_P(EveryShape, ExpansionMakespanIsAffineInN)
+{
+    const auto r = search();
+    ASSERT_TRUE(r.found);
+    const int nr = r.plan.minMicrobatches();
+    // Beyond a settling point, makespan(N+1) - makespan(N) == period.
+    Time prev = r.plan.makespanFor(nr + 6);
+    for (int n = nr + 7; n <= nr + 12; ++n) {
+        const Time cur = r.plan.makespanFor(n);
+        EXPECT_EQ(cur - prev, r.plan.period()) << GetParam() << " N=" << n;
+        prev = cur;
+    }
+}
+
+TEST_P(EveryShape, WholeRunBubbleConvergesToSteady)
+{
+    const auto r = search();
+    ASSERT_TRUE(r.found);
+    const Schedule big = r.plan.instantiate(r.plan.minMicrobatches() + 80);
+    EXPECT_NEAR(big.bubbleRate(), r.plan.steadyBubbleRate(), 0.08)
+        << GetParam();
+}
+
+TEST_P(EveryShape, SimMatchesScheduleWithFreeComm)
+{
+    const auto r = search();
+    ASSERT_TRUE(r.found);
+    const Schedule sched =
+        r.plan.instantiate(r.plan.minMicrobatches() + 6);
+    ClusterSpec cs;
+    cs.linkLatencyMs = 0.0;
+    cs.nvlinkGBs = cs.ibGBs = 1e9;
+    const SimResult sim = simulateSchedule(sched, {}, cs);
+    ASSERT_TRUE(sim.ok) << GetParam();
+    // Free communication: the simulator can only compress the periodic
+    // layout, never stretch it.
+    EXPECT_LE(sim.makespanMs,
+              static_cast<double>(sched.makespan()) + 1e-6)
+        << GetParam();
+    // And never beat the per-device work bound.
+    double max_busy = 0.0;
+    for (double b : sim.busyMs)
+        max_busy = std::max(max_busy, b);
+    EXPECT_GE(sim.makespanMs, max_busy - 1e-6);
+}
+
+TEST_P(EveryShape, TrainingMinusBackwardIsValidInference)
+{
+    // Sec. VI-B: inference schedules can be derived from training
+    // schedules by dropping backward blocks. Project the searched
+    // training schedule's order onto the forward-only placement and
+    // check it times into a valid schedule.
+    const auto r = search();
+    ASSERT_TRUE(r.found);
+    const Placement train = placement();
+    const Placement infer = forwardOnly(train);
+    // Map forward specs: forwardOnly preserves relative order.
+    std::vector<int> to_infer(train.numBlocks(), -1);
+    int next = 0;
+    for (int i = 0; i < train.numBlocks(); ++i)
+        if (train.block(i).kind != BlockKind::Backward)
+            to_infer[i] = next++;
+
+    const int n = r.plan.minMicrobatches() + 4;
+    const Schedule tsched = r.plan.instantiate(n);
+    Problem iprob(infer, n, kUnlimitedMem);
+    Schedule isched(iprob);
+    // Keep the training start times for the surviving blocks; validity
+    // (deps + exclusivity) must be inherited.
+    for (int spec = 0; spec < train.numBlocks(); ++spec) {
+        if (to_infer[spec] < 0)
+            continue;
+        for (int mb = 0; mb < n; ++mb)
+            isched.setStart({to_infer[spec], mb},
+                            tsched.start({spec, mb}));
+    }
+    const auto check = isched.validate();
+    EXPECT_TRUE(check.ok) << GetParam() << ": " << check.message;
+}
+
+TEST_P(EveryShape, TesselNeverLosesToSequential)
+{
+    const auto r = search();
+    ASSERT_TRUE(r.found);
+    const int n = r.plan.minMicrobatches() + 8;
+    Problem prob(placement(), n, kUnlimitedMem);
+    EXPECT_LE(r.plan.makespanFor(n),
+              scheduleSequential(prob).makespan());
+}
+
+TEST_P(EveryShape, BaselinesAlwaysValidate)
+{
+    const int n = 12;
+    Problem prob(placement(), n, kUnlimitedMem);
+    for (const auto &sched :
+         {schedule1F1B(prob), scheduleGPipe(prob),
+          schedule1F1BPlus(prob), scheduleChimeraDirect(prob)}) {
+        ASSERT_TRUE(sched.has_value());
+        EXPECT_TRUE(sched->validate().ok) << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, EveryShape,
+                         ::testing::Values("V", "X", "M", "K"));
+
+TEST(RandomCosts, SearchHandlesHeterogeneousSpans)
+{
+    // Randomized spans/memories on a V-shape skeleton: the search must
+    // always return a valid, work-bound-respecting plan.
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+        Rng rng(seed * 2654435761ull);
+        ShapeCosts costs;
+        costs.fwdSpan = rng.range(1, 4);
+        costs.bwdSpan = rng.range(costs.fwdSpan, 8);
+        const Placement p = makeVShape(3, costs);
+        TesselOptions opts;
+        opts.totalBudgetSec = 30.0;
+        const auto r = tesselSearch(p, opts);
+        ASSERT_TRUE(r.found) << "seed " << seed;
+        EXPECT_GE(r.period, r.lowerBound);
+        EXPECT_TRUE(
+            r.plan.instantiate(r.plan.minMicrobatches() + 3).validate().ok)
+            << "seed " << seed;
+    }
+}
+
+TEST(RandomCosts, MemoryLimitedSearchesStayWithinBudget)
+{
+    for (Mem m : {2, 3, 5}) {
+        TesselOptions opts;
+        opts.memLimit = m;
+        opts.totalBudgetSec = 30.0;
+        const auto r = tesselSearch(makeVShape(3), opts);
+        ASSERT_TRUE(r.found) << "M=" << m;
+        const Schedule sched =
+            r.plan.instantiate(r.plan.minMicrobatches() + 6);
+        for (DeviceId d = 0; d < 3; ++d)
+            EXPECT_LE(sched.peakMemory(d), m) << "M=" << m;
+    }
+}
+
+} // namespace
+} // namespace tessel

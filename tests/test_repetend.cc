@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for repetend construction: the candidate enumeration with
+ * Property 4.1/4.2 pruning and canonical forms, warmup/cooldown block
+ * derivation (Eqs. 5/6), entry-memory analysis, and the in-flight limit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/repetend.h"
+#include "placement/shapes.h"
+
+namespace tessel {
+namespace {
+
+TEST(RepetendEnum, SingleMicrobatchHasOneCandidate)
+{
+    for (const char *name : {"V", "X", "M", "NN", "K"}) {
+        const Placement p = makeShapeByName(name, 4);
+        const auto all = allRepetends(p, 1);
+        ASSERT_EQ(all.size(), 1u) << name;
+        for (int r : all[0].r)
+            EXPECT_EQ(r, 0);
+    }
+}
+
+TEST(RepetendEnum, Property42AlongChains)
+{
+    const Placement p = makeVShape(4);
+    for (int nr = 2; nr <= 4; ++nr) {
+        for (const auto &a : allRepetends(p, nr)) {
+            for (int j = 0; j < p.numBlocks(); ++j)
+                for (int i : p.block(j).deps)
+                    EXPECT_GE(a.r[i], a.r[j]);
+        }
+    }
+}
+
+TEST(RepetendEnum, CanonicalFormMinZeroMaxNrMinusOne)
+{
+    const Placement p = makeMShape(4);
+    for (int nr = 1; nr <= 4; ++nr) {
+        for (const auto &a : allRepetends(p, nr)) {
+            int lo = nr, hi = -1;
+            for (int r : a.r) {
+                lo = std::min(lo, r);
+                hi = std::max(hi, r);
+            }
+            EXPECT_EQ(lo, 0);
+            EXPECT_EQ(hi, nr - 1);
+            EXPECT_EQ(a.numMicrobatches, nr);
+        }
+    }
+}
+
+TEST(RepetendEnum, ChainCountMatchesCombinatorics)
+{
+    // For a single dependency chain of K blocks and indices in [0, NR),
+    // non-increasing assignments with min 0 and max NR-1 are the
+    // compositions counted by C(K-2 + NR-2, NR-2)... verified here
+    // against brute force for small sizes.
+    const Placement p = makeVShape(2); // Chain of 4 blocks.
+    for (int nr = 1; nr <= 4; ++nr) {
+        int brute = 0;
+        // Enumerate all 4-digit assignments in [0, nr).
+        for (int a = 0; a < nr; ++a)
+            for (int b = 0; b < nr; ++b)
+                for (int c = 0; c < nr; ++c)
+                    for (int d = 0; d < nr; ++d) {
+                        if (!(a >= b && b >= c && c >= d))
+                            continue;
+                        if (std::min({a, b, c, d}) != 0 ||
+                            std::max({a, b, c, d}) != nr - 1) {
+                            continue;
+                        }
+                        ++brute;
+                    }
+        EXPECT_EQ(static_cast<int>(allRepetends(p, nr).size()), brute)
+            << "nr=" << nr;
+    }
+}
+
+TEST(RepetendEnum, CandidatesAreUnique)
+{
+    const Placement p = makeKShape(4);
+    for (int nr = 1; nr <= 3; ++nr) {
+        std::set<std::vector<int>> seen;
+        for (const auto &a : allRepetends(p, nr))
+            EXPECT_TRUE(seen.insert(a.r).second);
+    }
+}
+
+TEST(RepetendEnum, EarlyStopViaCallback)
+{
+    const Placement p = makeVShape(4);
+    int count = 0;
+    enumerateRepetends(p, 4, [&](const RepetendAssignment &) {
+        ++count;
+        return count < 3;
+    });
+    EXPECT_EQ(count, 3);
+}
+
+TEST(RepetendPhases, WarmupAndCooldownPartition)
+{
+    const Placement p = makeVShape(4);
+    // 1F1B-like assignment: forwards 3,2,1,0; backwards all 0.
+    RepetendAssignment a;
+    a.r = {3, 2, 1, 0, 0, 0, 0, 0};
+    a.numMicrobatches = 4;
+
+    const auto warm = warmupBlocks(p, a);
+    const auto cool = cooldownBlocks(p, a);
+    // Warmup: f0 x3, f1 x2, f2 x1 = 6 blocks.
+    EXPECT_EQ(warm.size(), 6u);
+    // Cooldown: per spec NR-1-r blocks: f0:0, f1:1, f2:2, f3:3 and
+    // 3 for each of the four backward specs.
+    EXPECT_EQ(cool.size(), 0u + 1 + 2 + 3 + 3 * 4);
+    // Disjointness and coverage: warm + cool + K == K * NR.
+    EXPECT_EQ(warm.size() + cool.size() + p.numBlocks(),
+              static_cast<size_t>(p.numBlocks()) * a.numMicrobatches);
+    for (const BlockRef &ref : warm)
+        EXPECT_LT(ref.mb, a.r[ref.spec]);
+    for (const BlockRef &ref : cool) {
+        EXPECT_GT(ref.mb, a.r[ref.spec]);
+        EXPECT_LT(ref.mb, a.numMicrobatches);
+    }
+}
+
+TEST(RepetendPhases, WarmupIsDependencyClosed)
+{
+    const Placement p = makeNnShape(4);
+    for (const auto &a : allRepetends(p, 3)) {
+        const auto warm = warmupBlocks(p, a);
+        std::set<std::pair<int, int>> in_warm;
+        for (const BlockRef &ref : warm)
+            in_warm.insert({ref.spec, ref.mb});
+        for (const BlockRef &ref : warm)
+            for (int dep : p.block(ref.spec).deps)
+                EXPECT_TRUE(in_warm.count({dep, ref.mb}))
+                    << "warmup block depends outside the warmup";
+    }
+}
+
+TEST(RepetendMemory, EntryMemoryCountsInFlightWarmup)
+{
+    const Placement p = makeVShape(4); // mem +1 fwd, -1 bwd.
+    RepetendAssignment a;
+    a.r = {3, 2, 1, 0, 0, 0, 0, 0};
+    a.numMicrobatches = 4;
+    const auto entry = repetendEntryMem(p, a);
+    // Device d has r[f_d] forward allocations in flight at entry.
+    EXPECT_EQ(entry[0], 3);
+    EXPECT_EQ(entry[1], 2);
+    EXPECT_EQ(entry[2], 1);
+    EXPECT_EQ(entry[3], 0);
+}
+
+TEST(RepetendMemory, TensorParallelBlocksChargeEveryDevice)
+{
+    const Placement p = makeMShape(4);
+    RepetendAssignment a;
+    a.r.assign(p.numBlocks(), 0);
+    a.r[0] = 2; // embF (all devices) two micro-batches ahead.
+    a.numMicrobatches = 3;
+    const auto entry = repetendEntryMem(p, a);
+    for (DeviceId d = 0; d < 4; ++d)
+        EXPECT_EQ(entry[d], 2); // 2 x embF memory (1 per device).
+}
+
+TEST(MaxInflight, UnlimitedMemoryGivesHardCap)
+{
+    const Placement p = makeVShape(4);
+    EXPECT_EQ(calMaxInflight(p, kUnlimitedMem, {}, 8), 8);
+}
+
+TEST(MaxInflight, MemoryBoundsInflight)
+{
+    const Placement p = makeVShape(4); // Holds +1 per in-flight mb.
+    EXPECT_EQ(calMaxInflight(p, 3, {}, 8), 3);
+    EXPECT_EQ(calMaxInflight(p, 1, {}, 8), 1);
+}
+
+TEST(MaxInflight, InitialMemoryReducesHeadroom)
+{
+    const Placement p = makeVShape(4);
+    EXPECT_EQ(calMaxInflight(p, 5, {2, 0, 0, 0}, 8), 3);
+}
+
+TEST(MaxInflight, AtLeastOne)
+{
+    const Placement p = makeVShape(4);
+    EXPECT_GE(calMaxInflight(p, 1, {}, 8), 1);
+}
+
+} // namespace
+} // namespace tessel

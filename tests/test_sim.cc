@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the cluster simulator: timing semantics of blocking vs
+ * non-blocking communication (Fig. 7), link model, memory/OOM
+ * accounting, and busy/wait bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/schedules.h"
+#include "placement/shapes.h"
+#include "runtime/instantiate.h"
+#include "sim/runner.h"
+
+namespace tessel {
+namespace {
+
+/** A minimal hand-built program: compute A on dev0 -> send -> B on dev1. */
+Program
+handoffProgram(double mb)
+{
+    Program prog;
+    prog.numDevices = 2;
+    prog.numTensors = 1;
+    prog.code.resize(2);
+
+    Instruction a;
+    a.kind = OpKind::Compute;
+    a.name = "A";
+    a.spanMs = 10;
+    prog.code[0].push_back(a);
+
+    Instruction send;
+    send.kind = OpKind::Send;
+    send.tensor = 0;
+    send.peer = 1;
+    send.sizeMB = mb;
+    prog.code[0].push_back(send);
+
+    Instruction extra;
+    extra.kind = OpKind::Compute;
+    extra.name = "A2";
+    extra.spanMs = 50;
+    prog.code[0].push_back(extra);
+
+    Instruction recv;
+    recv.kind = OpKind::Recv;
+    recv.tensor = 0;
+    recv.peer = 0;
+    recv.sizeMB = mb;
+    prog.code[1].push_back(recv);
+
+    Instruction b;
+    b.kind = OpKind::Compute;
+    b.name = "B";
+    b.spanMs = 10;
+    b.waits = {0};
+    prog.code[1].push_back(b);
+    return prog;
+}
+
+TEST(Sim, SingleHandoffTiming)
+{
+    ClusterSpec cs;
+    cs.nonBlockingComm = true;
+    cs.linkLatencyMs = 1.0;
+    cs.nvlinkGBs = 1.0; // 1 GB/s so sizes translate directly to ms.
+    const SimResult r = simulate(handoffProgram(1024.0), cs);
+    ASSERT_TRUE(r.ok);
+    // A: 10ms; transfer: 1 + 1000ms; B: 10ms => ~1021ms.
+    EXPECT_NEAR(r.makespanMs, 10.0 + 1.0 + 1000.0 + 10.0, 1e-6);
+    EXPECT_NEAR(r.busyMs[0], 60.0, 1e-9);
+    EXPECT_NEAR(r.busyMs[1], 10.0, 1e-9);
+}
+
+TEST(Sim, NonBlockingOverlapsComputeWithComm)
+{
+    ClusterSpec nb, bl;
+    nb.nonBlockingComm = true;
+    bl.nonBlockingComm = false;
+    nb.linkLatencyMs = bl.linkLatencyMs = 0.0;
+    nb.nvlinkGBs = bl.nvlinkGBs = 1.0;
+    const Program prog = handoffProgram(1024.0); // 1000ms transfer.
+    const SimResult r_nb = simulate(prog, nb);
+    const SimResult r_bl = simulate(prog, bl);
+    ASSERT_TRUE(r_nb.ok);
+    ASSERT_TRUE(r_bl.ok);
+    // Blocking: dev0 runs A2 only after the transfer completes.
+    EXPECT_NEAR(r_bl.makespanMs, 10 + 1000 + 50, 1e-6);
+    // Non-blocking: A2 overlaps the transfer.
+    EXPECT_NEAR(r_nb.makespanMs, 10 + 1000 + 10, 1e-6);
+    EXPECT_LT(r_nb.makespanMs, r_bl.makespanMs + 1e-9);
+}
+
+TEST(Sim, CrossServerUsesInfiniband)
+{
+    Program prog = handoffProgram(1024.0);
+    ClusterSpec cs;
+    cs.linkLatencyMs = 0.0;
+    cs.nvlinkGBs = 100.0;
+    cs.ibGBs = 1.0;
+    cs.gpusPerServer = 1; // Devices 0 and 1 on different servers.
+    const SimResult slow = simulate(prog, cs);
+    cs.gpusPerServer = 8; // Same server.
+    const SimResult fast = simulate(prog, cs);
+    EXPECT_GT(slow.makespanMs, fast.makespanMs * 10);
+}
+
+TEST(Sim, OomDetection)
+{
+    Program prog;
+    prog.numDevices = 1;
+    prog.code.resize(1);
+    Instruction big;
+    big.kind = OpKind::Compute;
+    big.spanMs = 1;
+    big.memDeltaMB = 100;
+    prog.code[0].push_back(big);
+    ClusterSpec cs;
+    cs.memCapacityMB = 50;
+    const SimResult r = simulate(prog, cs);
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.oom);
+    EXPECT_EQ(r.oomDevice, 0);
+    EXPECT_EQ(r.peakMemMB[0], 100);
+}
+
+TEST(Sim, InitialMemoryCounts)
+{
+    Program prog;
+    prog.numDevices = 1;
+    prog.code.resize(1);
+    Instruction op;
+    op.kind = OpKind::Compute;
+    op.spanMs = 1;
+    op.memDeltaMB = 10;
+    prog.code[0].push_back(op);
+    ClusterSpec cs;
+    cs.memCapacityMB = 15;
+    cs.initialMemMB = {10};
+    const SimResult r = simulate(prog, cs);
+    EXPECT_TRUE(r.oom);
+    cs.initialMemMB = {5};
+    EXPECT_FALSE(simulate(prog, cs).oom);
+}
+
+TEST(Sim, DeadlockDetectedOnMisorderedComm)
+{
+    // Two transfers posted in opposite orders on the two devices under
+    // blocking communication: a rendezvous cycle.
+    Program prog;
+    prog.numDevices = 2;
+    prog.numTensors = 2;
+    prog.code.resize(2);
+    auto comm = [&](OpKind kind, int tensor, DeviceId peer) {
+        Instruction op;
+        op.kind = kind;
+        op.tensor = tensor;
+        op.peer = peer;
+        op.sizeMB = 1.0;
+        return op;
+    };
+    prog.code[0].push_back(comm(OpKind::Send, 0, 1));
+    prog.code[0].push_back(comm(OpKind::Recv, 1, 1));
+    prog.code[1].push_back(comm(OpKind::Recv, 1, 0));
+    // Device 1 wants tensor 1 first, but device 0 sends tensor 0 first;
+    // under blocking semantics both make progress only if orders agree.
+    prog.code[1].insert(prog.code[1].begin(),
+                        comm(OpKind::Send, 0, 0)); // Wrong direction.
+    // tensor 0: send on dev0 and send on dev1 -> unmatched pair.
+    ClusterSpec cs;
+    cs.nonBlockingComm = false;
+    const SimResult r = simulate(prog, cs);
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(Sim, EndToEndScheduleSimulationIsConsistent)
+{
+    Problem prob(makeVShape(4), 8, kUnlimitedMem);
+    auto sched = schedule1F1B(prob);
+    ASSERT_TRUE(sched.has_value());
+    std::map<std::pair<int, int>, double> edges;
+    ClusterSpec cs;
+    cs.linkLatencyMs = 0.0; // Zero-cost comm: sim time == schedule time.
+    const SimResult r = simulateSchedule(*sched, edges, cs);
+    ASSERT_TRUE(r.ok);
+    EXPECT_NEAR(r.makespanMs, static_cast<double>(sched->makespan()),
+                1e-6);
+    for (DeviceId d = 0; d < 4; ++d)
+        EXPECT_NEAR(r.busyMs[d],
+                    static_cast<double>(sched->busyTime(d)), 1e-9);
+}
+
+TEST(Sim, CommCostsExtendTheMakespan)
+{
+    Problem prob(makeVShape(4), 8, kUnlimitedMem);
+    auto sched = schedule1F1B(prob);
+    ASSERT_TRUE(sched.has_value());
+    std::map<std::pair<int, int>, double> edges;
+    for (int spec = 0; spec < prob.placement().numBlocks(); ++spec)
+        for (int dep : prob.placement().block(spec).deps)
+            edges[{dep, spec}] = 64.0;
+    ClusterSpec cheap, pricey;
+    cheap.linkLatencyMs = 0.0;
+    pricey.linkLatencyMs = 0.5;
+    pricey.nvlinkGBs = 10.0;
+    const SimResult fast = simulateSchedule(*sched, edges, cheap);
+    const SimResult slow = simulateSchedule(*sched, edges, pricey);
+    EXPECT_GT(slow.makespanMs, fast.makespanMs);
+    EXPECT_GT(slow.commMs, 0.0);
+}
+
+TEST(Sim, WaitPlusBusyEqualsMakespan)
+{
+    Problem prob(makeVShape(4), 6, kUnlimitedMem);
+    auto sched = schedule1F1B(prob);
+    ASSERT_TRUE(sched.has_value());
+    const SimResult r = simulateSchedule(*sched, {}, ClusterSpec{});
+    ASSERT_TRUE(r.ok);
+    for (DeviceId d = 0; d < 4; ++d)
+        EXPECT_NEAR(r.busyMs[d] + r.waitMs[d], r.makespanMs, 1e-9);
+    EXPECT_GT(r.slowestBusyMs(), 0.0);
+    EXPECT_GE(r.slowestWaitFraction(), 0.0);
+    EXPECT_LE(r.slowestWaitFraction(), 1.0);
+}
+
+} // namespace
+} // namespace tessel

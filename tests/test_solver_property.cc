@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Property-based tests for the solver over randomized instances: every
+ * produced schedule must satisfy all constraints; the optimum must never
+ * exceed a greedy list schedule; pruning features must not change the
+ * optimum; decide() must be consistent with the optimum.
+ */
+
+#include <gtest/gtest.h>
+
+#include "solver/bnb.h"
+#include "support/rng.h"
+
+namespace tessel {
+namespace {
+
+/** Random DAG scheduling instance generator. */
+SolverProblem
+randomProblem(uint64_t seed, int num_blocks, int num_devices,
+              bool with_memory)
+{
+    Rng rng(seed);
+    SolverProblem sp;
+    sp.numDevices = num_devices;
+    sp.memLimit = with_memory ? 3 : kUnlimitedMem;
+    for (int i = 0; i < num_blocks; ++i) {
+        SolverBlock b;
+        b.span = rng.range(1, 4);
+        b.devices = oneDevice(static_cast<DeviceId>(
+            rng.range(0, num_devices - 1)));
+        if (rng.chance(0.15))
+            b.devices = allDevices(num_devices);
+        if (with_memory) {
+            // Alternate allocations and releases to keep instances
+            // feasible: even blocks allocate, odd blocks release what
+            // their dependency allocated.
+            if (i % 2 == 0) {
+                b.memory = rng.range(0, 2);
+            } else {
+                b.memory = -sp.blocks[i - 1].memory;
+                b.deps.push_back(i - 1);
+            }
+        }
+        // Sparse random dependencies on earlier blocks.
+        for (int j = 0; j < i; ++j)
+            if (rng.chance(2.0 / (i + 1)))
+                b.deps.push_back(j);
+        sp.blocks.push_back(std::move(b));
+    }
+    return sp;
+}
+
+/** Check a solver result against all constraints of its problem. */
+void
+expectValid(const SolverProblem &sp, const SolveResult &r)
+{
+    ASSERT_TRUE(r.feasible());
+    ASSERT_EQ(r.starts.size(), sp.blocks.size());
+    Time makespan = 0;
+    for (size_t i = 0; i < sp.blocks.size(); ++i) {
+        EXPECT_GE(r.starts[i], sp.blocks[i].release);
+        makespan = std::max(makespan, r.starts[i] + sp.blocks[i].span);
+        for (int dep : sp.blocks[i].deps)
+            EXPECT_LE(r.starts[dep] + sp.blocks[dep].span, r.starts[i]);
+    }
+    EXPECT_EQ(makespan, r.makespan);
+    // Exclusivity and memory per device.
+    for (int d = 0; d < sp.numDevices; ++d) {
+        std::vector<int> on;
+        for (size_t i = 0; i < sp.blocks.size(); ++i)
+            if (sp.blocks[i].devices & oneDevice(d))
+                on.push_back(static_cast<int>(i));
+        std::sort(on.begin(), on.end(), [&](int a, int b) {
+            return r.starts[a] < r.starts[b];
+        });
+        Mem used = sp.initialMem.empty() ? 0 : sp.initialMem[d];
+        for (size_t k = 0; k + 1 < on.size(); ++k)
+            EXPECT_LE(r.starts[on[k]] + sp.blocks[on[k]].span,
+                      r.starts[on[k + 1]]);
+        for (int id : on) {
+            used += sp.blocks[id].memory;
+            EXPECT_LE(used, sp.memLimit);
+        }
+    }
+}
+
+/** Greedy earliest-start list schedule (upper bound on the optimum). */
+Time
+greedyMakespan(const SolverProblem &sp)
+{
+    const int nb = static_cast<int>(sp.blocks.size());
+    std::vector<char> done(nb, 0);
+    std::vector<Time> finish(nb, 0);
+    std::vector<Time> avail(sp.numDevices, 0);
+    Time makespan = 0;
+    for (int step = 0; step < nb; ++step) {
+        int pick = -1;
+        Time pick_est = 0;
+        for (int i = 0; i < nb; ++i) {
+            if (done[i])
+                continue;
+            bool ready = true;
+            Time est = sp.blocks[i].release;
+            for (int dep : sp.blocks[i].deps) {
+                if (!done[dep])
+                    ready = false;
+                else
+                    est = std::max(est, finish[dep]);
+            }
+            if (!ready)
+                continue;
+            for (int d = 0; d < sp.numDevices; ++d)
+                if (sp.blocks[i].devices & oneDevice(d))
+                    est = std::max(est, avail[d]);
+            if (pick < 0 || est < pick_est) {
+                pick = i;
+                pick_est = est;
+            }
+        }
+        EXPECT_GE(pick, 0);
+        done[pick] = 1;
+        finish[pick] = pick_est + sp.blocks[pick].span;
+        makespan = std::max(makespan, finish[pick]);
+        for (int d = 0; d < sp.numDevices; ++d)
+            if (sp.blocks[pick].devices & oneDevice(d))
+                avail[d] = finish[pick];
+    }
+    return makespan;
+}
+
+class RandomInstance : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomInstance, OptimalScheduleIsValid)
+{
+    const SolverProblem sp =
+        randomProblem(GetParam() * 7919 + 13, 10, 3, false);
+    BnbSolver solver(sp);
+    const SolveResult r = solver.minimizeMakespan();
+    ASSERT_EQ(r.status, SolveStatus::Optimal);
+    expectValid(sp, r);
+}
+
+TEST_P(RandomInstance, OptimumNeverExceedsGreedy)
+{
+    const SolverProblem sp =
+        randomProblem(GetParam() * 104729 + 1, 10, 3, false);
+    BnbSolver solver(sp);
+    const SolveResult r = solver.minimizeMakespan();
+    ASSERT_EQ(r.status, SolveStatus::Optimal);
+    EXPECT_LE(r.makespan, greedyMakespan(sp));
+}
+
+TEST_P(RandomInstance, DominanceIsLossless)
+{
+    const SolverProblem sp =
+        randomProblem(GetParam() * 31 + 5, 9, 3, false);
+    SolverOptions with, without;
+    without.useDominance = false;
+    BnbSolver a(sp, with), b(sp, without);
+    EXPECT_EQ(a.minimizeMakespan().makespan,
+              b.minimizeMakespan().makespan);
+}
+
+TEST_P(RandomInstance, DecideConsistentWithOptimum)
+{
+    const SolverProblem sp =
+        randomProblem(GetParam() * 607 + 3, 9, 2, false);
+    BnbSolver solver(sp);
+    const Time opt = solver.minimizeMakespan().makespan;
+    EXPECT_TRUE(solver.decide(opt).feasible());
+    EXPECT_EQ(solver.decide(opt - 1).status, SolveStatus::Infeasible);
+}
+
+TEST_P(RandomInstance, MemoryConstrainedSchedulesAreValid)
+{
+    const SolverProblem sp =
+        randomProblem(GetParam() * 1543 + 11, 10, 2, true);
+    BnbSolver solver(sp);
+    const SolveResult r = solver.minimizeMakespan();
+    if (r.status == SolveStatus::Infeasible)
+        return; // Legitimately over-constrained instance.
+    expectValid(sp, r);
+}
+
+TEST_P(RandomInstance, MemoryTightensTheOptimum)
+{
+    SolverProblem sp = randomProblem(GetParam() * 8111 + 7, 10, 2, true);
+    BnbSolver constrained(sp);
+    const SolveResult tight = constrained.minimizeMakespan();
+    sp.memLimit = kUnlimitedMem;
+    BnbSolver relaxed(sp);
+    const SolveResult loose = relaxed.minimizeMakespan();
+    ASSERT_TRUE(loose.feasible());
+    if (tight.feasible())
+        EXPECT_GE(tight.makespan, loose.makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstance, ::testing::Range(0, 20));
+
+} // namespace
+} // namespace tessel

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the support library: bitsets, tables, RNG, timers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "support/bitset.h"
+#include "support/rng.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace tessel {
+namespace {
+
+TEST(BlockSet, StartsEmpty)
+{
+    BlockSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0);
+    for (int i = 0; i < BlockSet::maxBits; i += 17)
+        EXPECT_FALSE(s.test(i));
+}
+
+TEST(BlockSet, SetResetTest)
+{
+    BlockSet s;
+    s.set(0);
+    s.set(63);
+    s.set(64);
+    s.set(255);
+    EXPECT_TRUE(s.test(0));
+    EXPECT_TRUE(s.test(63));
+    EXPECT_TRUE(s.test(64));
+    EXPECT_TRUE(s.test(255));
+    EXPECT_FALSE(s.test(1));
+    EXPECT_EQ(s.count(), 4);
+    s.reset(63);
+    EXPECT_FALSE(s.test(63));
+    EXPECT_EQ(s.count(), 3);
+}
+
+TEST(BlockSet, EqualityAndHash)
+{
+    BlockSet a, b;
+    a.set(7);
+    a.set(130);
+    b.set(130);
+    EXPECT_NE(a, b);
+    b.set(7);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+    b.reset(7);
+    b.set(8);
+    EXPECT_NE(a.hash(), b.hash()); // Overwhelmingly likely.
+}
+
+TEST(BlockSet, Contains)
+{
+    BlockSet a, b;
+    a.set(3);
+    a.set(100);
+    a.set(200);
+    b.set(3);
+    b.set(200);
+    EXPECT_TRUE(a.contains(b));
+    EXPECT_FALSE(b.contains(a));
+    EXPECT_TRUE(a.contains(a));
+    EXPECT_TRUE(a.contains(BlockSet{}));
+}
+
+TEST(BlockSet, HashDistribution)
+{
+    std::set<size_t> hashes;
+    for (int i = 0; i < 256; ++i) {
+        BlockSet s;
+        s.set(i);
+        hashes.insert(s.hash());
+    }
+    // FNV folding may collide rarely; demand near-perfect spread.
+    EXPECT_GE(hashes.size(), 240u);
+}
+
+TEST(Table, AlignsColumnsAndPrintsHeader)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t("demo");
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RaggedRowsTolerated)
+{
+    Table t("ragged");
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"1"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("1"), std::string::npos);
+}
+
+TEST(FormatHelpers, Doubles)
+{
+    EXPECT_EQ(fmtDouble(1.2345, 2), "1.23");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+    EXPECT_EQ(fmtPercent(0.25, 1), "25.0%");
+    EXPECT_EQ(fmtPercent(0.0, 0), "0%");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = r.range(-3, 9);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 9);
+    }
+    EXPECT_EQ(r.range(5, 5), 5);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 4000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 4000.0, 0.5, 0.05);
+}
+
+TEST(TimeBudget, UnlimitedNeverExpires)
+{
+    TimeBudget b(0.0);
+    EXPECT_FALSE(b.expired());
+    TimeBudget neg(-1.0);
+    EXPECT_FALSE(neg.expired());
+}
+
+TEST(TimeBudget, TinyBudgetExpires)
+{
+    TimeBudget b(1e-9);
+    // A nanosecond budget is certainly gone by now.
+    EXPECT_TRUE(b.expired());
+}
+
+TEST(Stopwatch, MeasuresForwardProgress)
+{
+    Stopwatch w;
+    const double a = w.seconds();
+    const double b = w.seconds();
+    EXPECT_GE(b, a);
+    EXPECT_GE(a, 0.0);
+}
+
+TEST(Logging, VerboseToggle)
+{
+    const bool prev = setLogVerbose(false);
+    EXPECT_FALSE(logVerbose());
+    setLogVerbose(prev);
+    EXPECT_EQ(logVerbose(), prev);
+}
+
+} // namespace
+} // namespace tessel
