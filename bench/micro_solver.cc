@@ -114,6 +114,26 @@ BM_FullSearchKShape(benchmark::State &state)
 }
 BENCHMARK(BM_FullSearchKShape);
 
+/**
+ * Serial-vs-parallel candidate sweep (the tentpole knob): Arg is
+ * TesselOptions::numThreads. Every thread count returns the identical
+ * plan, so the per-iteration time difference is pure sweep speedup.
+ */
+void
+BM_ParallelSearchMShape(benchmark::State &state)
+{
+    const Placement p = makeMShape(4);
+    for (auto _ : state) {
+        TesselOptions opts;
+        opts.totalBudgetSec = 30.0;
+        opts.numThreads = static_cast<int>(state.range(0));
+        auto r = tesselSearch(p, opts);
+        benchmark::DoNotOptimize(r.period);
+    }
+}
+BENCHMARK(BM_ParallelSearchMShape)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 } // namespace tessel
 

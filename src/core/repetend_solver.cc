@@ -245,6 +245,11 @@ class PeriodSearch
             stats_.budgetExhausted = true;
             return true;
         }
+        if (opts_.cancel.cancelled()) {
+            stats_.cancelled = true;
+            stats_.budgetExhausted = true; // Result is likewise unproven.
+            return true;
+        }
         return false;
     }
 
@@ -254,6 +259,11 @@ class PeriodSearch
         Time limit = serialUb_;
         if (opts_.cutoff >= 0)
             limit = std::min(limit, opts_.cutoff - 1);
+        // The shared incumbent is inclusive: equal periods stay visible
+        // so the caller's (period, index) tie-break is deterministic.
+        if (opts_.liveCutoff)
+            limit = std::min(
+                limit, opts_.liveCutoff->load(std::memory_order_acquire));
         if (bestPeriod_ >= 0)
             limit = std::min(limit, bestPeriod_ - 1);
         return limit;

@@ -45,6 +45,18 @@ struct RepetendSolveOptions
     double timeBudgetSec = 0.0;
     /** Node cap (0: unlimited). */
     uint64_t nodeLimit = 0;
+    /** Cooperative cancellation; a cancelled solve reports
+     *  stats.cancelled and comes back infeasible/unproven. */
+    CancelToken cancel;
+    /**
+     * Live incumbent period shared with concurrently running solves,
+     * re-read at every bound check. Unlike `cutoff` this is
+     * *inclusive*: periods equal to the live value are still returned,
+     * because the parallel search breaks period ties by enumeration
+     * index and an equal-period candidate with a smaller index must
+     * not be masked. nullptr disables.
+     */
+    const std::atomic<Time> *liveCutoff = nullptr;
 };
 
 /** Result of a repetend period solve. */

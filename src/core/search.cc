@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 #include <map>
+#include <mutex>
 
 #include "solver/bnb.h"
+#include "support/cancel.h"
 #include "support/logging.h"
+#include "support/threadpool.h"
 #include "support/timer.h"
 
 namespace tessel {
@@ -90,7 +94,7 @@ bool
 phaseSatisfiable(const Placement &placement,
                  const std::vector<BlockRef> &refs,
                  const std::vector<Mem> &entry_mem, Mem mem_limit,
-                 double budget_sec)
+                 double budget_sec, const CancelToken &cancel)
 {
     if (refs.empty())
         return true;
@@ -98,6 +102,7 @@ phaseSatisfiable(const Placement &placement,
         buildPhase(placement, refs, entry_mem, mem_limit, nullptr, nullptr);
     SolverOptions so;
     so.timeBudgetSec = budget_sec;
+    so.cancel = cancel;
     BnbSolver solver(inst.sp, so);
     return solver.decide(kUnlimitedMem).feasible();
 }
@@ -139,7 +144,7 @@ computeTheta0(const Placement &placement, const RepetendAssignment &assign,
 std::optional<TesselPlan>
 completePlan(const Placement &placement, const RepetendAssignment &assign,
              const RepetendSchedule &rsched, const TesselOptions &options,
-             SearchBreakdown &breakdown)
+             SearchBreakdown &breakdown, const CancelToken &cancel)
 {
     std::vector<Mem> entry = options.initialMem;
     if (entry.empty())
@@ -157,6 +162,7 @@ completePlan(const Placement &placement, const RepetendAssignment &assign,
                                             nullptr);
             SolverOptions so;
             so.timeBudgetSec = options.phaseBudgetSec;
+            so.cancel = cancel;
             BnbSolver solver(inst.sp, so);
             const SolveResult r = solver.minimizeMakespan();
             breakdown.warmupSeconds += watch.seconds();
@@ -213,6 +219,7 @@ completePlan(const Placement &placement, const RepetendAssignment &assign,
                 options.memLimit, &avail_after_window, &external);
             SolverOptions so;
             so.timeBudgetSec = options.phaseBudgetSec;
+            so.cancel = cancel;
             BnbSolver solver(inst.sp, so);
             const SolveResult r = solver.minimizeMakespan();
             breakdown.cooldownSeconds += watch.seconds();
@@ -232,6 +239,361 @@ completePlan(const Placement &placement, const RepetendAssignment &assign,
             : options.initialMem);
 }
 
+/** Best candidate found so far: its assignment and window schedule. */
+struct BestCandidate
+{
+    RepetendAssignment assign;
+    RepetendSchedule sched;
+};
+
+/**
+ * Shared state of one parallel candidate sweep.
+ *
+ * Determinism: every candidate carries its global enumeration index and
+ * the incumbent is the lexicographic minimum of (period, index) over
+ * accepted candidates, which is exactly what the serial loop converges
+ * to (the serial winner is the lowest-index candidate achieving the
+ * minimal period). Workers prune against the *inclusive* shared period
+ * bound, so an equal-period candidate with a smaller index is never
+ * masked by a higher-index one that happened to publish first. The
+ * Algorithm 1 early exit becomes an index bar: once some candidate hits
+ * the lower bound, only lower-index candidates (which could still win
+ * the tie-break) keep running; everything above the bar is cancelled.
+ */
+class SweepState
+{
+  public:
+    SweepState(const Placement &placement, const TesselOptions &options,
+               const TimeBudget &total_budget, Time lower_bound,
+               Time optimal_init, std::vector<Mem> entry)
+        : placement_(placement), options_(options),
+          totalBudget_(total_budget), lowerBound_(lower_bound),
+          entry_(std::move(entry)), incumbent_(optimal_init),
+          bestPeriod_(optimal_init)
+    {
+    }
+
+    /** Evaluate one candidate end-to-end (runs on a pool worker). */
+    void
+    runCandidate(uint64_t index, const RepetendAssignment &assign)
+    {
+        SearchBreakdown local;
+        if (!options_.cancel.cancelled() && !globalCancel_.cancelled() &&
+            index <= lbBar_.load(std::memory_order_relaxed)) {
+            if (totalBudget_.expired()) {
+                local.budgetExhausted = true;
+                globalCancel_.cancel();
+            } else {
+                solveCandidate(index, assign, local);
+            }
+        }
+        mergeStats(local);
+    }
+
+    /** Snapshot of the winner, taken after the pool went quiescent. */
+    bool hasBest() const { return best_.has_value(); }
+    const BestCandidate &best() const { return *best_; }
+    std::optional<TesselPlan> takeBestPlan() { return std::move(bestPlan_); }
+    Time bestPeriod() const { return bestPeriod_; }
+
+    /** Fold @p local into the sweep-wide breakdown. */
+    void
+    mergeStats(const SearchBreakdown &local)
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        stats_.merge(local);
+    }
+
+    SearchBreakdown &stats() { return stats_; }
+
+  private:
+    bool
+    lexBetterLocked(Time period, uint64_t index) const
+    {
+        return period < bestPeriod_ ||
+               (period == bestPeriod_ && index < bestIndex_);
+    }
+
+    bool
+    couldImprove(Time period, uint64_t index)
+    {
+        std::lock_guard<std::mutex> lock(winnerMu_);
+        return lexBetterLocked(period, index);
+    }
+
+    void
+    solveCandidate(uint64_t index, const RepetendAssignment &assign,
+                   SearchBreakdown &local)
+    {
+        // A per-task source lets the early-exit bar kill this solve
+        // mid-flight without touching lower-index tasks.
+        CancelToken token;
+        {
+            std::lock_guard<std::mutex> lock(runningMu_);
+            running_.emplace_back(index, CancelSource{});
+            token = options_.cancel.linked(globalCancel_.token())
+                        .linked(running_.back().second.token());
+        }
+
+        Time snap_period;
+        uint64_t snap_index;
+        {
+            std::lock_guard<std::mutex> lock(winnerMu_);
+            snap_period = bestPeriod_;
+            snap_index = bestIndex_;
+        }
+
+        RepetendSolveOptions rso;
+        rso.memLimit = options_.memLimit;
+        rso.initialMem = options_.initialMem;
+        // Like the serial loop, freeze a strict cutoff at solve start:
+        // a higher-index candidate loses a period tie with the current
+        // incumbent, so periods >= it are prunable outright. A
+        // lower-index candidate could still win the tie-break, so only
+        // strictly worse periods may be cut. The inclusive live bound
+        // then keeps tightening mid-solve as siblings publish.
+        rso.cutoff = index > snap_index ? snap_period : snap_period + 1;
+        rso.liveCutoff = incumbent_.raw();
+        rso.timeBudgetSec = options_.repetendBudgetSec;
+        rso.cancel = token;
+        Stopwatch watch;
+        const RepetendSchedule sched =
+            solveRepetend(placement_, assign, rso);
+        local.repetendSeconds += watch.seconds();
+        ++local.candidatesSolved;
+        if (sched.stats.cancelled)
+            ++local.candidatesCancelled;
+
+        if (sched.feasible && couldImprove(sched.period, index)) {
+            std::optional<TesselPlan> plan;
+            bool accept = true;
+            if (options_.lazy) {
+                Stopwatch w_watch;
+                ++local.satChecks;
+                accept = phaseSatisfiable(
+                    placement_, warmupBlocks(placement_, assign), entry_,
+                    options_.memLimit, options_.phaseBudgetSec, token);
+                local.warmupSeconds += w_watch.seconds();
+                if (accept) {
+                    Stopwatch c_watch;
+                    ++local.satChecks;
+                    accept = phaseSatisfiable(
+                        placement_, cooldownBlocks(placement_, assign),
+                        postWindowMem(placement_, assign,
+                                      options_.initialMem),
+                        options_.memLimit, options_.phaseBudgetSec, token);
+                    local.cooldownSeconds += c_watch.seconds();
+                }
+            } else {
+                // Full time-optimal completion per improving candidate
+                // (Algorithm 1 lines 16-17 verbatim).
+                plan = completePlan(placement_, assign, sched, options_,
+                                    local, token);
+                accept = plan.has_value();
+            }
+            if (accept)
+                publish(index, assign, sched, std::move(plan));
+        }
+
+        std::lock_guard<std::mutex> lock(runningMu_);
+        running_.erase(std::remove_if(running_.begin(), running_.end(),
+                                      [&](const auto &entry) {
+                                          return entry.first == index;
+                                      }),
+                       running_.end());
+    }
+
+    void
+    publish(uint64_t index, const RepetendAssignment &assign,
+            const RepetendSchedule &sched, std::optional<TesselPlan> plan)
+    {
+        {
+            std::lock_guard<std::mutex> lock(winnerMu_);
+            if (!lexBetterLocked(sched.period, index))
+                return;
+            bestPeriod_ = sched.period;
+            bestIndex_ = index;
+            best_ = BestCandidate{assign, sched};
+            bestPlan_ = std::move(plan);
+            incumbent_.tryImprove(sched.period);
+        }
+        if (sched.period == lowerBound_) {
+            // Algorithm 1, lines 19-20: lower the early-exit bar and
+            // cancel every in-flight solve that can no longer win.
+            uint64_t cur = lbBar_.load(std::memory_order_relaxed);
+            while (index < cur &&
+                   !lbBar_.compare_exchange_weak(cur, index)) {
+            }
+            const uint64_t bar = lbBar_.load(std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(runningMu_);
+            for (auto &entry : running_)
+                if (entry.first > bar)
+                    entry.second.cancel();
+        }
+    }
+
+    const Placement &placement_;
+    const TesselOptions &options_;
+    const TimeBudget &totalBudget_;
+    const Time lowerBound_;
+    const std::vector<Mem> entry_;
+
+    SharedIncumbent incumbent_;
+    std::atomic<uint64_t> lbBar_{std::numeric_limits<uint64_t>::max()};
+    CancelSource globalCancel_;
+
+    std::mutex winnerMu_;
+    Time bestPeriod_;
+    uint64_t bestIndex_ = std::numeric_limits<uint64_t>::max();
+    std::optional<BestCandidate> best_;
+    std::optional<TesselPlan> bestPlan_; // Kept only without lazy search.
+
+    std::mutex runningMu_;
+    std::vector<std::pair<uint64_t, CancelSource>> running_;
+
+    std::mutex statsMu_;
+    SearchBreakdown stats_;
+};
+
+/** Legacy single-thread sweep (exact original control flow). */
+void
+serialSweep(const Placement &placement, const TesselOptions &options,
+            const TimeBudget &total_budget, int max_inflight,
+            const std::vector<Mem> &entry, TesselResult &result,
+            std::optional<BestCandidate> &best,
+            std::optional<TesselPlan> &best_plan)
+{
+    Time optimal = placement.totalWork() + 1;
+
+    // Lines 7-20. Under lazy search (Sec. V) the per-candidate
+    // time-optimal completions become satisfiability checks.
+    for (int nr = 1; nr <= max_inflight; ++nr) {
+        if (result.breakdown.earlyExit || result.breakdown.budgetExhausted)
+            break;
+        enumerateRepetends(
+            placement, nr, [&](const RepetendAssignment &assign) {
+                ++result.breakdown.candidatesEnumerated;
+                if (options.cancel.cancelled())
+                    return false;
+                if (total_budget.expired()) {
+                    result.breakdown.budgetExhausted = true;
+                    return false;
+                }
+                RepetendSolveOptions rso;
+                rso.memLimit = options.memLimit;
+                rso.initialMem = options.initialMem;
+                rso.cutoff = optimal;
+                rso.timeBudgetSec = options.repetendBudgetSec;
+                rso.cancel = options.cancel;
+                Stopwatch watch;
+                const RepetendSchedule sched =
+                    solveRepetend(placement, assign, rso);
+                result.breakdown.repetendSeconds += watch.seconds();
+                ++result.breakdown.candidatesSolved;
+                if (!sched.feasible || sched.period >= optimal)
+                    return true;
+
+                if (options.lazy) {
+                    Stopwatch w_watch;
+                    ++result.breakdown.satChecks;
+                    const bool sat_w = phaseSatisfiable(
+                        placement, warmupBlocks(placement, assign), entry,
+                        options.memLimit, options.phaseBudgetSec,
+                        options.cancel);
+                    result.breakdown.warmupSeconds += w_watch.seconds();
+                    if (!sat_w)
+                        return true;
+                    Stopwatch c_watch;
+                    ++result.breakdown.satChecks;
+                    const bool sat_c = phaseSatisfiable(
+                        placement, cooldownBlocks(placement, assign),
+                        postWindowMem(placement, assign,
+                                      options.initialMem),
+                        options.memLimit, options.phaseBudgetSec,
+                        options.cancel);
+                    result.breakdown.cooldownSeconds += c_watch.seconds();
+                    if (!sat_c)
+                        return true;
+                } else {
+                    // Full time-optimal completion per improving
+                    // candidate (Algorithm 1 lines 16-17 verbatim).
+                    auto plan =
+                        completePlan(placement, assign, sched, options,
+                                     result.breakdown, options.cancel);
+                    if (!plan)
+                        return true;
+                    best_plan = std::move(plan);
+                }
+
+                optimal = sched.period;
+                best = BestCandidate{assign, sched};
+                if (sched.period == result.lowerBound) {
+                    result.breakdown.earlyExit = true;
+                    return false; // Algorithm 1, lines 19-20.
+                }
+                return true;
+            });
+    }
+}
+
+/** Pool-backed sweep: candidates of each NR solve concurrently. */
+void
+parallelSweep(const Placement &placement, const TesselOptions &options,
+              const TimeBudget &total_budget, Time lower_bound,
+              int max_inflight, const std::vector<Mem> &entry, int threads,
+              TesselResult &result, std::optional<BestCandidate> &best,
+              std::optional<TesselPlan> &best_plan)
+{
+    SweepState state(placement, options, total_budget, lower_bound,
+                     placement.totalWork() + 1, entry);
+    // The submitting thread helps drain the queues inside wait(), so it
+    // counts as one of the requested workers.
+    ThreadPool pool(std::max(1, threads - 1));
+
+    uint64_t next_index = 0;
+    for (int nr = 1; nr <= max_inflight; ++nr) {
+        std::vector<RepetendAssignment> candidates;
+        SearchBreakdown enum_stats;
+        enumerateRepetends(
+            placement, nr, [&](const RepetendAssignment &assign) {
+                ++enum_stats.candidatesEnumerated;
+                if (options.cancel.cancelled())
+                    return false;
+                if (total_budget.expired()) {
+                    enum_stats.budgetExhausted = true;
+                    return false;
+                }
+                candidates.push_back(assign);
+                return true;
+            });
+        state.mergeStats(enum_stats);
+
+        const uint64_t base = next_index;
+        next_index += candidates.size();
+        for (size_t i = 0; i < candidates.size(); ++i) {
+            pool.submit([&state, &candidates, base, i] {
+                state.runCandidate(base + i, candidates[i]);
+            });
+        }
+        pool.wait();
+
+        if (state.bestPeriod() == lower_bound) {
+            SearchBreakdown early;
+            early.earlyExit = true;
+            state.mergeStats(early);
+        }
+        if (state.stats().earlyExit || state.stats().budgetExhausted ||
+            options.cancel.cancelled())
+            break;
+    }
+
+    result.breakdown.merge(state.stats());
+    if (state.hasBest()) {
+        best = state.best();
+        best_plan = state.takeBestPlan();
+    }
+}
+
 } // namespace
 
 TesselResult
@@ -243,87 +605,28 @@ tesselSearch(const Placement &placement, const TesselOptions &options)
     TimeBudget total_budget(options.totalBudgetSec);
 
     // Algorithm 1, lines 1-6.
-    Time optimal = placement.totalWork() + 1;
     const int max_inflight =
         calMaxInflight(placement, options.memLimit, options.initialMem,
                        options.maxRepetendMicrobatches);
-
-    struct Best
-    {
-        RepetendAssignment assign;
-        RepetendSchedule sched;
-    };
-    std::optional<Best> best;
-    std::optional<TesselPlan> best_plan; // Kept only without lazy search.
 
     std::vector<Mem> entry = options.initialMem;
     if (entry.empty())
         entry.assign(placement.numDevices(), 0);
 
-    // Lines 7-20. Under lazy search (Sec. V) the per-candidate
-    // time-optimal completions become satisfiability checks.
-    for (int nr = 1; nr <= max_inflight; ++nr) {
-        if (result.breakdown.earlyExit || result.breakdown.budgetExhausted)
-            break;
-        enumerateRepetends(
-            placement, nr, [&](const RepetendAssignment &assign) {
-                ++result.breakdown.candidatesEnumerated;
-                if (total_budget.expired()) {
-                    result.breakdown.budgetExhausted = true;
-                    return false;
-                }
-                RepetendSolveOptions rso;
-                rso.memLimit = options.memLimit;
-                rso.initialMem = options.initialMem;
-                rso.cutoff = optimal;
-                rso.timeBudgetSec = options.repetendBudgetSec;
-                Stopwatch watch;
-                const RepetendSchedule sched =
-                    solveRepetend(placement, assign, rso);
-                result.breakdown.repetendSeconds += watch.seconds();
-                ++result.breakdown.candidatesSolved;
-                if (!sched.feasible || sched.period >= optimal)
-                    return true;
+    int threads = options.numThreads;
+    if (threads <= 0)
+        threads = ThreadPool::hardwareThreads();
+    result.breakdown.threadsUsed = threads;
 
-                const auto warm = warmupBlocks(placement, assign);
-                const auto cool = cooldownBlocks(placement, assign);
-                if (options.lazy) {
-                    Stopwatch w_watch;
-                    ++result.breakdown.satChecks;
-                    const bool sat_w = phaseSatisfiable(
-                        placement, warm, entry, options.memLimit,
-                        options.phaseBudgetSec);
-                    result.breakdown.warmupSeconds += w_watch.seconds();
-                    if (!sat_w)
-                        return true;
-                    Stopwatch c_watch;
-                    ++result.breakdown.satChecks;
-                    const bool sat_c = phaseSatisfiable(
-                        placement, cool,
-                        postWindowMem(placement, assign,
-                                      options.initialMem),
-                        options.memLimit, options.phaseBudgetSec);
-                    result.breakdown.cooldownSeconds += c_watch.seconds();
-                    if (!sat_c)
-                        return true;
-                } else {
-                    // Full time-optimal completion per improving
-                    // candidate (Algorithm 1 lines 16-17 verbatim).
-                    auto plan = completePlan(placement, assign, sched,
-                                             options, result.breakdown);
-                    if (!plan)
-                        return true;
-                    best_plan = std::move(plan);
-                }
-
-                optimal = sched.period;
-                best = Best{assign, sched};
-                if (sched.period == result.lowerBound) {
-                    result.breakdown.earlyExit = true;
-                    return false; // Algorithm 1, lines 19-20.
-                }
-                return true;
-            });
+    std::optional<BestCandidate> best;
+    std::optional<TesselPlan> best_plan; // Kept only without lazy search.
+    if (threads == 1) {
+        serialSweep(placement, options, total_budget, max_inflight, entry,
+                    result, best, best_plan);
+    } else {
+        parallelSweep(placement, options, total_budget, result.lowerBound,
+                      max_inflight, entry, threads, result, best,
+                      best_plan);
     }
 
     if (!best)
@@ -331,7 +634,8 @@ tesselSearch(const Placement &placement, const TesselOptions &options)
 
     if (options.lazy || !best_plan) {
         best_plan = completePlan(placement, best->assign, best->sched,
-                                 options, result.breakdown);
+                                 options, result.breakdown,
+                                 options.cancel);
         if (!best_plan)
             return result;
     }

@@ -37,6 +37,15 @@ struct TesselOptions
     double repetendBudgetSec = 2.0;
     /** Wall budget per warmup/cooldown solve. */
     double phaseBudgetSec = 10.0;
+    /**
+     * Worker threads for the per-NR candidate sweep. 0 picks
+     * hardware_concurrency(); 1 runs the exact legacy serial path.
+     * Any value returns the same plan: candidates carry their
+     * enumeration index and ties are broken by (period, index).
+     */
+    int numThreads = 0;
+    /** External cancellation for the whole search (optional). */
+    CancelToken cancel;
 };
 
 /** Search diagnostics (feeds the Fig. 9/10 benches). */
@@ -47,9 +56,33 @@ struct SearchBreakdown
     double cooldownSeconds = 0.0;
     uint64_t candidatesEnumerated = 0;
     uint64_t candidatesSolved = 0;
+    uint64_t candidatesCancelled = 0; ///< solves cut short mid-flight
     uint64_t satChecks = 0;
+    int threadsUsed = 1;          ///< sweep worker count actually used
     bool earlyExit = false;       ///< lower bound reached (Algorithm 1 L19)
     bool budgetExhausted = false; ///< totalBudgetSec tripped
+
+    /**
+     * Fold @p other into this accumulator. Commutative and
+     * associative (threadsUsed takes the max), so per-worker
+     * breakdowns merge race-free in any order.
+     */
+    SearchBreakdown &
+    merge(const SearchBreakdown &other)
+    {
+        repetendSeconds += other.repetendSeconds;
+        warmupSeconds += other.warmupSeconds;
+        cooldownSeconds += other.cooldownSeconds;
+        candidatesEnumerated += other.candidatesEnumerated;
+        candidatesSolved += other.candidatesSolved;
+        candidatesCancelled += other.candidatesCancelled;
+        satChecks += other.satChecks;
+        threadsUsed = threadsUsed > other.threadsUsed ? threadsUsed
+                                                      : other.threadsUsed;
+        earlyExit |= other.earlyExit;
+        budgetExhausted |= other.budgetExhausted;
+        return *this;
+    }
 };
 
 /** Result of the end-to-end search. */

@@ -1,7 +1,6 @@
 #include "ir/placement.h"
 
 #include <algorithm>
-#include <bit>
 
 #include "support/logging.h"
 

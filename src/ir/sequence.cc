@@ -1,7 +1,6 @@
 #include "ir/sequence.h"
 
 #include <algorithm>
-#include <bit>
 
 #include "support/logging.h"
 
@@ -42,7 +41,7 @@ scheduleFromSequences(const Problem &problem, const DeviceSequences &seqs)
     }
     for (int id = 0; id < num_inst; ++id) {
         const BlockRef ref = problem.refOf(id);
-        const int expected = std::popcount(p.block(ref.spec).devices);
+        const int expected = popcountMask(p.block(ref.spec).devices);
         if (appearances[id] != expected)
             return std::nullopt; // Missing or duplicated instance.
     }

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "support/bits.h"
+
 namespace tessel {
 
 /** Integer time unit (t_B, s_B in the paper). */
@@ -50,6 +52,20 @@ blockKindTag(BlockKind kind)
       default:
         return 'O';
     }
+}
+
+/** @return number of set bits in a device mask. */
+constexpr int
+popcountMask(DeviceMask mask)
+{
+    return popcount64(mask);
+}
+
+/** @return index of the lowest set bit (0 for an empty mask). */
+constexpr DeviceId
+lowestDevice(DeviceMask mask)
+{
+    return static_cast<DeviceId>(lowestBit64(mask));
 }
 
 /** @return a mask with the @p count low device bits set. */

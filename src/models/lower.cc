@@ -1,7 +1,6 @@
 #include "models/lower.h"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 
 #include "placement/shapes.h"
@@ -49,7 +48,7 @@ class Lowering
     Time
     tpSpan(double flops, DeviceMask mask, double allreduce_mb) const
     {
-        const int k = std::popcount(mask);
+        const int k = popcountMask(mask);
         double ms = cm_.msFor(flops, k);
         if (k > 1) {
             const double bw = crossesServer(mask) ? cm_.hw().ibGBs
@@ -88,7 +87,7 @@ class Lowering
     void
     chargeParams(DeviceMask mask, double params, bool training)
     {
-        const int k = std::popcount(mask);
+        const int k = popcountMask(mask);
         const Mem mb = cm_.paramMB(params, training, k);
         for (int d = 0; d < gpus_; ++d)
             if (mask & oneDevice(d))

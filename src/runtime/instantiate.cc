@@ -1,7 +1,6 @@
 #include "runtime/instantiate.h"
 
 #include <algorithm>
-#include <bit>
 
 #include "support/logging.h"
 
@@ -50,8 +49,7 @@ instantiate(const Schedule &schedule,
 
         // Emit send/recv pairs for cross-device consumers, immediately
         // after the producing block (global-order consistency).
-        const DeviceId src = static_cast<DeviceId>(
-            std::countr_zero(spec.devices));
+        const DeviceId src = lowestDevice(spec.devices);
         for (int consumer : consumers[ref.spec]) {
             const BlockSpec &cspec = p.block(consumer);
             const int cid = problem.instanceId({consumer, ref.mb});

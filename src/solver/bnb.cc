@@ -195,11 +195,21 @@ struct BnbSolver::Impl
     Time
     currentLimit() const
     {
+        Time limit = kUnlimitedMem; // Effectively +inf.
         if (decideMode)
-            return deadline;
-        if (haveIncumbent)
-            return bestMakespan - 1;
-        return kUnlimitedMem; // Effectively +inf.
+            limit = deadline;
+        else if (haveIncumbent)
+            limit = bestMakespan - 1;
+        // A concurrently improving external incumbent tightens the
+        // bound mid-solve; only strictly better completions matter.
+        // Decide mode answers "is the deadline reachable" and must not
+        // be clamped by an unrelated optimization incumbent.
+        if (opts.liveCutoff && !decideMode) {
+            const Time live =
+                opts.liveCutoff->load(std::memory_order_acquire);
+            limit = std::min(limit, live - 1);
+        }
+        return limit;
     }
 
     /** Build the dominance vector for the current state. */
@@ -242,8 +252,11 @@ struct BnbSolver::Impl
             }
         }
         // Drop entries the current state dominates, then insert.
-        std::erase_if(entries,
-                      [&](const DomVec &e) { return dominates(cur, e); });
+        entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                     [&](const DomVec &e) {
+                                         return dominates(cur, e);
+                                     }),
+                      entries.end());
         if (entries.size() < kMaxEntriesPerKey &&
             memo.size() < opts.memoCap) {
             entries.push_back(cur);
@@ -258,6 +271,10 @@ struct BnbSolver::Impl
             if (budget.expired() ||
                 (opts.nodeLimit && stats.nodes >= opts.nodeLimit)) {
                 stats.budgetExhausted = true;
+                provenInfeasibleDisabled = true;
+                stop = true;
+            } else if (opts.cancel.cancelled()) {
+                stats.cancelled = true;
                 provenInfeasibleDisabled = true;
                 stop = true;
             }
@@ -427,9 +444,9 @@ struct BnbSolver::Impl
         if (haveIncumbent) {
             res.makespan = bestMakespan;
             res.starts = bestStarts;
-            res.status = (stats.budgetExhausted && !decideMode)
-                             ? SolveStatus::Feasible
-                             : SolveStatus::Optimal;
+            const bool proof_cut = stats.budgetExhausted || stats.cancelled;
+            res.status = (proof_cut && !decideMode) ? SolveStatus::Feasible
+                                                    : SolveStatus::Optimal;
             if (decideMode)
                 res.status = SolveStatus::Optimal; // Deadline met: SAT.
         } else {

@@ -12,10 +12,12 @@
 #ifndef TESSEL_SOLVER_PROBLEM_H
 #define TESSEL_SOLVER_PROBLEM_H
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "ir/types.h"
+#include "support/cancel.h"
 
 namespace tessel {
 
@@ -70,8 +72,26 @@ struct SolveStats
     uint64_t nodes = 0;
     double seconds = 0.0;
     bool budgetExhausted = false;
+    bool cancelled = false; ///< a CancelToken stopped the solve
     uint64_t memoHits = 0;
     uint64_t boundPrunes = 0;
+
+    /**
+     * Fold @p other into this accumulator. Commutative and associative,
+     * so per-worker counters can be merged in any order after a
+     * parallel sweep.
+     */
+    SolveStats &
+    merge(const SolveStats &other)
+    {
+        nodes += other.nodes;
+        seconds += other.seconds;
+        budgetExhausted |= other.budgetExhausted;
+        cancelled |= other.cancelled;
+        memoHits += other.memoHits;
+        boundPrunes += other.boundPrunes;
+        return *this;
+    }
 };
 
 /** Result of a solve: status, objective, and per-block start times. */
@@ -103,6 +123,17 @@ struct SolverOptions
     bool useSymmetry = true;
     /** Maximum number of memo entries kept before insertion stops. */
     size_t memoCap = size_t{1} << 22;
+    /** Cooperative cancellation, polled alongside the time budget. A
+     *  cancelled solve reports stats.cancelled and never claims
+     *  Infeasible. */
+    CancelToken cancel;
+    /**
+     * Live external incumbent (e.g. the parallel search's shared best
+     * period): states are pruned unless they can *strictly* beat its
+     * current value, re-read on every bound check instead of being
+     * frozen at solve start. nullptr disables.
+     */
+    const std::atomic<Time> *liveCutoff = nullptr;
 };
 
 } // namespace tessel

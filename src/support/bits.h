@@ -1,0 +1,39 @@
+/**
+ * @file
+ * C++17 replacements for the <bit> primitives the codebase needs.
+ */
+
+#ifndef TESSEL_SUPPORT_BITS_H
+#define TESSEL_SUPPORT_BITS_H
+
+#include <cstdint>
+
+namespace tessel {
+
+/** @return number of set bits (Kernighan's loop; constexpr-friendly). */
+constexpr int
+popcount64(uint64_t word)
+{
+    int n = 0;
+    while (word) {
+        word &= word - 1;
+        ++n;
+    }
+    return n;
+}
+
+/** @return index of the lowest set bit (0 for an empty word). */
+constexpr int
+lowestBit64(uint64_t word)
+{
+    int i = 0;
+    while (word > 1 && !(word & 1)) {
+        word >>= 1;
+        ++i;
+    }
+    return i;
+}
+
+} // namespace tessel
+
+#endif // TESSEL_SUPPORT_BITS_H

@@ -9,11 +9,11 @@
 #define TESSEL_SUPPORT_BITSET_H
 
 #include <array>
-#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 
+#include "bits.h"
 #include "logging.h"
 
 namespace tessel {
@@ -65,7 +65,7 @@ class BlockSet
     {
         int n = 0;
         for (uint64_t w : words_)
-            n += std::popcount(w);
+            n += popcount64(w);
         return n;
     }
 

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Cooperative cancellation and shared-incumbent primitives for the
+ * parallel schedule search.
+ *
+ * A CancelSource owns a cancellation flag; CancelToken is a cheap,
+ * copyable view that long-running solver loops poll. Tokens can be
+ * linked so one token observes several sources (e.g. a per-task source
+ * plus the search-wide one). SharedIncumbent wraps the live best
+ * objective that concurrently running solves prune against and improve
+ * via compare-exchange.
+ */
+
+#ifndef TESSEL_SUPPORT_CANCEL_H
+#define TESSEL_SUPPORT_CANCEL_H
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "ir/types.h"
+
+namespace tessel {
+
+/**
+ * A view onto one or more cancellation flags. Default-constructed
+ * tokens are never cancelled. Polling is wait-free; the flag count is
+ * tiny (one or two) in every current use.
+ */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    /** @return true once any linked source has been cancelled. */
+    bool
+    cancelled() const
+    {
+        for (const auto &flag : flags_)
+            if (flag->load(std::memory_order_relaxed))
+                return true;
+        return false;
+    }
+
+    /** @return a token that observes this token's sources and @p other's. */
+    CancelToken
+    linked(const CancelToken &other) const
+    {
+        CancelToken t(*this);
+        t.flags_.insert(t.flags_.end(), other.flags_.begin(),
+                        other.flags_.end());
+        return t;
+    }
+
+  private:
+    friend class CancelSource;
+    std::vector<std::shared_ptr<const std::atomic<bool>>> flags_;
+};
+
+/** Owner side of a cancellation flag. */
+class CancelSource
+{
+  public:
+    CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+    /** Request cancellation; idempotent and safe from any thread. */
+    void cancel() { flag_->store(true, std::memory_order_relaxed); }
+
+    /** @return whether cancel() has been called. */
+    bool
+    cancelled() const
+    {
+        return flag_->load(std::memory_order_relaxed);
+    }
+
+    /** @return a token observing this source. */
+    CancelToken
+    token() const
+    {
+        CancelToken t;
+        t.flags_.push_back(flag_);
+        return t;
+    }
+
+  private:
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/**
+ * Live best objective shared across concurrent solves.
+ *
+ * Workers read it as a prune cutoff (acquire) and publish improvements
+ * with a compare-exchange loop so a stale store can never overwrite a
+ * better value. Tie-breaking across equal objectives (the deterministic
+ * (period, enumeration index) order of the search) is handled by the
+ * caller; this type only tracks the scalar bound.
+ */
+class SharedIncumbent
+{
+  public:
+    explicit SharedIncumbent(Time initial) : value_(initial) {}
+
+    /** @return the current bound. */
+    Time load() const { return value_.load(std::memory_order_acquire); }
+
+    /**
+     * Lower the bound to @p candidate if it improves.
+     * @return true when this call changed the stored value.
+     */
+    bool
+    tryImprove(Time candidate)
+    {
+        Time cur = value_.load(std::memory_order_relaxed);
+        while (candidate < cur) {
+            if (value_.compare_exchange_weak(cur, candidate,
+                                             std::memory_order_acq_rel))
+                return true;
+        }
+        return false;
+    }
+
+    /** Raw atomic, for solver options that hold a live-cutoff pointer. */
+    const std::atomic<Time> *raw() const { return &value_; }
+
+  private:
+    std::atomic<Time> value_;
+};
+
+} // namespace tessel
+
+#endif // TESSEL_SUPPORT_CANCEL_H

@@ -1,0 +1,129 @@
+#include "support/threadpool.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace tessel {
+
+int
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    if (num_threads <= 0)
+        num_threads = hardwareThreads();
+    shards_.reserve(num_threads);
+    for (int i = 0; i < num_threads; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+    threads_.reserve(num_threads);
+    for (int i = 0; i < num_threads; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    panic_if(!task, "threadpool: empty task");
+    unsigned shard;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        panic_if(stop_, "threadpool: submit after shutdown began");
+        shard = nextShard_++ % shards_.size();
+        ++queued_;
+        ++pending_;
+    }
+    {
+        std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+        shards_[shard]->queue.push_back(std::move(task));
+    }
+    workCv_.notify_one();
+    idleCv_.notify_all(); // A wait()er may be sleeping and can help.
+}
+
+bool
+ThreadPool::tryRunOne(int self)
+{
+    const int n = static_cast<int>(shards_.size());
+    Task task;
+    for (int k = 0; k < n && !task; ++k) {
+        // Own shard front first (FIFO), then steal from siblings' backs
+        // so thieves and owners mostly touch opposite deque ends.
+        Shard &shard = *shards_[(self + k) % n];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (shard.queue.empty())
+            continue;
+        if (k == 0) {
+            task = std::move(shard.queue.front());
+            shard.queue.pop_front();
+        } else {
+            task = std::move(shard.queue.back());
+            shard.queue.pop_back();
+        }
+    }
+    if (!task)
+        return false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        --queued_;
+    }
+    task();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0)
+            idleCv_.notify_all();
+    }
+    return true;
+}
+
+void
+ThreadPool::workerLoop(int self)
+{
+    for (;;) {
+        if (tryRunOne(self))
+            continue;
+        std::unique_lock<std::mutex> lock(mu_);
+        if (queued_ > 0)
+            continue; // Raced with a submit; rescan the shards.
+        if (stop_)
+            return;
+        workCv_.wait(lock, [&] { return stop_ || queued_ > 0; });
+        if (queued_ == 0 && stop_)
+            return;
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (pending_ == 0)
+                return;
+        }
+        if (tryRunOne(0))
+            continue;
+        std::unique_lock<std::mutex> lock(mu_);
+        idleCv_.wait(lock, [&] { return pending_ == 0 || queued_ > 0; });
+        if (pending_ == 0)
+            return;
+    }
+}
+
+} // namespace tessel

@@ -40,29 +40,49 @@ class Stopwatch
  *
  * A non-positive budget means "unlimited". Polling is cheap enough to do
  * every few thousand search nodes.
+ *
+ * Thread safety: all state is fixed at construction — the deadline is a
+ * precomputed time point — so any number of threads may poll expired()
+ * (and elapsed()/limit()) on a shared instance concurrently. Only
+ * construction and assignment require exclusive access.
  */
 class TimeBudget
 {
   public:
     /** @param seconds wall-clock allowance; <= 0 disables the limit. */
-    explicit TimeBudget(double seconds = 0.0) : limit_(seconds) {}
+    explicit TimeBudget(double seconds = 0.0)
+        : limit_(seconds), start_(Clock::now()),
+          deadline_(seconds > 0.0
+                        ? start_ + std::chrono::duration_cast<
+                                       Clock::duration>(
+                              std::chrono::duration<double>(seconds))
+                        : Clock::time_point::max())
+    {
+    }
 
     /** @return true once the budget is exhausted. */
     bool
     expired() const
     {
-        return limit_ > 0.0 && watch_.seconds() >= limit_;
+        return limit_ > 0.0 && Clock::now() >= deadline_;
     }
 
     /** @return elapsed seconds since construction. */
-    double elapsed() const { return watch_.seconds(); }
+    double
+    elapsed() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_)
+            .count();
+    }
 
     /** @return the configured limit in seconds (<= 0: unlimited). */
     double limit() const { return limit_; }
 
   private:
+    using Clock = std::chrono::steady_clock;
     double limit_;
-    Stopwatch watch_;
+    Clock::time_point start_;
+    Clock::time_point deadline_;
 };
 
 } // namespace tessel

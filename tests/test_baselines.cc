@@ -87,8 +87,9 @@ TEST(GPipe, SlowerOrEqualToOneFOneBUnderMemory)
     const auto g = scheduleGPipe(prob);
     const auto o = schedule1F1B(prob);
     ASSERT_TRUE(o.has_value());
-    if (g.has_value())
+    if (g.has_value()) {
         EXPECT_GE(g->makespan(), o->makespan());
+    }
 }
 
 TEST(OneFOneBPlus, MShapeBubbleNearPaperValue)

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the parallel candidate sweep: serial/parallel plan identity,
+ * cooperative cancellation, and mergeable stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/search.h"
+#include "placement/shapes.h"
+#include "solver/bnb.h"
+#include "solver/from_ir.h"
+#include "support/cancel.h"
+#include "support/threadpool.h"
+#include "support/timer.h"
+
+namespace tessel {
+namespace {
+
+TesselOptions
+optsWithThreads(int threads)
+{
+    TesselOptions o;
+    o.totalBudgetSec = 120.0;
+    o.numThreads = threads;
+    return o;
+}
+
+/** Full plan identity: assignment, window, period, and instantiation. */
+void
+expectSamePlan(const TesselResult &serial, const TesselResult &parallel)
+{
+    ASSERT_EQ(serial.found, parallel.found);
+    if (!serial.found)
+        return;
+    EXPECT_EQ(serial.period, parallel.period);
+    EXPECT_EQ(serial.nrUsed, parallel.nrUsed);
+    EXPECT_EQ(serial.plan.assignment().r, parallel.plan.assignment().r);
+    EXPECT_EQ(serial.plan.windowStart(), parallel.plan.windowStart());
+    EXPECT_EQ(serial.plan.windowSpan(), parallel.plan.windowSpan());
+    const int n = serial.plan.minMicrobatches() + 2;
+    EXPECT_EQ(serial.plan.makespanFor(n), parallel.plan.makespanFor(n));
+}
+
+TEST(ParallelSearch, GptMShapeMatchesSerial)
+{
+    const Placement p = makeMShape(4);
+    const auto serial = tesselSearch(p, optsWithThreads(1));
+    ASSERT_TRUE(serial.found);
+    EXPECT_EQ(serial.breakdown.threadsUsed, 1);
+    for (int threads : {2, 4}) {
+        const auto parallel = tesselSearch(p, optsWithThreads(threads));
+        EXPECT_EQ(parallel.breakdown.threadsUsed, threads);
+        expectSamePlan(serial, parallel);
+    }
+}
+
+TEST(ParallelSearch, Mt5NnShapeMatchesSerial)
+{
+    const Placement p = makeNnShape(4);
+    const auto serial = tesselSearch(p, optsWithThreads(1));
+    ASSERT_TRUE(serial.found);
+    for (int threads : {2, 4}) {
+        const auto parallel = tesselSearch(p, optsWithThreads(threads));
+        expectSamePlan(serial, parallel);
+    }
+}
+
+TEST(ParallelSearch, NonLazyMatchesSerial)
+{
+    const Placement p = makeMShape(4);
+    TesselOptions serial_opts = optsWithThreads(1);
+    serial_opts.lazy = false;
+    TesselOptions parallel_opts = optsWithThreads(4);
+    parallel_opts.lazy = false;
+    expectSamePlan(tesselSearch(p, serial_opts),
+                   tesselSearch(p, parallel_opts));
+}
+
+TEST(ParallelSearch, MemoryLimitedMatchesSerial)
+{
+    // A finite memory budget exercises the cutoff + entry-memory paths.
+    const Placement p = makeVShape(4);
+    TesselOptions serial_opts = optsWithThreads(1);
+    serial_opts.memLimit = 6;
+    TesselOptions parallel_opts = optsWithThreads(3);
+    parallel_opts.memLimit = 6;
+    expectSamePlan(tesselSearch(p, serial_opts),
+                   tesselSearch(p, parallel_opts));
+}
+
+TEST(ParallelSearch, CancellationStopsOversizedSolve)
+{
+    // A 10-micro-batch time-optimal instance runs for minutes if left
+    // alone; an asynchronous cancel must stop it near-immediately.
+    Problem prob(makeMShape(4), 10);
+    const SolverProblem sp = buildFullInstance(prob);
+    CancelSource source;
+    SolverOptions so;
+    so.cancel = source.token();
+    BnbSolver solver(sp, so);
+
+    std::thread killer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        source.cancel();
+    });
+    Stopwatch watch;
+    const SolveResult r = solver.minimizeMakespan();
+    killer.join();
+    EXPECT_LT(watch.seconds(), 10.0);
+    EXPECT_TRUE(r.stats.cancelled);
+    EXPECT_NE(r.status, SolveStatus::Infeasible);
+}
+
+TEST(ParallelSearch, SearchHonorsExternalCancel)
+{
+    CancelSource source;
+    source.cancel();
+    TesselOptions opts = optsWithThreads(4);
+    opts.cancel = source.token();
+    Stopwatch watch;
+    const auto r = tesselSearch(makeMShape(4), opts);
+    EXPECT_LT(watch.seconds(), 10.0);
+    EXPECT_FALSE(r.found); // Cancelled before any candidate completed.
+}
+
+TEST(ParallelSearch, SolveStatsMergeIsAssociative)
+{
+    SolveStats a, b, c;
+    a.nodes = 3;
+    a.seconds = 0.5;
+    a.memoHits = 1;
+    b.nodes = 7;
+    b.boundPrunes = 4;
+    b.budgetExhausted = true;
+    c.nodes = 11;
+    c.seconds = 1.25;
+    c.cancelled = true;
+
+    SolveStats left = a;   // (a + b) + c
+    SolveStats ab = a;
+    ab.merge(b);
+    left = ab;
+    left.merge(c);
+
+    SolveStats right = a;  // a + (b + c)
+    SolveStats bc = b;
+    bc.merge(c);
+    right.merge(bc);
+
+    EXPECT_EQ(left.nodes, right.nodes);
+    EXPECT_DOUBLE_EQ(left.seconds, right.seconds);
+    EXPECT_EQ(left.budgetExhausted, right.budgetExhausted);
+    EXPECT_EQ(left.cancelled, right.cancelled);
+    EXPECT_EQ(left.memoHits, right.memoHits);
+    EXPECT_EQ(left.boundPrunes, right.boundPrunes);
+}
+
+TEST(ParallelSearch, BreakdownMergeIsAssociative)
+{
+    SearchBreakdown a, b, c;
+    a.repetendSeconds = 1.0;
+    a.candidatesEnumerated = 5;
+    a.threadsUsed = 2;
+    b.warmupSeconds = 0.25;
+    b.candidatesSolved = 3;
+    b.earlyExit = true;
+    c.cooldownSeconds = 0.5;
+    c.satChecks = 9;
+    c.threadsUsed = 8;
+    c.budgetExhausted = true;
+
+    SearchBreakdown ab = a;
+    ab.merge(b);
+    SearchBreakdown left = ab;
+    left.merge(c);
+
+    SearchBreakdown bc = b;
+    bc.merge(c);
+    SearchBreakdown right = a;
+    right.merge(bc);
+
+    EXPECT_DOUBLE_EQ(left.repetendSeconds, right.repetendSeconds);
+    EXPECT_DOUBLE_EQ(left.warmupSeconds, right.warmupSeconds);
+    EXPECT_DOUBLE_EQ(left.cooldownSeconds, right.cooldownSeconds);
+    EXPECT_EQ(left.candidatesEnumerated, right.candidatesEnumerated);
+    EXPECT_EQ(left.candidatesSolved, right.candidatesSolved);
+    EXPECT_EQ(left.satChecks, right.satChecks);
+    EXPECT_EQ(left.threadsUsed, right.threadsUsed);
+    EXPECT_EQ(left.earlyExit, right.earlyExit);
+    EXPECT_EQ(left.budgetExhausted, right.budgetExhausted);
+}
+
+TEST(ParallelSearch, RepetendSolveHonorsCancelToken)
+{
+    const Placement p = makeMShape(4);
+    RepetendAssignment assign;
+    assign.r.assign(p.numBlocks(), 0);
+    assign.numMicrobatches = 1;
+
+    CancelSource source;
+    source.cancel();
+    RepetendSolveOptions rso;
+    rso.cancel = source.token();
+    const RepetendSchedule sched = solveRepetend(p, assign, rso);
+    EXPECT_TRUE(sched.stats.cancelled);
+    EXPECT_FALSE(sched.proven);
+}
+
+} // namespace
+} // namespace tessel

@@ -7,7 +7,6 @@
 
 #include <gtest/gtest.h>
 
-#include <bit>
 
 #include "placement/builder.h"
 #include "placement/piper.h"
@@ -103,10 +102,12 @@ TEST(Placement, KShapeBranchesAreIndependent)
     // tF* on devices {0,1}, vF* on {2,3}; neither depends on the other.
     for (int i = 0; i < p.numBlocks(); ++i) {
         const BlockSpec &b = p.block(i);
-        if (b.name[0] == 't' && b.kind == BlockKind::Forward)
+        if (b.name[0] == 't' && b.kind == BlockKind::Forward) {
             EXPECT_EQ(b.devices & ~DeviceMask{0x3}, 0u);
-        if (b.name[0] == 'v' && b.kind == BlockKind::Forward)
+        }
+        if (b.name[0] == 'v' && b.kind == BlockKind::Forward) {
             EXPECT_EQ(b.devices & ~DeviceMask{0xc}, 0u);
+        }
     }
 }
 

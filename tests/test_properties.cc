@@ -59,8 +59,9 @@ TEST_P(EveryShape, WindowRespectsIntraDependencies)
     const auto &start = r.plan.windowStart();
     for (int j = 0; j < p.numBlocks(); ++j)
         for (int i : p.block(j).deps)
-            if (assign.r[i] == assign.r[j])
+            if (assign.r[i] == assign.r[j]) {
                 EXPECT_LE(start[i] + p.block(i).span, start[j]);
+            }
 }
 
 TEST_P(EveryShape, ExpansionMakespanIsAffineInN)

@@ -137,9 +137,10 @@ TEST(RepetendSolver, WindowScheduleInternallyConsistent)
         // Intra-window dependencies hold.
         for (int j = 0; j < p.numBlocks(); ++j)
             for (int i : p.block(j).deps)
-                if (a.r[i] == a.r[j])
+                if (a.r[i] == a.r[j]) {
                     EXPECT_LE(sched.start[i] + p.block(i).span,
                               sched.start[j]);
+                }
         // The reported period matches the independent evaluator.
         EXPECT_EQ(evalPeriod(p, a, sched.start, true), sched.period);
     }

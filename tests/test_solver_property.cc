@@ -193,8 +193,9 @@ TEST_P(RandomInstance, MemoryTightensTheOptimum)
     BnbSolver relaxed(sp);
     const SolveResult loose = relaxed.minimizeMakespan();
     ASSERT_TRUE(loose.feasible());
-    if (tight.feasible())
+    if (tight.feasible()) {
         EXPECT_GE(tight.makespan, loose.makespan);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstance, ::testing::Range(0, 20));

@@ -5,12 +5,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "support/bitset.h"
+#include "support/cancel.h"
 #include "support/rng.h"
 #include "support/table.h"
+#include "support/threadpool.h"
 #include "support/timer.h"
 
 namespace tessel {
@@ -181,6 +186,100 @@ TEST(TimeBudget, TinyBudgetExpires)
     TimeBudget b(1e-9);
     // A nanosecond budget is certainly gone by now.
     EXPECT_TRUE(b.expired());
+}
+
+TEST(TimeBudget, ConcurrentPollingIsConsistent)
+{
+    // The deadline is fixed at construction, so many threads may poll
+    // one shared instance; an unlimited budget must read false from
+    // every thread, and a tiny one true.
+    TimeBudget unlimited(0.0);
+    TimeBudget tiny(1e-9);
+    std::atomic<int> false_votes{0};
+    std::atomic<int> true_votes{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 1000; ++i) {
+                if (!unlimited.expired())
+                    ++false_votes;
+                if (tiny.expired())
+                    ++true_votes;
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(false_votes.load(), 4000);
+    EXPECT_EQ(true_votes.load(), 4000);
+}
+
+TEST(ThreadPool, RunsAllSubmittedTasks)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3);
+    std::atomic<int> sum{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&sum, i] { sum += i; });
+    pool.wait();
+    EXPECT_EQ(sum.load(), 99 * 100 / 2);
+    // The pool is reusable after a wait().
+    pool.submit([&sum] { sum += 1; });
+    pool.wait();
+    EXPECT_EQ(sum.load(), 99 * 100 / 2 + 1);
+}
+
+TEST(ThreadPool, WaiterHelpsOnTinyPool)
+{
+    // Even a 1-thread pool finishes promptly because wait() steals.
+    ThreadPool pool(1);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 64; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(CancelToken, DefaultNeverCancelled)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, ObservesSourceAndLinks)
+{
+    CancelSource a, b;
+    const CancelToken linked = a.token().linked(b.token());
+    EXPECT_FALSE(linked.cancelled());
+    b.cancel();
+    EXPECT_TRUE(linked.cancelled());
+    EXPECT_FALSE(a.token().cancelled());
+    EXPECT_TRUE(b.cancelled());
+}
+
+TEST(SharedIncumbent, ImprovesMonotonically)
+{
+    SharedIncumbent inc(100);
+    EXPECT_EQ(inc.load(), 100);
+    EXPECT_TRUE(inc.tryImprove(42));
+    EXPECT_FALSE(inc.tryImprove(42)); // Equal value is not an improvement.
+    EXPECT_FALSE(inc.tryImprove(50));
+    EXPECT_EQ(inc.load(), 42);
+}
+
+TEST(SharedIncumbent, ConcurrentImprovesKeepMinimum)
+{
+    SharedIncumbent inc(1000000);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&inc, t] {
+            for (int i = 999; i >= 0; --i)
+                inc.tryImprove(4 * i + t);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(inc.load(), 0);
 }
 
 TEST(Stopwatch, MeasuresForwardProgress)
