@@ -1,46 +1,103 @@
 /**
  * @file
- * Fig. 17 reproduction: end-to-end training time of Tessel's searched
- * schedules with blocking vs non-blocking communication (Sec. IV-D /
- * Fig. 7) for GPT (M-Shape) and mT5 (NN-Shape) across GPU counts.
+ * Fig. 17 reproduction, upgraded to a communication-overhead study: for
+ * GPT (M-Shape) and mT5 (NN-Shape) across GPU counts, compare the
+ * comm-oblivious search (schedules planned as if transfers were free,
+ * then executed under the hardware's link model) against the comm-aware
+ * search (transfers planned as link-occupying blocks, heterogeneity and
+ * latency visible to the solver). The comm-aware plan's simulated
+ * makespan equals its planned makespan by construction (the cross-check
+ * suite asserts this); the oblivious plan pays its communication at
+ * execution time, overlapped (non-blocking) or rendezvous (blocking).
  */
 
 #include "bench/common.h"
+#include "placement/comm.h"
+#include "sim/runner.h"
 
 using namespace tessel;
 
 namespace {
 
+/** Tighter budgets than bench::searchOptions: this bench runs four
+ * GPU counts x two searches per model; expanded searches hit their
+ * budgets rather than exhausting the candidate space. */
+TesselOptions
+budgetedOptions(const LoweredModel &m)
+{
+    TesselOptions opts =
+        bench::searchOptions(m.memCapacityMB, m.initialMemMB);
+    opts.totalBudgetSec = 15.0;
+    opts.repetendBudgetSec = 1.0;
+    opts.phaseBudgetSec = 5.0;
+    return opts;
+}
+
 void
 sweep(Table &table, const std::string &model,
-      const std::function<LoweredModel(int)> &lower,
-      const HardwareSpec &hw, int n)
+      const std::function<LoweredModel(int)> &lower, const HardwareSpec &hw,
+      int n)
 {
     for (int gpus : {4, 8, 16, 32}) {
         const LoweredModel m = lower(gpus);
         if (!m.fits) {
-            table.addRow({model, std::to_string(gpus), "x", "x", "-"});
+            table.addRow({model, std::to_string(gpus), "x", "x", "x", "-"});
             continue;
         }
-        const auto r = tesselSearch(
-            m.placement,
-            bench::searchOptions(m.memCapacityMB, m.initialMemMB));
-        if (!r.found) {
-            table.addRow({model, std::to_string(gpus), "-", "-", "-"});
+        const int stages = m.placement.numDevices();
+        const ClusterModel cluster =
+            clusterModelFrom(hw, stages, std::max(1, gpus / stages));
+
+        // Comm-oblivious: the search never sees the links.
+        const auto oblivious =
+            tesselSearch(m.placement, budgetedOptions(m));
+        // Comm-aware: transfers become schedulable link blocks. Start
+        // with the runtime-faithful per-device transfers; large
+        // TP-grouped lowerings fall back to per-edge granularity to fit
+        // the 64-bit device mask.
+        TesselOptions aware_opts = budgetedOptions(m);
+        aware_opts.cluster = &cluster;
+        aware_opts.edgeMB = m.edgeMB;
+        if (commResourceDemand(m.placement, cluster, m.edgeMB,
+                               aware_opts.comm) > 64) {
+            aware_opts.comm.granularity =
+                CommOptions::Granularity::PerEdge;
+        }
+        if (commResourceDemand(m.placement, cluster, m.edgeMB,
+                               aware_opts.comm) > 64) {
+            table.addRow({model, std::to_string(gpus), "-", "-",
+                          "x (mask)", "-"});
             continue;
         }
-        const Schedule sched =
-            r.plan.instantiate(std::max(n, r.plan.minMicrobatches()));
-        const auto blocking =
-            bench::runSchedule(sched, m, hw, n, /*non_blocking=*/false);
-        const auto overlap =
-            bench::runSchedule(sched, m, hw, n, /*non_blocking=*/true);
+        const auto aware = tesselSearch(m.placement, aware_opts);
+        if (!oblivious.found || !aware.found) {
+            table.addRow({model, std::to_string(gpus), "-", "-", "-", "-"});
+            continue;
+        }
+
+        const int n_obl = std::max(n, oblivious.plan.minMicrobatches());
+        const Schedule obl_sched = oblivious.plan.instantiate(n_obl);
+        ClusterSpec overlap_cs;
+        overlap_cs.memCapacityMB = m.memCapacityMB;
+        overlap_cs.initialMemMB = m.initialMemMB;
+        ClusterSpec blocking_cs = overlap_cs;
+        blocking_cs.nonBlockingComm = false;
+        const SimResult obl_overlap =
+            simulateWithModel(obl_sched, m.edgeMB, cluster, overlap_cs);
+        const SimResult obl_blocking =
+            simulateWithModel(obl_sched, m.edgeMB, cluster, blocking_cs);
+
+        const int n_aware = std::max(n, aware.plan.minMicrobatches());
+        const double aware_ms = static_cast<double>(
+            aware.plan.makespanFor(n_aware));
+
         table.addRow(
             {model, std::to_string(gpus),
-             fmtDouble(blocking.iterationMs / 1e3, 2),
-             fmtDouble(overlap.iterationMs / 1e3, 2),
-             fmtDouble(blocking.iterationMs /
-                           std::max(overlap.iterationMs, 1e-9),
+             fmtDouble(obl_blocking.makespanMs / 1e3, 2),
+             fmtDouble(obl_overlap.makespanMs / 1e3, 2),
+             fmtDouble(aware_ms / 1e3, 2),
+             fmtDouble(obl_blocking.makespanMs /
+                           std::max(aware_ms, 1e-9),
                        2) +
                  "x"});
     }
@@ -54,10 +111,11 @@ main()
     HardwareSpec hw;
     const int n = 32;
 
-    Table table("Fig. 17: blocking vs non-blocking communication "
-                "(iteration time, s)");
-    table.setHeader(
-        {"model", "GPUs", "blocking (s)", "non-blocking (s)", "speedup"});
+    Table table("Fig. 17 (comm study): comm-oblivious vs comm-aware "
+                "schedules (iteration time, s)");
+    table.setHeader({"model", "GPUs", "oblivious+blocking (s)",
+                     "oblivious+overlap (s)", "comm-aware (s)",
+                     "blocking/aware"});
     sweep(table, "GPT (M-Shape)",
           [&](int gpus) {
               return lowerGptMShape(gptConfigForGpus(gpus), gpus, 1, hw);
@@ -69,7 +127,12 @@ main()
           },
           hw, n);
     table.print(std::cout);
-    std::cout << "Paper reference: non-blocking communication yields up "
-                 "to 1.9x end-to-end speedup on these placements.\n";
+    std::cout
+        << "comm-aware = planned makespan of the link-scheduling search "
+           "(equals its planner-fidelity simulation);\n"
+           "oblivious columns execute the comm-blind plan under the same "
+           "integer link model, with rendezvous or overlapped "
+           "transfers.\nPaper reference: overlapping communication "
+           "yields up to 1.9x end-to-end speedup on these placements.\n";
     return 0;
 }

@@ -455,9 +455,16 @@ class SweepState
     SearchBreakdown stats_;
 };
 
-/** Legacy single-thread sweep (exact original control flow). */
+/** Legacy single-thread sweep (exact original control flow).
+ *
+ * Candidates are enumerated on @p enum_placement (the caller's original
+ * placement) and solved on @p placement; for a comm-aware search the two
+ * differ and @p expansion extends each assignment onto the comm blocks.
+ * In the homogeneous case they alias and @p expansion is null.
+ */
 void
-serialSweep(const Placement &placement, const TesselOptions &options,
+serialSweep(const Placement &enum_placement, const CommExpansion *expansion,
+            const Placement &placement, const TesselOptions &options,
             const TimeBudget &total_budget, int max_inflight,
             const std::vector<Mem> &entry, TesselResult &result,
             std::optional<BestCandidate> &best,
@@ -471,7 +478,7 @@ serialSweep(const Placement &placement, const TesselOptions &options,
         if (result.breakdown.earlyExit || result.breakdown.budgetExhausted)
             break;
         enumerateRepetends(
-            placement, nr, [&](const RepetendAssignment &assign) {
+            enum_placement, nr, [&](const RepetendAssignment &enum_assign) {
                 ++result.breakdown.candidatesEnumerated;
                 if (options.cancel.cancelled())
                     return false;
@@ -479,6 +486,9 @@ serialSweep(const Placement &placement, const TesselOptions &options,
                     result.breakdown.budgetExhausted = true;
                     return false;
                 }
+                const RepetendAssignment assign =
+                    expansion ? expansion->extendAssignment(enum_assign)
+                              : enum_assign;
                 RepetendSolveOptions rso;
                 rso.memLimit = options.memLimit;
                 rso.initialMem = options.initialMem;
@@ -536,11 +546,15 @@ serialSweep(const Placement &placement, const TesselOptions &options,
     }
 }
 
-/** Pool-backed sweep: candidates of each NR solve concurrently. */
+/** Pool-backed sweep: candidates of each NR solve concurrently. Takes
+ * the same (enumeration placement, expansion, solve placement) triple as
+ * serialSweep. */
 void
-parallelSweep(const Placement &placement, const TesselOptions &options,
-              const TimeBudget &total_budget, Time lower_bound,
-              int max_inflight, const std::vector<Mem> &entry, int threads,
+parallelSweep(const Placement &enum_placement,
+              const CommExpansion *expansion, const Placement &placement,
+              const TesselOptions &options, const TimeBudget &total_budget,
+              Time lower_bound, int max_inflight,
+              const std::vector<Mem> &entry, int threads,
               TesselResult &result, std::optional<BestCandidate> &best,
               std::optional<TesselPlan> &best_plan)
 {
@@ -555,7 +569,7 @@ parallelSweep(const Placement &placement, const TesselOptions &options,
         std::vector<RepetendAssignment> candidates;
         SearchBreakdown enum_stats;
         enumerateRepetends(
-            placement, nr, [&](const RepetendAssignment &assign) {
+            enum_placement, nr, [&](const RepetendAssignment &assign) {
                 ++enum_stats.candidatesEnumerated;
                 if (options.cancel.cancelled())
                     return false;
@@ -563,7 +577,9 @@ parallelSweep(const Placement &placement, const TesselOptions &options,
                     enum_stats.budgetExhausted = true;
                     return false;
                 }
-                candidates.push_back(assign);
+                candidates.push_back(
+                    expansion ? expansion->extendAssignment(assign)
+                              : assign);
                 return true;
             });
         state.mergeStats(enum_stats);
@@ -600,42 +616,70 @@ TesselResult
 tesselSearch(const Placement &placement, const TesselOptions &options)
 {
     TesselResult result;
-    result.lowerBound = placement.perMicrobatchLowerBound();
 
-    TimeBudget total_budget(options.totalBudgetSec);
+    // Comm-aware path: lower the placement onto the cluster model once
+    // and run the identical sweep machinery on the expanded placement.
+    // A null or trivial model takes the exact homogeneous path below,
+    // so zero-comm/uniform-speed plans stay bit-identical.
+    const bool comm_aware =
+        options.cluster &&
+        !options.cluster->isTrivial(placement.numDevices());
+    std::optional<CommExpansion> expansion;
+    const Placement *solve_placement = &placement;
+    TesselOptions eff = options;
+    if (comm_aware) {
+        expansion = expandWithComm(placement, *options.cluster,
+                                   options.edgeMB, options.comm);
+        solve_placement = &expansion->placement;
+        // Link pseudo-devices hold no parameters: pad with zeros.
+        if (!eff.initialMem.empty())
+            eff.initialMem.resize(solve_placement->numDevices(), 0);
+    }
 
-    // Algorithm 1, lines 1-6.
+    result.lowerBound = solve_placement->perMicrobatchLowerBound();
+
+    TimeBudget total_budget(eff.totalBudgetSec);
+
+    // Algorithm 1, lines 1-6. Memory headroom depends only on real
+    // devices, so the in-flight cap is computed on the original
+    // placement in both paths.
     const int max_inflight =
         calMaxInflight(placement, options.memLimit, options.initialMem,
                        options.maxRepetendMicrobatches);
 
-    std::vector<Mem> entry = options.initialMem;
+    std::vector<Mem> entry = eff.initialMem;
     if (entry.empty())
-        entry.assign(placement.numDevices(), 0);
+        entry.assign(solve_placement->numDevices(), 0);
 
-    int threads = options.numThreads;
+    int threads = eff.numThreads;
     if (threads <= 0)
         threads = ThreadPool::hardwareThreads();
     result.breakdown.threadsUsed = threads;
 
+    const CommExpansion *exp_ptr = expansion ? &*expansion : nullptr;
     std::optional<BestCandidate> best;
     std::optional<TesselPlan> best_plan; // Kept only without lazy search.
     if (threads == 1) {
-        serialSweep(placement, options, total_budget, max_inflight, entry,
-                    result, best, best_plan);
+        serialSweep(placement, exp_ptr, *solve_placement, eff,
+                    total_budget, max_inflight, entry, result, best,
+                    best_plan);
     } else {
-        parallelSweep(placement, options, total_budget, result.lowerBound,
-                      max_inflight, entry, threads, result, best,
-                      best_plan);
+        parallelSweep(placement, exp_ptr, *solve_placement, eff,
+                      total_budget, result.lowerBound, max_inflight,
+                      entry, threads, result, best, best_plan);
     }
 
+    result.commAware = comm_aware;
+    result.expansion = std::move(expansion);
+    if (comm_aware)
+        solve_placement = &result.expansion->placement;
     if (!best)
         return result;
 
-    if (options.lazy || !best_plan) {
-        best_plan = completePlan(placement, best->assign, best->sched,
-                                 options, result.breakdown,
-                                 options.cancel);
+    if (eff.lazy || !best_plan) {
+        best_plan = completePlan(*solve_placement, best->assign,
+                                 best->sched, eff, result.breakdown,
+                                 eff.cancel);
         if (!best_plan)
             return result;
     }

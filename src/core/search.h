@@ -12,10 +12,12 @@
 #ifndef TESSEL_CORE_SEARCH_H
 #define TESSEL_CORE_SEARCH_H
 
+#include <map>
 #include <optional>
 
 #include "core/plan.h"
 #include "core/repetend_solver.h"
+#include "placement/comm.h"
 
 namespace tessel {
 
@@ -46,6 +48,23 @@ struct TesselOptions
     int numThreads = 0;
     /** External cancellation for the whole search (optional). */
     CancelToken cancel;
+    /**
+     * Heterogeneous cluster model (per-device speed factors + link
+     * latency/bandwidth). nullptr or a trivial model preserves the
+     * homogeneous search path bit for bit; a non-trivial model lowers
+     * cross-device dependency edges into comm blocks on link
+     * pseudo-devices (placement/comm.h) and searches the expanded
+     * placement. The pointee must outlive the call.
+     */
+    const ClusterModel *cluster = nullptr;
+    /**
+     * Activation volume (MB) per dependency edge (producer spec,
+     * consumer spec), used to size comm blocks when `cluster` is set;
+     * missing edges transfer 0 MB (latency only).
+     */
+    std::map<std::pair<int, int>, double> edgeMB;
+    /** Comm lowering knobs (transfer granularity). */
+    CommOptions comm;
 };
 
 /** Search diagnostics (feeds the Fig. 9/10 benches). */
@@ -91,10 +110,18 @@ struct TesselResult
     bool found = false;
     TesselPlan plan;
     Time period = -1;
-    /** Algorithm 1's GetLowerBound: bottleneck per-device work. */
+    /** Algorithm 1's GetLowerBound: bottleneck per-device (or, for a
+     * comm-aware search, per-link) work. */
     Time lowerBound = 0;
     int nrUsed = 0;
     SearchBreakdown breakdown;
+    /**
+     * Set when the search ran on a comm-expanded placement; the plan's
+     * placement then includes comm blocks and link pseudo-devices, and
+     * `expansion` maps them back to the caller's placement.
+     */
+    bool commAware = false;
+    std::optional<CommExpansion> expansion;
 };
 
 /**

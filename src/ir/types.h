@@ -38,9 +38,10 @@ enum class BlockKind {
     Forward,  ///< forward computation; usually allocates activations
     Backward, ///< backward computation; usually releases activations
     Other,    ///< e.g. optimizer step or standalone inference op
+    Comm,     ///< cross-device transfer occupying a link pseudo-device
 };
 
-/** @return a one-letter tag for rendering ('F', 'B', 'O'). */
+/** @return a one-letter tag for rendering ('F', 'B', 'O', 'C'). */
 constexpr char
 blockKindTag(BlockKind kind)
 {
@@ -49,6 +50,8 @@ blockKindTag(BlockKind kind)
         return 'F';
       case BlockKind::Backward:
         return 'B';
+      case BlockKind::Comm:
+        return 'C';
       default:
         return 'O';
     }

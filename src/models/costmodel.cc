@@ -72,4 +72,42 @@ CostModel::quantizeMs(double ms)
     return std::max<Time>(1, static_cast<Time>(std::llround(ms)));
 }
 
+LinkParams
+nvlinkParams(const HardwareSpec &hw)
+{
+    LinkParams lp;
+    lp.latency = hw.linkLatencyMs;
+    lp.timePerMB = 1e3 / (hw.nvlinkGBs * 1024.0);
+    return lp;
+}
+
+LinkParams
+infinibandParams(const HardwareSpec &hw)
+{
+    LinkParams lp;
+    lp.latency = hw.linkLatencyMs;
+    lp.timePerMB = 1e3 / (hw.ibGBs * 1024.0);
+    return lp;
+}
+
+ClusterModel
+clusterModelFrom(const HardwareSpec &hw, int num_devices,
+                 int gpus_per_stage)
+{
+    panic_if(num_devices < 1 || gpus_per_stage < 1,
+             "clusterModelFrom: bad arguments");
+    ClusterModel model;
+    model.speedFactor.assign(num_devices, 1.0);
+    model.defaultLink = nvlinkParams(hw);
+    for (DeviceId a = 0; a < num_devices; ++a) {
+        for (DeviceId b = a + 1; b < num_devices; ++b) {
+            const int server_a = a * gpus_per_stage / hw.gpusPerServer;
+            const int server_b = b * gpus_per_stage / hw.gpusPerServer;
+            if (server_a != server_b)
+                model.linkOverride[{a, b}] = infinibandParams(hw);
+        }
+    }
+    return model;
+}
+
 } // namespace tessel

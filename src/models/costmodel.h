@@ -9,6 +9,7 @@
 #ifndef TESSEL_MODELS_COSTMODEL_H
 #define TESSEL_MODELS_COSTMODEL_H
 
+#include "ir/cluster.h"
 #include "ir/types.h"
 
 namespace tessel {
@@ -92,6 +93,21 @@ class CostModel
     HardwareSpec hw_;
     int batch_;
 };
+
+/** Link parameters of an intra-server NVLink hop of @p hw (ms units). */
+LinkParams nvlinkParams(const HardwareSpec &hw);
+
+/** Link parameters of an inter-server InfiniBand hop of @p hw. */
+LinkParams infinibandParams(const HardwareSpec &hw);
+
+/**
+ * Cluster model derived from @p hw for @p num_devices pipeline stages:
+ * stage pairs whose GPU groups share a server use NVLink parameters,
+ * pairs crossing servers use InfiniBand. @p gpus_per_stage maps logical
+ * stage devices onto physical GPU ranges.
+ */
+ClusterModel clusterModelFrom(const HardwareSpec &hw, int num_devices,
+                              int gpus_per_stage);
 
 } // namespace tessel
 

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "placement/comm.h"
 #include "support/logging.h"
 
 namespace tessel {
@@ -260,6 +261,20 @@ makeShapeByName(const std::string &name, int num_devices,
     if (name == "K" || name == "K-Shape")
         return makeKShape(num_devices, costs);
     fatal("unknown shape name: ", name);
+}
+
+HeteroShape
+makeHeteroShapeByName(const std::string &name, int num_devices,
+                      const ShapeCosts &costs, const HeteroCosts &hetero)
+{
+    HeteroShape out;
+    out.placement = makeShapeByName(name, num_devices, costs);
+    out.cluster = ClusterModel::uniformLink(
+        num_devices, LinkParams{hetero.linkLatency, hetero.linkTimePerMB});
+    for (DeviceId d = 1; d < num_devices; d += 2)
+        out.cluster.speedFactor[d] = hetero.slowFactor;
+    out.edgeMB = crossDeviceEdgeMB(out.placement, hetero.edgeMB);
+    return out;
 }
 
 } // namespace tessel

@@ -11,6 +11,9 @@
 #ifndef TESSEL_PLACEMENT_SHAPES_H
 #define TESSEL_PLACEMENT_SHAPES_H
 
+#include <map>
+
+#include "ir/cluster.h"
 #include "ir/placement.h"
 
 namespace tessel {
@@ -102,6 +105,49 @@ Placement forwardOnly(const Placement &placement);
 /** Look up a shape builder by name ("V", "X", "M", "NN", "K"). */
 Placement makeShapeByName(const std::string &name, int num_devices,
                           const ShapeCosts &costs = {});
+
+/**
+ * Knobs for the heterogeneous/comm variants of the canonical shapes.
+ *
+ * Defaults give a cluster where odd-indexed devices run 1.5x slower
+ * than even-indexed ones and every link costs one time unit of latency
+ * plus a finite bandwidth — small enough that unit-cost shapes stay
+ * solvable, large enough that comm-oblivious plans are measurably
+ * suboptimal.
+ */
+struct HeteroCosts
+{
+    /** Span multiplier of odd-indexed (slow) devices. */
+    double slowFactor = 1.5;
+    /** Fixed per-transfer link latency (time units). */
+    double linkLatency = 1.0;
+    /** Inverse link bandwidth (time units per MB). */
+    double linkTimePerMB = 0.25;
+    /** Activation volume (MB) carried by each cross-device edge. */
+    double edgeMB = 4.0;
+};
+
+/**
+ * A canonical shape bundled with a non-trivial cluster model and
+ * per-edge communication volumes: the heterogeneous variant used by the
+ * comm-aware search, the simulator cross-checks, and bench_fig17.
+ */
+struct HeteroShape
+{
+    Placement placement;
+    ClusterModel cluster;
+    /** Volume per cross-device dependency edge (producer, consumer). */
+    std::map<std::pair<int, int>, double> edgeMB;
+};
+
+/**
+ * Heterogeneous variant of makeShapeByName: same dependency DAG, plus a
+ * cluster model with alternating fast/slow devices and uniform
+ * latency/bandwidth links, plus uniform cross-device edge volumes.
+ */
+HeteroShape makeHeteroShapeByName(const std::string &name, int num_devices,
+                                  const ShapeCosts &costs = {},
+                                  const HeteroCosts &hetero = {});
 
 } // namespace tessel
 

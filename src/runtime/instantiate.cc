@@ -8,7 +8,8 @@ namespace tessel {
 
 Program
 instantiate(const Schedule &schedule,
-            const std::map<std::pair<int, int>, double> &edge_mb)
+            const std::map<std::pair<int, int>, double> &edge_mb,
+            const ClusterModel *cluster)
 {
     const Problem &problem = schedule.problem();
     const Placement &p = problem.placement();
@@ -39,8 +40,11 @@ instantiate(const Schedule &schedule,
             op.kind = OpKind::Compute;
             op.block = ref;
             op.name = spec.name;
-            op.spanMs = spec.span;
+            op.spanMs = cluster
+                            ? cluster->scaledSpan(spec.span, spec.devices)
+                            : spec.span;
             op.memDeltaMB = spec.memory;
+            op.notBefore = schedule.start(ref);
             auto it = pending_waits.find({id, d});
             if (it != pending_waits.end())
                 op.waits = it->second;

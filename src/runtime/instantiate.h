@@ -13,6 +13,7 @@
 
 #include <map>
 
+#include "ir/cluster.h"
 #include "ir/schedule.h"
 #include "runtime/program.h"
 
@@ -25,9 +26,17 @@ namespace tessel {
  * @param edge_mb activation volume (MB) per placement dependency edge
  *        (producer spec, consumer spec); missing edges default to 0 MB
  *        (still materialized as zero-byte transfers for ordering).
+ * @param cluster optional heterogeneous cluster model: compute spans are
+ *        scaled by the slowest participating device with exactly the
+ *        planner's ClusterModel::scaledSpan, so a program lowered from
+ *        an *unexpanded* schedule executes under the same per-device
+ *        speeds the comm-aware search plans with. Schedules produced
+ *        from a comm-expanded placement already carry scaled spans and
+ *        must be instantiated without a model. nullptr = no scaling.
  */
 Program instantiate(const Schedule &schedule,
-                    const std::map<std::pair<int, int>, double> &edge_mb);
+                    const std::map<std::pair<int, int>, double> &edge_mb,
+                    const ClusterModel *cluster = nullptr);
 
 } // namespace tessel
 

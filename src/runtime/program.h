@@ -35,6 +35,9 @@ struct Instruction
     Time spanMs = 0;          ///< execution time
     Mem memDeltaMB = 0;       ///< memory delta at start
     std::vector<int> waits;   ///< tensor ids to await before starting
+    /** Planned dispatch time from the source schedule; honored by the
+     * simulator when ClusterSpec::honorPlannedStarts is set. */
+    Time notBefore = 0;
 
     // Communication fields.
     int tensor = -1;          ///< unique transfer id

@@ -18,6 +18,7 @@ struct Node
     Mem memDelta = 0;
     int streamPos = -1; // Order within its device compute stream.
     std::vector<int> deps;
+    double notBefore = 0.0; // Planned dispatch time (compute nodes).
     double start = 0.0;
     double finish = 0.0;
 };
@@ -61,6 +62,12 @@ simulate(const Program &program, const ClusterSpec &cluster)
     result.peakMemMB.assign(nd, 0);
 
     auto link_ms = [&](DeviceId a, DeviceId b, double mb) {
+        if (cluster.commModel) {
+            // Planner-fidelity charging: the same integer transfer span
+            // the comm-aware search reserves link time for.
+            return static_cast<double>(
+                cluster.commModel->transferSpan(a, b, mb));
+        }
         const bool same_server = (a / cluster.gpusPerServer) ==
                                  (b / cluster.gpusPerServer);
         const double bw = same_server ? cluster.nvlinkGBs : cluster.ibGBs;
@@ -99,8 +106,10 @@ simulate(const Program &program, const ClusterSpec &cluster)
     }
     for (auto &[tensor, node] : transfer_node) {
         const auto [src, dst] = endpoints[tensor];
-        if (src < 0 || dst < 0)
-            return result; // Unmatched pair: deadlock by construction.
+        if (src < 0 || dst < 0) {
+            result.deadlock = true; // Unmatched pair cannot rendezvous.
+            return result;
+        }
         nodes[node].duration = link_ms(src, dst, nodes[node].duration);
         result.commMs += nodes[node].duration;
     }
@@ -133,6 +142,7 @@ simulate(const Program &program, const ClusterSpec &cluster)
                     n.device = d;
                     n.duration = static_cast<double>(op.spanMs);
                     n.memDelta = op.memDeltaMB;
+                    n.notBefore = static_cast<double>(op.notBefore);
                     nodes.push_back(std::move(n));
                     gang.emplace(key, id);
                 } else {
@@ -158,12 +168,17 @@ simulate(const Program &program, const ClusterSpec &cluster)
                 const int tnode = transfer_node.at(op.tensor);
                 if (cluster.nonBlockingComm) {
                     // Comm engine chain + tensor availability (send side
-                    // waits for the producing compute).
-                    if (last_comm_engine[d] >= 0)
+                    // waits for the producing compute). Zero-duration
+                    // transfers are pure ordering tokens — they carry
+                    // their dependency but do not occupy the engine, so
+                    // they never delay unrelated traffic.
+                    const bool occupies = nodes[tnode].duration > 0.0;
+                    if (occupies && last_comm_engine[d] >= 0)
                         nodes[tnode].deps.push_back(last_comm_engine[d]);
                     if (op.kind == OpKind::Send && last_compute[d] >= 0)
                         nodes[tnode].deps.push_back(last_compute[d]);
-                    last_comm_engine[d] = tnode;
+                    if (occupies)
+                        last_comm_engine[d] = tnode;
                 } else {
                     // Blocking: the transfer occupies the compute stream
                     // of both endpoints (rendezvous).
@@ -196,6 +211,8 @@ simulate(const Program &program, const ClusterSpec &cluster)
         ready.pop_back();
         ++processed;
         double start = 0.0;
+        if (cluster.honorPlannedStarts && !nodes[i].isTransfer)
+            start = nodes[i].notBefore;
         for (int dep : nodes[i].deps)
             start = std::max(start, nodes[dep].finish);
         nodes[i].start = start;
@@ -205,8 +222,10 @@ simulate(const Program &program, const ClusterSpec &cluster)
             if (--indeg[s] == 0)
                 ready.push_back(s);
     }
-    if (processed != num_nodes)
-        return result; // Cycle: communication deadlock.
+    if (processed != num_nodes) {
+        result.deadlock = true; // Cycle: communication deadlock.
+        return result;
+    }
 
     result.makespanMs = makespan;
     for (DeviceId d = 0; d < nd; ++d)

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "ir/cluster.h"
 #include "runtime/program.h"
 
 namespace tessel {
@@ -34,12 +35,35 @@ struct ClusterSpec
     std::vector<Mem> initialMemMB;
     /** Overlap communication with computation (Sec. IV-D / Fig. 17). */
     bool nonBlockingComm = true;
+    /**
+     * Dispatch compute no earlier than its planned start
+     * (Instruction::notBefore), the way a real runtime replays a
+     * schedule. With this set, simulated makespan equals the planned
+     * makespan exactly when the plan is consistent with every execution
+     * constraint — the planner/simulator agreement check. When false
+     * (default) execution is work-conserving and may finish earlier than
+     * planned.
+     */
+    bool honorPlannedStarts = false;
+    /**
+     * When set, transfers are charged with the *planner's* integer link
+     * model (ClusterModel::transferSpan over the endpoint pair) instead
+     * of the analog NVLink/InfiniBand formula above, so a comm-oblivious
+     * schedule can be executed under exactly the costs the comm-aware
+     * search plans with. Compute spans are not touched here; runtime
+     * instantiation scales those (instantiate() with a model). The
+     * pointee must outlive the simulate() call.
+     */
+    const ClusterModel *commModel = nullptr;
 };
 
 /** Result of simulating one iteration. */
 struct SimResult
 {
     bool ok = false;
+    /** Mismatched or cyclic send/recv ordering: execution cannot make
+     * progress. Instantiated programs must never set this. */
+    bool deadlock = false;
     /** Out-of-memory: parameters or activations exceeded capacity. */
     bool oom = false;
     DeviceId oomDevice = -1;

@@ -12,4 +12,23 @@ simulateSchedule(const Schedule &schedule,
     return simulate(instantiate(schedule, edge_mb), cluster);
 }
 
+SimResult
+simulateExpandedSchedule(const Schedule &expanded_schedule,
+                         bool work_conserving)
+{
+    ClusterSpec cs;
+    cs.linkLatencyMs = 0.0; // Ordering transfers carry no cost.
+    cs.honorPlannedStarts = !work_conserving;
+    return simulateSchedule(expanded_schedule, {}, cs);
+}
+
+SimResult
+simulateWithModel(const Schedule &schedule,
+                  const std::map<std::pair<int, int>, double> &edge_mb,
+                  const ClusterModel &model, ClusterSpec cluster)
+{
+    cluster.commModel = &model;
+    return simulate(instantiate(schedule, edge_mb, &model), cluster);
+}
+
 } // namespace tessel

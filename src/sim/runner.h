@@ -24,6 +24,31 @@ SimResult simulateSchedule(
     const std::map<std::pair<int, int>, double> &edge_mb,
     const ClusterSpec &cluster);
 
+/**
+ * Planner-fidelity simulation of a schedule over a *comm-expanded*
+ * placement (placement/comm.h): comm blocks already carry their link
+ * spans as ordinary blocks on link pseudo-devices, so the ordering
+ * transfers the runtime inserts are free (zero latency, zero bytes).
+ * With @p work_conserving false (the default) compute dispatches at its
+ * planned start and the simulated makespan must equal the planned
+ * makespan; with it true execution is free-running and may compact
+ * slack, so the simulated makespan is at most the planned one.
+ */
+SimResult simulateExpandedSchedule(const Schedule &expanded_schedule,
+                                   bool work_conserving = false);
+
+/**
+ * Comm-oblivious execution: run an *unexpanded* schedule under the same
+ * heterogeneous model the comm-aware search plans with — compute spans
+ * scaled at instantiation, transfers charged with the planner's integer
+ * link spans. This is what a comm-blind plan actually costs on the
+ * modeled cluster (bench_fig17's oblivious column).
+ */
+SimResult simulateWithModel(
+    const Schedule &schedule,
+    const std::map<std::pair<int, int>, double> &edge_mb,
+    const ClusterModel &model, ClusterSpec cluster = {});
+
 } // namespace tessel
 
 #endif // TESSEL_SIM_RUNNER_H

@@ -35,6 +35,17 @@ buildFullInstance(const Problem &problem)
     return sp;
 }
 
+std::vector<Time>
+startsFromSchedule(const Problem &problem, const Schedule &schedule)
+{
+    panic_if(!schedule.complete(),
+             "startsFromSchedule: schedule is incomplete");
+    std::vector<Time> starts(problem.numInstances());
+    for (int id = 0; id < problem.numInstances(); ++id)
+        starts[id] = schedule.start(problem.refOf(id));
+    return starts;
+}
+
 Schedule
 liftSchedule(const Problem &problem, const std::vector<SolverBlock> &blocks,
              const std::vector<Time> &starts)

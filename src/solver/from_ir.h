@@ -25,6 +25,16 @@ namespace tessel {
 SolverProblem buildFullInstance(const Problem &problem);
 
 /**
+ * Inverse of liftSchedule: extract per-solver-block start times from a
+ * complete IR schedule, aligned with buildFullInstance's block order
+ * (solver block index == problem instance id). Used by the differential
+ * oracle to run verifySolverSchedule() against plans produced by the
+ * search, warmup, and cooldown phases.
+ */
+std::vector<Time> startsFromSchedule(const Problem &problem,
+                                     const Schedule &schedule);
+
+/**
  * Lift solver start times into an IR schedule.
  *
  * @param problem the IR problem the instance was built from.

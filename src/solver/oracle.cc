@@ -1,0 +1,329 @@
+#include "solver/oracle.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace tessel {
+
+namespace {
+
+std::string
+describe(const char *what, int block, std::ostringstream &&detail)
+{
+    std::ostringstream os;
+    os << what << " violated at block " << block << ": " << detail.str();
+    return os.str();
+}
+
+} // namespace
+
+OracleVerdict
+verifySolverSchedule(const SolverProblem &problem,
+                     const std::vector<Time> &starts)
+{
+    const int nb = static_cast<int>(problem.blocks.size());
+    const int nd = problem.numDevices;
+    auto fail = [](std::string msg) {
+        return OracleVerdict{false, std::move(msg)};
+    };
+
+    if (static_cast<int>(starts.size()) != nb)
+        return fail("start vector size mismatch");
+
+    // Per-block constraints: non-negative, release, initial availability.
+    for (int i = 0; i < nb; ++i) {
+        const SolverBlock &b = problem.blocks[i];
+        if (starts[i] < 0) {
+            std::ostringstream os;
+            os << "start " << starts[i] << " < 0";
+            return fail(describe("non-negativity", i, std::move(os)));
+        }
+        if (starts[i] < b.release) {
+            std::ostringstream os;
+            os << "start " << starts[i] << " < release " << b.release;
+            return fail(describe("release time", i, std::move(os)));
+        }
+        for (DeviceId d = 0; d < nd; ++d) {
+            if (!(b.devices & oneDevice(d)))
+                continue;
+            const Time base = problem.initialAvail.empty()
+                                  ? 0
+                                  : problem.initialAvail[d];
+            if (starts[i] < base) {
+                std::ostringstream os;
+                os << "start " << starts[i] << " < device " << d
+                   << " availability " << base;
+                return fail(describe("initial availability", i,
+                                     std::move(os)));
+            }
+        }
+    }
+
+    // Dependencies.
+    for (int j = 0; j < nb; ++j) {
+        for (int i : problem.blocks[j].deps) {
+            if (i < 0 || i >= nb)
+                return fail("dependency index out of range");
+            const Time fin = starts[i] + problem.blocks[i].span;
+            if (starts[j] < fin) {
+                std::ostringstream os;
+                os << "depends on block " << i << " finishing at " << fin
+                   << " but starts at " << starts[j];
+                return fail(describe("dependency", j, std::move(os)));
+            }
+        }
+    }
+
+    // Exclusive execution per device bit (covers link pseudo-devices)
+    // and per-device peak memory over the start-time order. Exclusivity
+    // guarantees start times on a device are distinct, so the memory
+    // prefix order is unambiguous.
+    for (DeviceId d = 0; d < nd; ++d) {
+        std::vector<int> on;
+        for (int i = 0; i < nb; ++i)
+            if (problem.blocks[i].devices & oneDevice(d))
+                on.push_back(i);
+        std::sort(on.begin(), on.end(), [&](int a, int b) {
+            if (starts[a] != starts[b])
+                return starts[a] < starts[b];
+            return a < b;
+        });
+        Mem used = problem.initialMem.empty() ? 0 : problem.initialMem[d];
+        if (used > problem.memLimit) {
+            std::ostringstream os;
+            os << "device " << d << " initial memory " << used
+               << " exceeds limit " << problem.memLimit;
+            return fail(os.str());
+        }
+        Time prev_finish = 0;
+        int prev = -1;
+        for (int i : on) {
+            if (prev >= 0 && starts[i] < prev_finish) {
+                std::ostringstream os;
+                os << "overlaps block " << prev << " on device " << d
+                   << " (previous finish " << prev_finish << ", start "
+                   << starts[i] << ")";
+                return fail(describe("exclusivity", i, std::move(os)));
+            }
+            used += problem.blocks[i].memory;
+            if (used > problem.memLimit) {
+                std::ostringstream os;
+                os << "device " << d << " memory " << used
+                   << " exceeds limit " << problem.memLimit;
+                return fail(describe("memory", i, std::move(os)));
+            }
+            prev_finish = starts[i] + problem.blocks[i].span;
+            prev = i;
+        }
+    }
+
+    return OracleVerdict{};
+}
+
+SolveResult
+bruteForceMinMakespan(const SolverProblem &problem, int max_blocks)
+{
+    const int nb = static_cast<int>(problem.blocks.size());
+    const int nd = problem.numDevices;
+    fatal_if(nb > max_blocks, "bruteForceMinMakespan: ", nb,
+             " blocks exceed the cap of ", max_blocks);
+
+    SolveResult res;
+
+    // Mirror the solver's root feasibility check.
+    for (DeviceId d = 0; d < nd; ++d) {
+        const Mem base = problem.initialMem.empty()
+                             ? 0
+                             : problem.initialMem[d];
+        if (base > problem.memLimit) {
+            res.status = SolveStatus::Infeasible;
+            return res;
+        }
+    }
+
+    std::vector<int> perm(nb);
+    std::iota(perm.begin(), perm.end(), 0);
+
+    std::vector<Time> finish(nb), starts(nb);
+    std::vector<char> dispatched(nb);
+    std::vector<Time> avail(nd);
+    std::vector<Mem> mem(nd);
+
+    bool any = false;
+    do {
+        ++res.stats.nodes;
+        std::fill(dispatched.begin(), dispatched.end(), 0);
+        for (DeviceId d = 0; d < nd; ++d) {
+            avail[d] =
+                problem.initialAvail.empty() ? 0 : problem.initialAvail[d];
+            mem[d] = problem.initialMem.empty() ? 0 : problem.initialMem[d];
+        }
+        Time makespan = 0;
+        bool valid = true;
+        for (int i : perm) {
+            const SolverBlock &b = problem.blocks[i];
+            Time est = b.release;
+            for (int dep : b.deps) {
+                if (!dispatched[dep]) {
+                    valid = false;
+                    break;
+                }
+                est = std::max(est, finish[dep]);
+            }
+            if (!valid)
+                break;
+            if (b.memory > 0) {
+                for (DeviceId d = 0; d < nd; ++d) {
+                    if ((b.devices & oneDevice(d)) &&
+                        mem[d] + b.memory > problem.memLimit) {
+                        valid = false;
+                        break;
+                    }
+                }
+                if (!valid)
+                    break;
+            }
+            for (DeviceId d = 0; d < nd; ++d)
+                if (b.devices & oneDevice(d))
+                    est = std::max(est, avail[d]);
+            starts[i] = est;
+            finish[i] = est + b.span;
+            dispatched[i] = 1;
+            for (DeviceId d = 0; d < nd; ++d) {
+                if (b.devices & oneDevice(d)) {
+                    avail[d] = finish[i];
+                    mem[d] += b.memory;
+                }
+            }
+            makespan = std::max(makespan, finish[i]);
+        }
+        if (valid && (!any || makespan < res.makespan)) {
+            any = true;
+            res.makespan = makespan;
+            res.starts = starts;
+        }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+
+    res.status = any ? SolveStatus::Optimal : SolveStatus::Infeasible;
+    return res;
+}
+
+SolverProblem
+randomInstance(Rng &rng, const RandomInstanceParams &params)
+{
+    fatal_if(params.minBlocks < 1 || params.maxBlocks < params.minBlocks ||
+                 params.minDevices < 1 ||
+                 params.maxDevices < params.minDevices,
+             "randomInstance: bad params");
+
+    SolverProblem sp;
+    const int nd =
+        static_cast<int>(rng.range(params.minDevices, params.maxDevices));
+    const int nb =
+        static_cast<int>(rng.range(params.minBlocks, params.maxBlocks));
+    sp.numDevices = nd;
+
+    for (int i = 0; i < nb; ++i) {
+        SolverBlock b;
+        b.span = rng.range(1, params.maxSpan);
+        b.devices = oneDevice(static_cast<DeviceId>(rng.range(0, nd - 1)));
+        if (nd > 1 && rng.chance(params.tpProb))
+            b.devices |=
+                oneDevice(static_cast<DeviceId>(rng.range(0, nd - 1)));
+        if (rng.chance(params.releaseProb))
+            b.release = rng.range(0, 4);
+        for (int j = 0; j < i; ++j)
+            if (rng.chance(params.depProb))
+                b.deps.push_back(j);
+        b.tag = i;
+        sp.blocks.push_back(std::move(b));
+    }
+
+    // Alloc/release memory pairs with a dependency from the allocation
+    // to the release, plus a finite limit most of the time (instances
+    // that are memory-infeasible are valuable differential cases too).
+    bool has_memory = false;
+    if (nb >= 2 && rng.chance(params.memPairProb)) {
+        const int a = static_cast<int>(rng.range(0, nb - 2));
+        const int r = static_cast<int>(rng.range(a + 1, nb - 1));
+        const Mem m = rng.range(1, 3);
+        sp.blocks[a].memory += m;
+        sp.blocks[r].memory -= m;
+        auto &rdeps = sp.blocks[r].deps;
+        if (std::find(rdeps.begin(), rdeps.end(), a) == rdeps.end())
+            rdeps.push_back(a);
+        has_memory = true;
+    }
+    if (has_memory && rng.chance(0.7)) {
+        sp.memLimit = rng.range(1, 6);
+        if (rng.chance(0.5)) {
+            sp.initialMem.assign(nd, 0);
+            for (DeviceId d = 0; d < nd; ++d)
+                sp.initialMem[d] = rng.range(0, 2);
+        }
+    }
+
+    for (DeviceId d = 0; d < nd; ++d) {
+        if (rng.chance(params.initialAvailProb)) {
+            if (sp.initialAvail.empty())
+                sp.initialAvail.assign(nd, 0);
+            sp.initialAvail[d] = rng.range(0, 3);
+        }
+    }
+
+    // Comm lowering: reroute some cross-device dependency edges through
+    // a zero-memory transfer block on a fresh link pseudo-device,
+    // exactly the shape expandWithComm() produces.
+    if (params.withComm) {
+        const int base = static_cast<int>(sp.blocks.size());
+        for (int j = 0; j < base; ++j) {
+            if (static_cast<int>(sp.blocks.size()) >= params.maxBlocks)
+                break;
+            for (int idx = 0;
+                 idx < static_cast<int>(sp.blocks[j].deps.size()); ++idx) {
+                const int i = sp.blocks[j].deps[idx];
+                if (i >= base ||
+                    sp.blocks[i].devices == sp.blocks[j].devices ||
+                    !rng.chance(0.5)) {
+                    continue;
+                }
+                SolverBlock c;
+                c.span = rng.range(1, 3);
+                c.devices = oneDevice(static_cast<DeviceId>(sp.numDevices));
+                ++sp.numDevices;
+                c.deps = {i};
+                c.tag = static_cast<int>(sp.blocks.size());
+                sp.blocks[j].deps.push_back(
+                    static_cast<int>(sp.blocks.size()));
+                sp.blocks.push_back(std::move(c));
+                break; // At most one comm block per consumer.
+            }
+        }
+        if (!sp.initialMem.empty())
+            sp.initialMem.resize(sp.numDevices, 0);
+        if (!sp.initialAvail.empty())
+            sp.initialAvail.resize(sp.numDevices, 0);
+    }
+
+    // Property 4.1-style symmetry chain: clone the final block and
+    // require the clone to dispatch after the original. This runs
+    // *last* so no later rewrite (comm lowering above) can give the
+    // original extra dependencies — the pair must stay interchangeable
+    // (identical fields, clone without consumers) or the chain would
+    // unsoundly prune real schedules, which is exactly the class of bug
+    // the first run of this suite caught.
+    if (static_cast<int>(sp.blocks.size()) < params.maxBlocks &&
+        rng.chance(params.orderAfterProb)) {
+        SolverBlock clone = sp.blocks.back();
+        clone.orderAfter = static_cast<int>(sp.blocks.size()) - 1;
+        clone.tag = static_cast<int>(sp.blocks.size());
+        sp.blocks.push_back(std::move(clone));
+    }
+
+    return sp;
+}
+
+} // namespace tessel

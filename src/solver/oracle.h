@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Differential-testing oracle for the exact solvers: a standalone
+ * schedule checker, a brute-force permutation solver for tiny instances,
+ * and a seeded random-instance generator. The brute force enumerates all
+ * dispatch permutations with semi-active timing — the same completeness
+ * argument as the branch-and-bound solver, with none of its pruning — so
+ * any disagreement between the two implicates a pruning rule (bounds,
+ * dominance memo, or symmetry chains).
+ */
+
+#ifndef TESSEL_SOLVER_ORACLE_H
+#define TESSEL_SOLVER_ORACLE_H
+
+#include <string>
+#include <vector>
+
+#include "solver/problem.h"
+#include "support/rng.h"
+
+namespace tessel {
+
+/** Outcome of verifySolverSchedule: ok + a human-readable reason. */
+struct OracleVerdict
+{
+    bool ok = true;
+    std::string message;
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Check @p starts against every constraint of @p problem: non-negative
+ * starts, release times, per-device initial availability, dependency
+ * ordering, exclusive execution on every device bit (link pseudo-devices
+ * included, so this is also the link-exclusivity check), and per-device
+ * peak memory over the start-time order.
+ */
+OracleVerdict verifySolverSchedule(const SolverProblem &problem,
+                                   const std::vector<Time> &starts);
+
+/**
+ * Exact minimal makespan by exhaustive dispatch-order enumeration.
+ * Refuses instances with more than @p max_blocks blocks (default 8:
+ * 8! = 40320 permutations). Ignores orderAfter symmetry chains — they
+ * prune equivalent schedules only, so the optimum must match.
+ */
+SolveResult bruteForceMinMakespan(const SolverProblem &problem,
+                                  int max_blocks = 8);
+
+/** Shape of the instances randomInstance() generates. */
+struct RandomInstanceParams
+{
+    /** Block count range (inclusive). */
+    int minBlocks = 2;
+    int maxBlocks = 7;
+    /** Real device count range (inclusive). */
+    int minDevices = 1;
+    int maxDevices = 3;
+    /** Probability of a dependency edge between two eligible blocks. */
+    double depProb = 0.35;
+    /** Probability a block is tensor-parallel (occupies >1 device). */
+    double tpProb = 0.2;
+    /** Probability of a nonzero release time on a block. */
+    double releaseProb = 0.25;
+    /** Probability a block pair becomes an alloc/release memory pair;
+     * when any pair exists a finite memory limit is drawn. */
+    double memPairProb = 0.4;
+    /** Probability of a nonzero per-device initial availability. */
+    double initialAvailProb = 0.25;
+    /** Probability of an orderAfter symmetry chain between blocks of a
+     * device. */
+    double orderAfterProb = 0.2;
+    /** Maximum block span. */
+    Time maxSpan = 5;
+    /**
+     * When true, some cross-device dependency edges are rewritten
+     * through a zero-memory comm block on a dedicated link
+     * pseudo-device, mirroring the comm-aware search's lowering.
+     */
+    bool withComm = false;
+};
+
+/**
+ * Generate a random solver instance from @p rng. Deterministic for a
+ * given generator state; instances may be memory-infeasible on purpose
+ * (the differential suite compares infeasibility verdicts too).
+ */
+SolverProblem randomInstance(Rng &rng, const RandomInstanceParams &params);
+
+} // namespace tessel
+
+#endif // TESSEL_SOLVER_ORACLE_H

@@ -23,14 +23,16 @@ namespace tessel {
  *
  * The solver's dominance memo keys on the set of already-scheduled blocks;
  * this type keeps that key cheap to copy, compare, and hash. Capacity is a
- * compile-time constant sized for the largest instances the benches build
- * (the time-optimal baseline of Fig. 3 peaks at 16 micro-batches x 8
- * blocks = 128 block instances).
+ * compile-time constant sized for the largest instances the benches build:
+ * the time-optimal baseline of Fig. 3 peaks at 16 micro-batches x 8
+ * blocks = 128 block instances, and the comm-aware warmup/cooldown
+ * phases of TP-grouped model lowerings reach a few hundred (comm blocks
+ * multiply the per-window spec count).
  */
 class BlockSet
 {
   public:
-    static constexpr int maxBits = 256;
+    static constexpr int maxBits = 512;
     static constexpr int numWords = maxBits / 64;
 
     constexpr BlockSet() : words_{} {}

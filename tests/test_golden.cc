@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Golden schedule tests: lock in the Fig. 8 repetend structure and the
+ * Table II bubble ratios the search currently reproduces for the five
+ * canonical shapes, so search refactors cannot silently regress plan
+ * quality, and pin the guarantee that a zero-comm, uniform-speed cluster
+ * model leaves plans bit-identical to the homogeneous path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/search.h"
+#include "placement/shapes.h"
+
+namespace tessel {
+namespace {
+
+TesselOptions
+goldenOptions()
+{
+    // Golden values must not depend on machine load: run every solve to
+    // completion (the searches below all terminate quickly via the
+    // lower-bound early exit, so unlimited budgets are safe). A tripped
+    // budget would otherwise pick a different — equally valid but not
+    // golden — plan under sanitizers or CI contention.
+    TesselOptions opts;
+    opts.totalBudgetSec = 0.0;
+    opts.repetendBudgetSec = 0.0;
+    opts.phaseBudgetSec = 0.0;
+    return opts;
+}
+
+/** Expected plan structure of one shape at 4 devices, default costs. */
+struct GoldenPlan
+{
+    const char *name;
+    int nr;
+    Time period;
+    std::vector<int> assignment;
+    std::vector<Time> windowStart;
+    Time makespan12; ///< makespanFor(12)
+};
+
+/**
+ * Values recorded from the current search (they match the paper's
+ * Fig. 8 structure where it prints one: M-Shape trains with NR=6 and a
+ * period of 9 = the per-device work, i.e. a zero-bubble repetend).
+ */
+const GoldenPlan kGolden[] = {
+    {"V", 4, 3, {3, 3, 3, 3, 3, 2, 1, 0}, {0, 1, 2, 3, 4, 3, 2, 1}, 45},
+    {"X", 3, 6, {2, 2, 2, 1, 1, 1, 0, 0, 2, 2, 2, 2, 2, 2, 1, 1},
+     {2, 3, 4, 1, 2, 5, 4, 6, 0, 1, 2, 3, 4, 6, 2, 4}, 81},
+    {"M", 6, 9, {5, 5, 5, 4, 4, 4, 3, 2, 1, 0, 0},
+     {0, 1, 3, 1, 3, 4, 1, 2, 1, 2, 7}, 117},
+    {"NN", 6, 9, {5, 5, 5, 5, 4, 4, 4, 3, 3, 3, 3, 2, 2, 2, 1, 1, 0, 0},
+     {0, 1, 3, 4, 1, 2, 4, 1, 2, 3, 5, 1, 3, 5, 2, 5, 5, 7}, 121},
+    {"K", 3, 6, {2, 2, 2, 2, 2, 2, 2, 2, 0, 0},
+     {0, 0, 2, 2, 3, 4, 6, 6, 1, 1}, 75},
+};
+
+TEST(Golden, Fig8RepetendStructure)
+{
+    for (const GoldenPlan &g : kGolden) {
+        const auto r = tesselSearch(makeShapeByName(g.name, 4),
+                                    goldenOptions());
+        ASSERT_TRUE(r.found) << g.name;
+        EXPECT_EQ(r.nrUsed, g.nr) << g.name;
+        EXPECT_EQ(r.period, g.period) << g.name;
+        EXPECT_EQ(r.period, r.lowerBound) << g.name;
+        EXPECT_EQ(r.plan.assignment().r, g.assignment) << g.name;
+        EXPECT_EQ(r.plan.windowStart(), g.windowStart) << g.name;
+        EXPECT_EQ(r.plan.makespanFor(12), g.makespan12) << g.name;
+    }
+}
+
+TEST(Golden, Table2SteadyBubbleRatios)
+{
+    // Table II: Tessel reaches a zero-bubble steady state on every
+    // placement it shares with the baselines (the paper's 0% column).
+    for (const GoldenPlan &g : kGolden) {
+        const auto r = tesselSearch(makeShapeByName(g.name, 4),
+                                    goldenOptions());
+        ASSERT_TRUE(r.found) << g.name;
+        EXPECT_DOUBLE_EQ(r.plan.steadyBubbleRate(), 0.0) << g.name;
+        EXPECT_DOUBLE_EQ(r.plan.worstDeviceBubbleRate(), 0.0) << g.name;
+    }
+}
+
+/** Heterogeneous/comm goldens at 2 devices (new in the comm search). */
+struct GoldenHetero
+{
+    const char *name;
+    int nr;
+    Time period;
+    Time makespanNrPlus4;
+};
+
+const GoldenHetero kGoldenHetero[] = {
+    {"V", 3, 5, 43},  {"X", 2, 10, 64}, {"M", 3, 15, 111},
+    {"NN", 4, 16, 137}, {"K", 2, 10, 63},
+};
+
+TEST(Golden, HeterogeneousCommPlans)
+{
+    for (const GoldenHetero &g : kGoldenHetero) {
+        const HeteroShape hs = makeHeteroShapeByName(g.name, 2);
+        TesselOptions opts = goldenOptions();
+        opts.cluster = &hs.cluster;
+        opts.edgeMB = hs.edgeMB;
+        const auto r = tesselSearch(hs.placement, opts);
+        ASSERT_TRUE(r.found) << g.name;
+        EXPECT_EQ(r.nrUsed, g.nr) << g.name;
+        EXPECT_EQ(r.period, g.period) << g.name;
+        EXPECT_EQ(r.period, r.lowerBound) << g.name;
+        EXPECT_EQ(r.plan.makespanFor(r.plan.minMicrobatches() + 4),
+                  g.makespanNrPlus4)
+            << g.name;
+    }
+}
+
+TEST(Golden, TrivialClusterModelIsBitIdentical)
+{
+    // Acceptance gate of the comm-aware search: with zero comm cost and
+    // uniform speed factors, passing a cluster model must not change a
+    // single start time on any of the five shapes.
+    for (const GoldenPlan &g : kGolden) {
+        const Placement p = makeShapeByName(g.name, 4);
+        const auto plain = tesselSearch(p, goldenOptions());
+        ASSERT_TRUE(plain.found) << g.name;
+
+        ClusterModel trivial;
+        trivial.speedFactor.assign(4, 1.0);
+        // Zero-latency, zero-cost links on every pair.
+        trivial.linkOverride[{0, 1}] = LinkParams{};
+        ASSERT_TRUE(trivial.isTrivial(4));
+
+        TesselOptions opts = goldenOptions();
+        opts.cluster = &trivial;
+        opts.edgeMB = crossDeviceEdgeMB(p, 64.0); // Volumes are ignored.
+        const auto modeled = tesselSearch(p, opts);
+        ASSERT_TRUE(modeled.found) << g.name;
+        EXPECT_FALSE(modeled.commAware) << g.name;
+        EXPECT_FALSE(modeled.expansion.has_value()) << g.name;
+
+        EXPECT_EQ(plain.period, modeled.period) << g.name;
+        EXPECT_EQ(plain.nrUsed, modeled.nrUsed) << g.name;
+        EXPECT_EQ(plain.plan.assignment().r, modeled.plan.assignment().r)
+            << g.name;
+        EXPECT_EQ(plain.plan.windowStart(), modeled.plan.windowStart())
+            << g.name;
+
+        const int n = plain.plan.minMicrobatches() + 3;
+        const Schedule a = plain.plan.instantiate(n);
+        const Schedule b = modeled.plan.instantiate(n);
+        for (int id = 0; id < a.problem().numInstances(); ++id) {
+            const BlockRef ref = a.problem().refOf(id);
+            ASSERT_EQ(a.start(ref), b.start(ref))
+                << g.name << " instance " << id;
+        }
+    }
+}
+
+} // namespace
+} // namespace tessel

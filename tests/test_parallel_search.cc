@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <thread>
 
 #include "core/search.h"
@@ -193,6 +195,45 @@ TEST(ParallelSearch, BreakdownMergeIsAssociative)
     EXPECT_EQ(left.threadsUsed, right.threadsUsed);
     EXPECT_EQ(left.earlyExit, right.earlyExit);
     EXPECT_EQ(left.budgetExhausted, right.budgetExhausted);
+}
+
+TEST(ParallelSearch, SweepSpeedsUpOnRealMulticore)
+{
+    // PR 1 shipped a >=2x speedup expectation that only holds with
+    // enough physical parallelism; on the 1-core CI runner 4 workers
+    // run at ~0.95x serial. Guard on hardware_concurrency() instead of
+    // hardware luck: machines that cannot show the speedup skip, and
+    // machines that can must deliver it. hardware_concurrency() counts
+    // SMT threads, not cores, so the asserted ratio is tiered: 4-7
+    // logical CPUs may be only 2 physical cores (~1.5x realistic),
+    // while >= 8 must show the full 2x.
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw < 4) {
+        GTEST_SKIP() << "parallel speedup needs >= 4 logical CPUs, have "
+                     << hw;
+    }
+    const double required = hw >= 8 ? 2.0 : 1.4;
+    // NN-Shape has the largest candidate pool of the canonical shapes,
+    // so the sweep dominates wall time and scales with workers.
+    const Placement p = makeNnShape(4);
+
+    Stopwatch serial_watch;
+    const auto serial = tesselSearch(p, optsWithThreads(1));
+    const double serial_sec = serial_watch.seconds();
+    ASSERT_TRUE(serial.found);
+
+    // Best of two runs damps scheduler noise on shared CI machines.
+    double parallel_sec = std::numeric_limits<double>::max();
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        Stopwatch parallel_watch;
+        const auto parallel = tesselSearch(p, optsWithThreads(4));
+        parallel_sec = std::min(parallel_sec, parallel_watch.seconds());
+        ASSERT_TRUE(parallel.found);
+        expectSamePlan(serial, parallel);
+    }
+    EXPECT_GE(serial_sec / parallel_sec, required)
+        << "serial " << serial_sec << "s vs parallel " << parallel_sec
+        << "s with " << hw << " logical CPUs";
 }
 
 TEST(ParallelSearch, RepetendSolveHonorsCancelToken)

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Planner/simulator agreement: for all five shapes, homogeneous and
+ * heterogeneous/comm variants, the simulated makespan of an instantiated
+ * plan equals the planned makespan under planner-fidelity dispatch
+ * (honorPlannedStarts), free-running execution never finishes later than
+ * planned, and every instantiated program is deadlock-free.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/search.h"
+#include "placement/shapes.h"
+#include "runtime/instantiate.h"
+#include "sim/runner.h"
+
+namespace tessel {
+namespace {
+
+/** Shapes x device counts kept small enough for exhaustive searches. */
+int
+devicesFor(const std::string &name)
+{
+    // NN has by far the largest expanded candidate space; its hetero
+    // variant stays exhaustive at 2 devices.
+    return name == "NN" ? 2 : 4;
+}
+
+class ShapeCrossCheck : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ShapeCrossCheck, HomogeneousSimEqualsPlanned)
+{
+    const std::string name = GetParam();
+    TesselOptions opts;
+    opts.totalBudgetSec = 60.0;
+    const auto r = tesselSearch(makeShapeByName(name, devicesFor(name)),
+                                opts);
+    ASSERT_TRUE(r.found) << name;
+    EXPECT_FALSE(r.commAware);
+    const Schedule sched = r.plan.instantiate(r.plan.minMicrobatches() + 4);
+    const Time planned = sched.makespan();
+
+    const Program prog = instantiate(sched, {});
+    ClusterSpec fidelity;
+    fidelity.linkLatencyMs = 0.0;
+    fidelity.honorPlannedStarts = true;
+    const SimResult sim = simulate(prog, fidelity);
+    ASSERT_TRUE(sim.ok) << name;
+    EXPECT_FALSE(sim.deadlock) << name;
+    EXPECT_DOUBLE_EQ(sim.makespanMs, static_cast<double>(planned)) << name;
+
+    ClusterSpec free_run = fidelity;
+    free_run.honorPlannedStarts = false;
+    const SimResult compacted = simulate(prog, free_run);
+    ASSERT_TRUE(compacted.ok) << name;
+    EXPECT_LE(compacted.makespanMs, static_cast<double>(planned)) << name;
+}
+
+TEST_P(ShapeCrossCheck, HeterogeneousCommSimEqualsPlanned)
+{
+    const std::string name = GetParam();
+    const HeteroShape hs = makeHeteroShapeByName(name, devicesFor(name));
+    TesselOptions opts;
+    opts.totalBudgetSec = 60.0;
+    opts.cluster = &hs.cluster;
+    opts.edgeMB = hs.edgeMB;
+    const auto r = tesselSearch(hs.placement, opts);
+    ASSERT_TRUE(r.found) << name;
+    ASSERT_TRUE(r.commAware);
+    ASSERT_TRUE(r.expansion.has_value());
+    EXPECT_GT(r.expansion->numLinks, 0) << name;
+    EXPECT_GT(r.expansion->numCommBlocks(), 0) << name;
+
+    const Schedule sched = r.plan.instantiate(r.plan.minMicrobatches() + 4);
+    const Time planned = sched.makespan();
+
+    const SimResult sim = simulateExpandedSchedule(sched);
+    ASSERT_TRUE(sim.ok) << name;
+    EXPECT_FALSE(sim.deadlock) << name;
+    EXPECT_DOUBLE_EQ(sim.makespanMs, static_cast<double>(planned)) << name;
+
+    const SimResult compacted =
+        simulateExpandedSchedule(sched, /*work_conserving=*/true);
+    ASSERT_TRUE(compacted.ok) << name;
+    EXPECT_FALSE(compacted.deadlock) << name;
+    EXPECT_LE(compacted.makespanMs, static_cast<double>(planned)) << name;
+}
+
+TEST_P(ShapeCrossCheck, InstantiatedProgramsAreDeadlockFree)
+{
+    // Both program variants (with and without real edge volumes) of both
+    // plan flavors must simulate without rendezvous cycles, in blocking
+    // and non-blocking mode.
+    const std::string name = GetParam();
+    const int nd = devicesFor(name);
+    const HeteroShape hs = makeHeteroShapeByName(name, nd);
+
+    TesselOptions hom;
+    hom.totalBudgetSec = 60.0;
+    const auto r_hom = tesselSearch(hs.placement, hom);
+    ASSERT_TRUE(r_hom.found) << name;
+
+    TesselOptions het = hom;
+    het.cluster = &hs.cluster;
+    het.edgeMB = hs.edgeMB;
+    const auto r_het = tesselSearch(hs.placement, het);
+    ASSERT_TRUE(r_het.found) << name;
+
+    for (const TesselResult *r : {&r_hom, &r_het}) {
+        const Schedule sched =
+            r->plan.instantiate(r->plan.minMicrobatches() + 2);
+        const Program prog = instantiate(
+            sched, r->commAware ? std::map<std::pair<int, int>, double>{}
+                                : hs.edgeMB);
+        for (bool non_blocking : {true, false}) {
+            ClusterSpec cs;
+            cs.nonBlockingComm = non_blocking;
+            const SimResult sim = simulate(prog, cs);
+            EXPECT_FALSE(sim.deadlock)
+                << name << " commAware=" << r->commAware
+                << " nonBlocking=" << non_blocking;
+            EXPECT_TRUE(sim.ok);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ShapeCrossCheck,
+                         ::testing::Values("V", "X", "M", "NN", "K"));
+
+TEST(SimModel, PlannerLinkChargingMatchesClusterModel)
+{
+    // A two-device handoff charged through ClusterModel::transferSpan
+    // must land exactly on the integer planner cost.
+    ClusterModel model;
+    model.defaultLink.latency = 2.0;
+    model.defaultLink.timePerMB = 0.5;
+
+    Program prog;
+    prog.numDevices = 2;
+    prog.numTensors = 1;
+    prog.code.resize(2);
+    Instruction a;
+    a.kind = OpKind::Compute;
+    a.spanMs = 10;
+    prog.code[0].push_back(a);
+    Instruction send;
+    send.kind = OpKind::Send;
+    send.tensor = 0;
+    send.peer = 1;
+    send.sizeMB = 7.0;
+    prog.code[0].push_back(send);
+    Instruction recv = send;
+    recv.kind = OpKind::Recv;
+    recv.peer = 0;
+    prog.code[1].push_back(recv);
+    Instruction b;
+    b.kind = OpKind::Compute;
+    b.spanMs = 4;
+    b.waits = {0};
+    prog.code[1].push_back(b);
+
+    ClusterSpec cs;
+    cs.commModel = &model;
+    const SimResult sim = simulate(prog, cs);
+    ASSERT_TRUE(sim.ok);
+    // 10 (compute) + ceil(2 + 7 * 0.5) = 6 (transfer) + 4 (compute).
+    EXPECT_DOUBLE_EQ(sim.makespanMs, 10.0 + 6.0 + 4.0);
+    EXPECT_DOUBLE_EQ(sim.commMs, 6.0);
+}
+
+TEST(SimModel, InstantiateScalesSpansBySpeedFactor)
+{
+    // A V-shape schedule on a cluster whose device 1 runs 2x slower:
+    // instantiate(model) must scale exactly like the planner would.
+    const Placement p = makeVShape(2);
+    Problem prob(p, 1, kUnlimitedMem);
+    Schedule sched(prob);
+    sched.setStart({0, 0}, 0); // f0 on dev0, span 1.
+    sched.setStart({1, 0}, 1); // f1 on dev1, span 1.
+    sched.setStart({2, 0}, 2); // b1 on dev1, span 2.
+    sched.setStart({3, 0}, 4); // b0 on dev0, span 2.
+    ASSERT_TRUE(sched.validate().ok);
+
+    ClusterModel model;
+    model.speedFactor = {1.0, 2.0};
+    const Program prog = instantiate(sched, {}, &model);
+    for (DeviceId d = 0; d < 2; ++d) {
+        for (const Instruction &op : prog.code[d]) {
+            if (op.kind != OpKind::Compute)
+                continue;
+            const BlockSpec &spec = p.block(op.block.spec);
+            EXPECT_EQ(op.spanMs, model.scaledSpan(spec.span, spec.devices))
+                << spec.name;
+        }
+    }
+    // simulateWithModel executes those scaled spans with charged links.
+    ClusterSpec cs;
+    const SimResult sim = simulateWithModel(sched, {}, model, cs);
+    ASSERT_TRUE(sim.ok);
+    // f0(1) -> f1(2) -> b1(4) -> b0(2), all serial on the critical path.
+    EXPECT_DOUBLE_EQ(sim.makespanMs, 1.0 + 2.0 + 4.0 + 2.0);
+}
+
+TEST(SimModel, CommAwarePlanBeatsObliviousUnderCharging)
+{
+    // The headline property of the tentpole: on a comm-heavy cluster,
+    // executing the comm-aware plan (its planned makespan, equal to its
+    // planner-fidelity simulation) is no worse than executing the
+    // comm-oblivious plan under the same model with blocking transfers.
+    const HeteroShape hs = makeHeteroShapeByName("V", 4);
+    const int n = 12;
+
+    TesselOptions hom;
+    hom.totalBudgetSec = 60.0;
+    const auto oblivious = tesselSearch(hs.placement, hom);
+    ASSERT_TRUE(oblivious.found);
+
+    TesselOptions het = hom;
+    het.cluster = &hs.cluster;
+    het.edgeMB = hs.edgeMB;
+    const auto aware = tesselSearch(hs.placement, het);
+    ASSERT_TRUE(aware.found);
+
+    ClusterSpec blocking;
+    blocking.nonBlockingComm = false;
+    const SimResult obl_exec = simulateWithModel(
+        oblivious.plan.instantiate(n), hs.edgeMB, hs.cluster, blocking);
+    ASSERT_TRUE(obl_exec.ok);
+
+    const Time aware_planned = aware.plan.makespanFor(n);
+    EXPECT_LE(static_cast<double>(aware_planned),
+              obl_exec.makespanMs + 1e-9);
+}
+
+} // namespace
+} // namespace tessel
