@@ -98,7 +98,7 @@ baselineSchedule(const Problem &problem, const BaselineOptions &options)
             spec.kind != BlockKind::Forward)
             return true;
         for (DeviceId d = 0; d < problem.numDevices(); ++d) {
-            if (!(spec.devices & oneDevice(d)) || bwd_per_mb[d] <= 0.0)
+            if (!spec.devices.test(d) || bwd_per_mb[d] <= 0.0)
                 continue;
             const double inflight =
                 (fwd_started[d] + 1.0) / fwd_per_mb[d] -
@@ -113,7 +113,7 @@ baselineSchedule(const Problem &problem, const BaselineOptions &options)
         if (!options.respectMemory || spec.memory <= 0)
             return true;
         for (DeviceId d = 0; d < problem.numDevices(); ++d)
-            if ((spec.devices & oneDevice(d)) &&
+            if (spec.devices.test(d) &&
                 mem[d] + spec.memory > problem.memLimit()) {
                 return false;
             }
@@ -129,8 +129,8 @@ baselineSchedule(const Problem &problem, const BaselineOptions &options)
             const BlockRef ref = problem.refOf(id);
             const BlockSpec &spec = p.block(ref.spec);
             bool devices_free = true;
-            for (DeviceId d = 0; d < problem.numDevices(); ++d)
-                if ((spec.devices & oneDevice(d)) && busy_until[d] > t)
+            for (DeviceId d : spec.devices)
+                if (busy_until[d] > t)
                     devices_free = false;
             if (!devices_free || !deps_done(id))
                 continue;
@@ -155,8 +155,8 @@ baselineSchedule(const Problem &problem, const BaselineOptions &options)
             const BlockRef ref = problem.refOf(id);
             const BlockSpec &spec = p.block(ref.spec);
             bool devices_free = true;
-            for (DeviceId d = 0; d < problem.numDevices(); ++d)
-                if ((spec.devices & oneDevice(d)) && busy_until[d] > t)
+            for (DeviceId d : spec.devices)
+                if (busy_until[d] > t)
                     devices_free = false;
             if (!devices_free || !mem_ok(spec))
                 return false;
@@ -167,9 +167,7 @@ baselineSchedule(const Problem &problem, const BaselineOptions &options)
             --remaining;
             sched.setStart(ref, t);
             finish[id] = t + spec.span;
-            for (DeviceId d = 0; d < problem.numDevices(); ++d) {
-                if (!(spec.devices & oneDevice(d)))
-                    continue;
+            for (DeviceId d : spec.devices) {
                 busy_until[d] = finish[id];
                 mem[d] += spec.memory;
                 if (spec.kind == BlockKind::Forward)
@@ -356,9 +354,8 @@ schedule1F1BPlus(const Problem &problem)
     seqs.order.resize(problem.numDevices());
     for (int inst : list) {
         const BlockRef ref = problem.refOf(inst);
-        for (DeviceId d = 0; d < problem.numDevices(); ++d)
-            if (p.block(ref.spec).devices & oneDevice(d))
-                seqs.order[d].push_back(inst);
+        for (DeviceId d : p.block(ref.spec).devices)
+            seqs.order[d].push_back(inst);
     }
     auto sched = scheduleFromSequences(problem, seqs);
     if (!sched) {
@@ -424,10 +421,9 @@ scheduleSequential(const Problem &problem)
     seqs.order.resize(problem.numDevices());
     for (int mb = 0; mb < problem.numMicrobatches(); ++mb)
         for (int spec : p.topoOrder())
-            for (DeviceId d = 0; d < problem.numDevices(); ++d)
-                if (p.block(spec).devices & oneDevice(d))
-                    seqs.order[d].push_back(
-                        problem.instanceId({spec, mb}));
+            for (DeviceId d : p.block(spec).devices)
+                seqs.order[d].push_back(
+                    problem.instanceId({spec, mb}));
     auto sched = scheduleFromSequences(problem, seqs);
     panic_if(!sched, "sequential schedule construction failed");
     return *sched;

@@ -87,10 +87,9 @@ TesselPlan::instantiate(int n) const
         sched.setStart(ref, warmupStart_[w]);
         const Time fin =
             warmupStart_[w] + placement_.block(ref.spec).span;
-        for (DeviceId d = 0; d < placement_.numDevices(); ++d)
-            if (placement_.block(ref.spec).devices & oneDevice(d))
-                avail_after_warmup[d] =
-                    std::max(avail_after_warmup[d], fin);
+        for (DeviceId d : placement_.block(ref.spec).devices)
+            avail_after_warmup[d] =
+                std::max(avail_after_warmup[d], fin);
     }
 
     // Phase 2: anchor offset theta0 for the first window instance.
@@ -160,13 +159,11 @@ TesselPlan::instantiate(int n) const
                      "plan: cooldown dependency not yet scheduled");
             est = std::max(est, dep_start + placement_.block(dep).span);
         }
-        for (DeviceId d = 0; d < placement_.numDevices(); ++d)
-            if (spec.devices & oneDevice(d))
-                est = std::max(est, avail[d]);
+        for (DeviceId d : spec.devices)
+            est = std::max(est, avail[d]);
         sched.setStart(ref, est);
-        for (DeviceId d = 0; d < placement_.numDevices(); ++d)
-            if (spec.devices & oneDevice(d))
-                avail[d] = est + spec.span;
+        for (DeviceId d : spec.devices)
+            avail[d] = est + spec.span;
     }
 
     const ValidationResult check = sched.validate();

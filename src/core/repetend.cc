@@ -72,9 +72,8 @@ repetendEntryMem(const Placement &placement,
     std::vector<Mem> entry(placement.numDevices(), 0);
     for (int i = 0; i < placement.numBlocks(); ++i) {
         const BlockSpec &b = placement.block(i);
-        for (DeviceId d = 0; d < placement.numDevices(); ++d)
-            if (b.devices & oneDevice(d))
-                entry[d] += static_cast<Mem>(assign.r[i]) * b.memory;
+        for (DeviceId d : b.devices)
+            entry[d] += static_cast<Mem>(assign.r[i]) * b.memory;
     }
     return entry;
 }

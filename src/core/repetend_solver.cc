@@ -85,6 +85,15 @@ class PeriodSearch
     void
     buildStatic()
     {
+        // Flat span/memory tables: the branching loops below read these
+        // per candidate pair, and the flat copies stay cache-resident
+        // where the full BlockSpec records would not.
+        spans_.resize(k_);
+        memory_.resize(k_);
+        for (int i = 0; i < k_; ++i) {
+            spans_[i] = p_.block(i).span;
+            memory_[i] = p_.block(i).memory;
+        }
         // Order-independent constraint edges.
         for (int j = 0; j < k_; ++j) {
             for (int i : p_.block(j).deps) {
@@ -201,8 +210,8 @@ class PeriodSearch
             for (size_t x = 0; x < on.size(); ++x) {
                 for (size_t y = x + 1; y < on.size(); ++y) {
                     const int a = on[x], b = on[y];
-                    const Time fa = s[a] + p_.block(a).span;
-                    const Time fb = s[b] + p_.block(b).span;
+                    const Time fa = s[a] + spans_[a];
+                    const Time fb = s[b] + spans_[b];
                     if (s[a] < fb && s[b] < fa)
                         return {a, b};
                 }
@@ -227,7 +236,7 @@ class PeriodSearch
             });
             Mem used = entryMem_[d];
             for (size_t pos = 0; pos < order.size(); ++pos) {
-                used += p_.block(order[pos]).memory;
+                used += memory_[order[pos]];
                 if (used > opts_.memLimit) {
                     order.resize(pos + 1);
                     return {d, order};
@@ -286,10 +295,10 @@ class PeriodSearch
         const auto [a, b] = findOverlap(s);
         if (a >= 0) {
             // Branch on the two orderings of the conflicting pair.
-            decisions_.push_back({a, b, p_.block(a).span, 0});
+            decisions_.push_back({a, b, spans_[a], 0});
             recurse(period);
             decisions_.pop_back();
-            decisions_.push_back({b, a, p_.block(b).span, 0});
+            decisions_.push_back({b, a, spans_[b], 0});
             recurse(period);
             decisions_.pop_back();
             return;
@@ -302,12 +311,12 @@ class PeriodSearch
             // over all such reorderings (complete cover).
             std::set<int> in_prefix(prefix.begin(), prefix.end());
             for (int y : p_.blocksOnDevice(dev)) {
-                if (in_prefix.count(y) || p_.block(y).memory >= 0)
+                if (in_prefix.count(y) || memory_[y] >= 0)
                     continue;
                 for (int x : prefix) {
-                    if (p_.block(x).memory <= 0)
+                    if (memory_[x] <= 0)
                         continue;
-                    decisions_.push_back({y, x, p_.block(y).span, 0});
+                    decisions_.push_back({y, x, spans_[y], 0});
                     recurse(period);
                     decisions_.pop_back();
                     if (budgetTripped())
@@ -333,6 +342,8 @@ class PeriodSearch
 
     std::vector<Edge> base_;
     std::vector<Edge> decisions_;
+    std::vector<Time> spans_;
+    std::vector<Mem> memory_;
     std::vector<Mem> entryMem_;
     Time serialUb_ = 0;
     Time globalLb_ = 1;

@@ -82,9 +82,8 @@ postWindowMem(const Placement &placement, const RepetendAssignment &assign,
         mem = initial_mem;
     for (int i = 0; i < placement.numBlocks(); ++i) {
         const BlockSpec &b = placement.block(i);
-        for (DeviceId d = 0; d < placement.numDevices(); ++d)
-            if (b.devices & oneDevice(d))
-                mem[d] += static_cast<Mem>(assign.r[i] + 1) * b.memory;
+        for (DeviceId d : b.devices)
+            mem[d] += static_cast<Mem>(assign.r[i] + 1) * b.memory;
     }
     return mem;
 }
@@ -173,12 +172,11 @@ completePlan(const Placement &placement, const RepetendAssignment &assign,
                 const Time fin =
                     r.starts[i] + placement.block(warm_refs[i].spec).span;
                 warmup_finish[{warm_refs[i].spec, warm_refs[i].mb}] = fin;
-                for (DeviceId d = 0; d < placement.numDevices(); ++d)
-                    if (placement.block(warm_refs[i].spec).devices &
-                        oneDevice(d)) {
-                        avail_after_warmup[d] =
-                            std::max(avail_after_warmup[d], fin);
-                    }
+                for (DeviceId d :
+                     placement.block(warm_refs[i].spec).devices) {
+                    avail_after_warmup[d] =
+                        std::max(avail_after_warmup[d], fin);
+                }
             }
         } else {
             breakdown.warmupSeconds += watch.seconds();
@@ -192,10 +190,9 @@ completePlan(const Placement &placement, const RepetendAssignment &assign,
     for (int i = 0; i < placement.numBlocks(); ++i) {
         const Time fin =
             theta0 + rsched.start[i] + placement.block(i).span;
-        for (DeviceId d = 0; d < placement.numDevices(); ++d)
-            if (placement.block(i).devices & oneDevice(d))
-                avail_after_window[d] =
-                    std::max(avail_after_window[d], fin);
+        for (DeviceId d : placement.block(i).devices)
+            avail_after_window[d] =
+                std::max(avail_after_window[d], fin);
     }
 
     const auto cool_refs = cooldownBlocks(placement, assign);

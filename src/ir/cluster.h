@@ -97,13 +97,13 @@ struct ClusterModel
      * Rounds up; a uniform factor of 1.0 returns @p span unchanged.
      */
     Time
-    scaledSpan(Time span, DeviceMask devices) const
+    scaledSpan(Time span, const DeviceMask &devices) const
     {
         double worst = 1.0;
-        for (DeviceId d = 0;
-             d < static_cast<DeviceId>(speedFactor.size()); ++d) {
-            if (devices & oneDevice(d))
-                worst = worst > speedFactor[d] ? worst : speedFactor[d];
+        for (DeviceId d : devices) {
+            if (d >= static_cast<DeviceId>(speedFactor.size()))
+                break;
+            worst = worst > speedFactor[d] ? worst : speedFactor[d];
         }
         if (worst == 1.0)
             return span;

@@ -21,12 +21,11 @@ Placement::validate() const
     fatal_if(numDevices_ <= 0, "placement '", name_,
              "': device count must be positive");
     fatal_if(blocks_.empty(), "placement '", name_, "': no blocks");
-    const DeviceMask legal = allDevices(numDevices_);
     for (size_t i = 0; i < blocks_.size(); ++i) {
         const BlockSpec &b = blocks_[i];
-        fatal_if(b.devices == 0, "placement '", name_, "': block '", b.name,
-                 "' has no devices");
-        fatal_if((b.devices & ~legal) != 0, "placement '", name_,
+        fatal_if(b.devices.empty(), "placement '", name_, "': block '",
+                 b.name, "' has no devices");
+        fatal_if(b.devices.anyAtOrAbove(numDevices_), "placement '", name_,
                  "': block '", b.name, "' uses device >= ", numDevices_);
         fatal_if(b.span <= 0, "placement '", name_, "': block '", b.name,
                  "' has non-positive span");
@@ -73,9 +72,8 @@ Placement::buildDerived()
 
     onDevice_.assign(numDevices_, {});
     for (int i = 0; i < k; ++i)
-        for (DeviceId d = 0; d < numDevices_; ++d)
-            if (blocks_[i].devices & oneDevice(d))
-                onDevice_[d].push_back(i);
+        for (DeviceId d : blocks_[i].devices)
+            onDevice_[d].push_back(i);
 }
 
 const std::vector<int> &

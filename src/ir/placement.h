@@ -30,7 +30,7 @@ struct BlockSpec
     /** Forward / backward / other. */
     BlockKind kind = BlockKind::Forward;
     /** Devices executing this block (multiple => tensor parallel). */
-    DeviceMask devices = 0;
+    DeviceMask devices;
     /** Execution time t_B (> 0). */
     Time span = 1;
     /** Per-device memory delta m_B applied when the block starts. */

@@ -31,7 +31,7 @@ scheduleFromSequences(const Problem &problem, const DeviceSequences &seqs)
             const int id = order[k];
             panic_if(id < 0 || id >= num_inst, "sequence id out of range");
             const BlockRef ref = problem.refOf(id);
-            panic_if((p.block(ref.spec).devices & oneDevice(d)) == 0,
+            panic_if(!p.block(ref.spec).devices.test(d),
                      "block ", p.block(ref.spec).name,
                      " sequenced on foreign device ", d);
             ++appearances[id];

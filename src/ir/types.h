@@ -11,7 +11,7 @@
 #include <cstdint>
 #include <limits>
 
-#include "support/bits.h"
+#include "support/resourceset.h"
 
 namespace tessel {
 
@@ -24,8 +24,14 @@ using Mem = int64_t;
 /** Device index in [0, D). */
 using DeviceId = int32_t;
 
-/** Bitmask of devices a block runs on (tensor parallelism => >1 bit). */
-using DeviceMask = uint64_t;
+/**
+ * Set of devices a block runs on (tensor parallelism => >1 bit), plus —
+ * after comm lowering — link pseudo-devices at indices past the real
+ * device count. Width-generic: clusters of up to 64 total resources stay
+ * on the inline one-word fast path, wider clusters (32+ GPUs with
+ * per-device comm lowering) grow transparently past 64 bits.
+ */
+using DeviceMask = ResourceSet;
 
 /** Sentinel for "not scheduled yet". */
 constexpr Time kUnscheduled = -1;
@@ -57,32 +63,34 @@ blockKindTag(BlockKind kind)
     }
 }
 
-/** @return number of set bits in a device mask. */
-constexpr int
-popcountMask(DeviceMask mask)
+/** @return number of devices in a mask. */
+inline int
+popcountMask(const DeviceMask &mask)
 {
-    return popcount64(mask);
+    return mask.count();
 }
 
-/** @return index of the lowest set bit (0 for an empty mask). */
-constexpr DeviceId
-lowestDevice(DeviceMask mask)
+/** @return index of the lowest device (0 for an empty mask). */
+inline DeviceId
+lowestDevice(const DeviceMask &mask)
 {
-    return static_cast<DeviceId>(lowestBit64(mask));
+    return static_cast<DeviceId>(mask.lowest());
 }
 
-/** @return a mask with the @p count low device bits set. */
-constexpr DeviceMask
+/** @return a mask of exactly the @p count low devices; panics when
+ * @p count is negative. No 64-resource saturation: the result always
+ * represents precisely @p count bits. */
+inline DeviceMask
 allDevices(int count)
 {
-    return count >= 64 ? ~DeviceMask{0} : ((DeviceMask{1} << count) - 1);
+    return ResourceSet::firstN(count);
 }
 
 /** @return a mask containing only device @p d. */
-constexpr DeviceMask
+inline DeviceMask
 oneDevice(DeviceId d)
 {
-    return DeviceMask{1} << d;
+    return ResourceSet::ofBit(d);
 }
 
 } // namespace tessel

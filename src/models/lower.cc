@@ -25,12 +25,10 @@ class Lowering
 
     /** True when @p mask spans more than one NVLink domain. */
     bool
-    crossesServer(DeviceMask mask) const
+    crossesServer(const DeviceMask &mask) const
     {
         int first = -1;
-        for (int d = 0; d < gpus_; ++d) {
-            if (!(mask & oneDevice(d)))
-                continue;
+        for (int d : mask) {
             const int server = d / cm_.hw().gpusPerServer;
             if (first < 0)
                 first = server;
@@ -46,7 +44,8 @@ class Lowering
      * cross-server tensor parallelism expensive in Fig. 13).
      */
     Time
-    tpSpan(double flops, DeviceMask mask, double allreduce_mb) const
+    tpSpan(double flops, const DeviceMask &mask,
+           double allreduce_mb) const
     {
         const int k = popcountMask(mask);
         double ms = cm_.msFor(flops, k);
@@ -62,14 +61,14 @@ class Lowering
     DeviceMask
     group(int first, int count) const
     {
-        DeviceMask mask = 0;
+        DeviceMask mask;
         for (int d = first; d < first + count; ++d)
-            mask |= oneDevice(d);
+            mask.set(d);
         return mask;
     }
 
     int
-    addBlock(std::string name, BlockKind kind, DeviceMask devices,
+    addBlock(std::string name, BlockKind kind, const DeviceMask &devices,
              Time span, Mem memory, std::vector<int> deps)
     {
         BlockSpec b;
@@ -85,13 +84,12 @@ class Lowering
 
     /** Charge parameter storage on every device in @p mask. */
     void
-    chargeParams(DeviceMask mask, double params, bool training)
+    chargeParams(const DeviceMask &mask, double params, bool training)
     {
         const int k = popcountMask(mask);
         const Mem mb = cm_.paramMB(params, training, k);
-        for (int d = 0; d < gpus_; ++d)
-            if (mask & oneDevice(d))
-                mem_[d] += mb;
+        for (int d : mask)
+            mem_[d] += mb;
     }
 
     void

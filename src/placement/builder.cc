@@ -14,9 +14,9 @@ PlacementBuilder::BlockHandle::on(DeviceId d)
 PlacementBuilder::BlockHandle &
 PlacementBuilder::BlockHandle::onDevices(std::initializer_list<DeviceId> ds)
 {
-    DeviceMask mask = 0;
+    DeviceMask mask;
     for (DeviceId d : ds)
-        mask |= oneDevice(d);
+        mask.set(d);
     parent_.blocks_[index_].devices = mask;
     return *this;
 }

@@ -77,7 +77,6 @@ forEachTransfer(const Placement &placement, const ClusterModel &cluster,
                 const std::map<std::pair<int, int>, double> &edge_mb,
                 const CommOptions &options, Fn &&fn)
 {
-    const int nd = placement.numDevices();
     for (int j = 0; j < placement.numBlocks(); ++j) {
         const BlockSpec &consumer = placement.block(j);
         for (int i : consumer.deps) {
@@ -86,10 +85,8 @@ forEachTransfer(const Placement &placement, const ClusterModel &cluster,
             double mb = 0.0;
             if (auto it = edge_mb.find({i, j}); it != edge_mb.end())
                 mb = it->second;
-            for (DeviceId dst = 0; dst < nd; ++dst) {
-                if (!(consumer.devices & oneDevice(dst)))
-                    continue;
-                if (producer.devices & oneDevice(dst))
+            for (DeviceId dst : consumer.devices) {
+                if (producer.devices.test(dst))
                     continue; // Output already resident.
                 const Time span = cluster.transferSpan(src, dst, mb);
                 if (span > 0)
@@ -129,9 +126,10 @@ expandWithComm(const Placement &placement, const ClusterModel &cluster,
     }
 
     // Link pseudo-devices are allocated lazily for pairs that carry a
-    // transfer with a nonzero cost. The 64-bit mask check must precede
-    // the first oneDevice() on a fresh id — shifting past bit 63 is
-    // undefined behavior, not just a wrong answer.
+    // transfer with a nonzero cost. Device masks are width-generic
+    // (support/resourceset.h), so any number of links past the real
+    // device count is representable; PerEdge granularity remains as an
+    // explicit option to bound the link count itself.
     std::map<std::pair<DeviceId, DeviceId>, DeviceId> link_of;
     auto link_device = [&](DeviceId a, DeviceId b) {
         const auto key =
@@ -139,14 +137,8 @@ expandWithComm(const Placement &placement, const ClusterModel &cluster,
         const auto next =
             static_cast<DeviceId>(nd + exp.linkEndpoints.size());
         auto [it, inserted] = link_of.try_emplace(key, next);
-        if (inserted) {
-            fatal_if(next >= 64,
-                     "expandWithComm: ", nd, " devices + ",
-                     exp.linkEndpoints.size() + 1,
-                     " links exceed the 64-bit device mask (try "
-                     "CommOptions::Granularity::PerEdge)");
+        if (inserted)
             exp.linkEndpoints.push_back(key);
-        }
         return it->second;
     };
 

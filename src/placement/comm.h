@@ -95,9 +95,9 @@ struct CommOptions
      * dependency edge, targeting the consumer's lead (lowest uncovered)
      * device — intra-group redistribution is treated as part of the
      * tensor-parallel block itself. PerEdge keeps the link count
-     * proportional to the edge count, which matters for TP-grouped
-     * model lowerings where PerDevice would exhaust the 64-bit device
-     * mask.
+     * proportional to the edge count; device masks are width-generic,
+     * so this is a search-space/fidelity trade-off rather than a
+     * representation limit.
      */
     enum class Granularity { PerDevice, PerEdge };
     Granularity granularity = Granularity::PerDevice;
@@ -130,9 +130,11 @@ CommExpansion expandWithComm(
     const CommOptions &options = {});
 
 /**
- * Dry-run resource count: the total device-mask bits (real devices plus
- * link pseudo-devices) expandWithComm would need. Callers can check
- * `<= 64` before committing to a granularity.
+ * Dry-run resource count: the total resources (real devices plus link
+ * pseudo-devices) expandWithComm would allocate. Any count is
+ * representable — ResourceSet grows past 64 bits transparently — so
+ * this is sizing information (solver state scales with it), not a
+ * feasibility check.
  */
 int commResourceDemand(const Placement &placement,
                        const ClusterModel &cluster,

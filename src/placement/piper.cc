@@ -125,9 +125,9 @@ piperToPlacement(const PiperResult &result, double time_scale,
     int dev_base = 0;
     std::vector<DeviceMask> masks(num_stages);
     for (int s = 0; s < num_stages; ++s) {
-        DeviceMask mask = 0;
+        DeviceMask mask;
         for (int k = 0; k < result.stages[s].numDevices; ++k)
-            mask |= oneDevice(dev_base + k);
+            mask.set(dev_base + k);
         masks[s] = mask;
         dev_base += result.stages[s].numDevices;
     }

@@ -33,9 +33,7 @@ instantiate(const Schedule &schedule,
         const BlockSpec &spec = p.block(ref.spec);
 
         // Emit the compute on every device of the block.
-        for (DeviceId d = 0; d < prog.numDevices; ++d) {
-            if (!(spec.devices & oneDevice(d)))
-                continue;
+        for (DeviceId d : spec.devices) {
             Instruction op;
             op.kind = OpKind::Compute;
             op.block = ref;
@@ -62,10 +60,8 @@ instantiate(const Schedule &schedule,
                 it != edge_mb.end()) {
                 mb = it->second;
             }
-            for (DeviceId dst = 0; dst < prog.numDevices; ++dst) {
-                if (!(cspec.devices & oneDevice(dst)))
-                    continue;
-                if (spec.devices & oneDevice(dst))
+            for (DeviceId dst : cspec.devices) {
+                if (spec.devices.test(dst))
                     continue; // Producer output already resident.
                 const int tensor = next_tensor++;
 

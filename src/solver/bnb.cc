@@ -28,6 +28,11 @@ struct BnbSolver::Impl
     std::vector<std::vector<int>> succs;
     std::vector<Time> tail; // Longest dependency path incl. own span.
     std::vector<int> topo;
+    // Per-block device indices, CSR layout: block i occupies devices
+    // devList[devBegin[i] .. devBegin[i+1]). Precomputed so the hot
+    // dispatch/undo/bound loops never touch mask bits.
+    std::vector<int> devList;
+    std::vector<int> devBegin;
 
     // Dynamic search state.
     std::vector<char> scheduled;
@@ -64,24 +69,43 @@ struct BnbSolver::Impl
         nb = static_cast<int>(prob.blocks.size());
         nd = prob.numDevices;
         fatal_if(nb == 0, "solver: empty problem");
-        fatal_if(nb > BlockSet::maxBits, "solver: too many blocks (", nb,
-                 " > ", BlockSet::maxBits, ")");
-        fatal_if(nd <= 0 || nd > 64, "solver: bad device count ", nd);
+        fatal_if(nd <= 0, "solver: bad device count ", nd);
         buildStatic();
+    }
+
+    /** Devices of block @p i (CSR slice). */
+    struct DevRange
+    {
+        const int *first;
+        const int *last;
+        const int *begin() const { return first; }
+        const int *end() const { return last; }
+    };
+
+    DevRange
+    devicesOf(int i) const
+    {
+        return {devList.data() + devBegin[i],
+                devList.data() + devBegin[i + 1]};
     }
 
     void
     buildStatic()
     {
         succs.assign(nb, {});
+        devBegin.assign(nb + 1, 0);
         std::vector<int> indeg(nb, 0);
         for (int i = 0; i < nb; ++i) {
             const SolverBlock &b = prob.blocks[i];
             fatal_if(b.span <= 0, "solver: block ", i,
                      " has non-positive span");
-            fatal_if(b.devices == 0, "solver: block ", i, " has no devices");
-            fatal_if((b.devices >> nd) != 0, "solver: block ", i,
+            fatal_if(b.devices.empty(), "solver: block ", i,
+                     " has no devices");
+            fatal_if(b.devices.anyAtOrAbove(nd), "solver: block ", i,
                      " uses out-of-range device");
+            for (int d : b.devices)
+                devList.push_back(d);
+            devBegin[i + 1] = static_cast<int>(devList.size());
             for (int dep : b.deps) {
                 fatal_if(dep < 0 || dep >= nb || dep == i,
                          "solver: block ", i, " has bad dependency ", dep);
@@ -145,9 +169,8 @@ struct BnbSolver::Impl
         }
         remWork.assign(nd, 0);
         for (int i = 0; i < nb; ++i)
-            for (int d = 0; d < nd; ++d)
-                if (prob.blocks[i].devices & oneDevice(d))
-                    remWork[d] += prob.blocks[i].span;
+            for (int d : devicesOf(i))
+                remWork[d] += prob.blocks[i].span;
         schedSet = BlockSet{};
         curMakespan = 0;
         for (int d = 0; d < nd; ++d)
@@ -170,9 +193,8 @@ struct BnbSolver::Impl
         Time est = b.release;
         for (int dep : b.deps)
             est = std::max(est, finishOf[dep]);
-        for (int d = 0; d < nd; ++d)
-            if (b.devices & oneDevice(d))
-                est = std::max(est, avail[d]);
+        for (int d : devicesOf(i))
+            est = std::max(est, avail[d]);
         return est;
     }
 
@@ -291,9 +313,7 @@ struct BnbSolver::Impl
         ++numScheduled;
         startOf[i] = est;
         finishOf[i] = est + b.span;
-        for (int d = 0; d < nd; ++d) {
-            if (!(b.devices & oneDevice(d)))
-                continue;
+        for (int d : devicesOf(i)) {
             saved_avail[d] = avail[d];
             saved_mem[d] = memUsed[d];
             avail[d] = finishOf[i];
@@ -316,9 +336,7 @@ struct BnbSolver::Impl
         --numScheduled;
         startOf[i] = kUnscheduled;
         finishOf[i] = kUnscheduled;
-        for (int d = 0; d < nd; ++d) {
-            if (!(b.devices & oneDevice(d)))
-                continue;
+        for (int d : devicesOf(i)) {
             avail[d] = saved_avail[d];
             memUsed[d] = saved_mem[d];
             remWork[d] += b.span;
@@ -380,10 +398,10 @@ struct BnbSolver::Impl
             }
             if (b.memory > 0) {
                 bool mem_ok = true;
-                for (int d = 0; d < nd && mem_ok; ++d)
-                    if ((b.devices & oneDevice(d)) &&
-                        memUsed[d] + b.memory > prob.memLimit) {
+                for (int d : devicesOf(i))
+                    if (memUsed[d] + b.memory > prob.memLimit) {
                         mem_ok = false;
+                        break;
                     }
                 if (!mem_ok)
                     continue; // May become dispatchable after a release.
@@ -463,9 +481,8 @@ struct BnbSolver::Impl
         Time lb = 0;
         std::vector<Time> work(nd, 0);
         for (int i = 0; i < nb; ++i)
-            for (int d = 0; d < nd; ++d)
-                if (prob.blocks[i].devices & oneDevice(d))
-                    work[d] += prob.blocks[i].span;
+            for (int d : devicesOf(i))
+                work[d] += prob.blocks[i].span;
         for (int d = 0; d < nd; ++d) {
             const Time base =
                 prob.initialAvail.empty() ? 0 : prob.initialAvail[d];

@@ -46,9 +46,12 @@ verifySolverSchedule(const SolverProblem &problem,
             os << "start " << starts[i] << " < release " << b.release;
             return fail(describe("release time", i, std::move(os)));
         }
-        for (DeviceId d = 0; d < nd; ++d) {
-            if (!(b.devices & oneDevice(d)))
-                continue;
+        if (b.devices.anyAtOrAbove(nd)) {
+            std::ostringstream os;
+            os << "devices " << b.devices << " exceed count " << nd;
+            return fail(describe("device range", i, std::move(os)));
+        }
+        for (DeviceId d : b.devices) {
             const Time base = problem.initialAvail.empty()
                                   ? 0
                                   : problem.initialAvail[d];
@@ -84,7 +87,7 @@ verifySolverSchedule(const SolverProblem &problem,
     for (DeviceId d = 0; d < nd; ++d) {
         std::vector<int> on;
         for (int i = 0; i < nb; ++i)
-            if (problem.blocks[i].devices & oneDevice(d))
+            if (problem.blocks[i].devices.test(d))
                 on.push_back(i);
         std::sort(on.begin(), on.end(), [&](int a, int b) {
             if (starts[a] != starts[b])
@@ -176,9 +179,8 @@ bruteForceMinMakespan(const SolverProblem &problem, int max_blocks)
             if (!valid)
                 break;
             if (b.memory > 0) {
-                for (DeviceId d = 0; d < nd; ++d) {
-                    if ((b.devices & oneDevice(d)) &&
-                        mem[d] + b.memory > problem.memLimit) {
+                for (DeviceId d : b.devices) {
+                    if (mem[d] + b.memory > problem.memLimit) {
                         valid = false;
                         break;
                     }
@@ -186,17 +188,14 @@ bruteForceMinMakespan(const SolverProblem &problem, int max_blocks)
                 if (!valid)
                     break;
             }
-            for (DeviceId d = 0; d < nd; ++d)
-                if (b.devices & oneDevice(d))
-                    est = std::max(est, avail[d]);
+            for (DeviceId d : b.devices)
+                est = std::max(est, avail[d]);
             starts[i] = est;
             finish[i] = est + b.span;
             dispatched[i] = 1;
-            for (DeviceId d = 0; d < nd; ++d) {
-                if (b.devices & oneDevice(d)) {
-                    avail[d] = finish[i];
-                    mem[d] += b.memory;
-                }
+            for (DeviceId d : b.devices) {
+                avail[d] = finish[i];
+                mem[d] += b.memory;
             }
             makespan = std::max(makespan, finish[i]);
         }
@@ -231,8 +230,7 @@ randomInstance(Rng &rng, const RandomInstanceParams &params)
         b.span = rng.range(1, params.maxSpan);
         b.devices = oneDevice(static_cast<DeviceId>(rng.range(0, nd - 1)));
         if (nd > 1 && rng.chance(params.tpProb))
-            b.devices |=
-                oneDevice(static_cast<DeviceId>(rng.range(0, nd - 1)));
+            b.devices.set(static_cast<DeviceId>(rng.range(0, nd - 1)));
         if (rng.chance(params.releaseProb))
             b.release = rng.range(0, 4);
         for (int j = 0; j < i; ++j)

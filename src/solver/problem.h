@@ -27,7 +27,7 @@ struct SolverBlock
     /** Execution time (> 0). */
     Time span = 1;
     /** Devices occupied while executing (>= 1 bit). */
-    DeviceMask devices = 0;
+    DeviceMask devices;
     /** Per-device memory delta applied at start. */
     Mem memory = 0;
     /** Indices of blocks that must finish before this one starts. */

@@ -1,6 +1,8 @@
 /**
  * @file
- * C++17 replacements for the <bit> primitives the codebase needs.
+ * C++17 replacements for the <bit> primitives the codebase needs. On
+ * GCC/Clang the word ops compile to single instructions via builtins;
+ * the portable loops are kept as a fallback for other toolchains.
  */
 
 #ifndef TESSEL_SUPPORT_BITS_H
@@ -10,28 +12,36 @@
 
 namespace tessel {
 
-/** @return number of set bits (Kernighan's loop; constexpr-friendly). */
+/** @return number of set bits. */
 constexpr int
 popcount64(uint64_t word)
 {
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_popcountll(word);
+#else
     int n = 0;
     while (word) {
         word &= word - 1;
         ++n;
     }
     return n;
+#endif
 }
 
 /** @return index of the lowest set bit (0 for an empty word). */
 constexpr int
 lowestBit64(uint64_t word)
 {
+#if defined(__GNUC__) || defined(__clang__)
+    return word ? __builtin_ctzll(word) : 0;
+#else
     int i = 0;
     while (word > 1 && !(word & 1)) {
         word >>= 1;
         ++i;
     }
     return i;
+#endif
 }
 
 } // namespace tessel

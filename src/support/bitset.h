@@ -1,133 +1,28 @@
 /**
  * @file
- * Fixed-capacity bitset used to track scheduled-block sets inside the
- * solver. Supports up to BlockSet::maxBits blocks, hashing (for the
- * dominance memo), and fast population/iteration primitives.
+ * Scheduled-block sets for the solver's dominance memo.
+ *
+ * BlockSet is the same width-generic bitset as the device masks
+ * (support/resourceset.h): instances up to 64 blocks stay inline in one
+ * word (cheap to copy, compare, and hash as an unordered_map key), and
+ * larger instances — e.g. comm-expanded warmup/cooldown phases of
+ * TP-grouped model lowerings, which reach several hundred block
+ * instances — grow transparently with no compile-time cap. Hashing and
+ * equality are canonical across capacities, so there is a single
+ * hash/dominance-memo story regardless of instance size.
  */
 
 #ifndef TESSEL_SUPPORT_BITSET_H
 #define TESSEL_SUPPORT_BITSET_H
 
-#include <array>
-#include <cstddef>
-#include <cstdint>
-#include <functional>
-
-#include "bits.h"
-#include "logging.h"
+#include "resourceset.h"
 
 namespace tessel {
 
-/**
- * A small, value-type set of block indices.
- *
- * The solver's dominance memo keys on the set of already-scheduled blocks;
- * this type keeps that key cheap to copy, compare, and hash. Capacity is a
- * compile-time constant sized for the largest instances the benches build:
- * the time-optimal baseline of Fig. 3 peaks at 16 micro-batches x 8
- * blocks = 128 block instances, and the comm-aware warmup/cooldown
- * phases of TP-grouped model lowerings reach a few hundred (comm blocks
- * multiply the per-window spec count).
- */
-class BlockSet
-{
-  public:
-    static constexpr int maxBits = 512;
-    static constexpr int numWords = maxBits / 64;
-
-    constexpr BlockSet() : words_{} {}
-
-    /** Set bit @p i. */
-    void
-    set(int i)
-    {
-        panic_if(i < 0 || i >= maxBits, "BlockSet index out of range: ", i);
-        words_[i >> 6] |= (uint64_t{1} << (i & 63));
-    }
-
-    /** Clear bit @p i. */
-    void
-    reset(int i)
-    {
-        panic_if(i < 0 || i >= maxBits, "BlockSet index out of range: ", i);
-        words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
-    }
-
-    /** @return whether bit @p i is set. */
-    bool
-    test(int i) const
-    {
-        panic_if(i < 0 || i >= maxBits, "BlockSet index out of range: ", i);
-        return (words_[i >> 6] >> (i & 63)) & 1;
-    }
-
-    /** @return the number of set bits. */
-    int
-    count() const
-    {
-        int n = 0;
-        for (uint64_t w : words_)
-            n += popcount64(w);
-        return n;
-    }
-
-    /** @return true when no bit is set. */
-    bool
-    empty() const
-    {
-        for (uint64_t w : words_)
-            if (w)
-                return false;
-        return true;
-    }
-
-    /** @return true when every bit of @p other is also set in *this. */
-    bool
-    contains(const BlockSet &other) const
-    {
-        for (int i = 0; i < numWords; ++i)
-            if ((other.words_[i] & ~words_[i]) != 0)
-                return false;
-        return true;
-    }
-
-    bool
-    operator==(const BlockSet &other) const
-    {
-        return words_ == other.words_;
-    }
-
-    bool
-    operator!=(const BlockSet &other) const
-    {
-        return !(*this == other);
-    }
-
-    /** FNV-style hash over the words, for unordered_map keys. */
-    size_t
-    hash() const
-    {
-        uint64_t h = 1469598103934665603ull;
-        for (uint64_t w : words_) {
-            h ^= w;
-            h *= 1099511628211ull;
-        }
-        return static_cast<size_t>(h);
-    }
-
-  private:
-    std::array<uint64_t, numWords> words_;
-};
+using BlockSet = ResourceSet;
 
 /** Hash functor so BlockSet can key std::unordered_map. */
-struct BlockSetHash
-{
-    size_t
-    operator()(const BlockSet &s) const
-    {
-        return s.hash();
-    }
-};
+using BlockSetHash = ResourceSetHash;
 
 } // namespace tessel
 

@@ -95,6 +95,35 @@ TEST(Differential, BnbMatchesBruteForceWithComm)
     EXPECT_GT(with_comm, 20);
 }
 
+TEST(Differential, BnbMatchesBruteForceOnWideResourceSets)
+{
+    // Device counts straddling the one-word/multi-word ResourceSet
+    // boundary, plus comm links appended past the real device count:
+    // these instances were unrepresentable under the old 64-bit mask.
+    Rng rng(0x51de);
+    RandomInstanceParams params;
+    params.withComm = true;
+    params.minDevices = 62;
+    params.maxDevices = 68;
+    int wide = 0, multiword = 0;
+    for (int i = 0; i < 60; ++i) {
+        const SolverProblem sp = randomInstance(rng, params);
+        if (sp.numDevices > 64)
+            ++wide;
+        for (const SolverBlock &b : sp.blocks)
+            if (b.devices.anyAtOrAbove(64)) {
+                ++multiword;
+                break;
+            }
+        const std::string err = compareOne(sp, 0x51de, i);
+        EXPECT_EQ(err, "");
+    }
+    // The sweep must actually exercise >64-resource instances and
+    // blocks whose masks need a second word.
+    EXPECT_GT(wide, 20);
+    EXPECT_GT(multiword, 10);
+}
+
 TEST(Differential, BinarySearchAgreesWithDirectMinimization)
 {
     Rng rng(0xb1a5);

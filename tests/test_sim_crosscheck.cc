@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include "core/search.h"
+#include "placement/builder.h"
+#include "placement/comm.h"
 #include "placement/shapes.h"
 #include "runtime/instantiate.h"
 #include "sim/runner.h"
@@ -201,6 +203,76 @@ TEST(SimModel, InstantiateScalesSpansBySpeedFactor)
     ASSERT_TRUE(sim.ok);
     // f0(1) -> f1(2) -> b1(4) -> b0(2), all serial on the critical path.
     EXPECT_DOUBLE_EQ(sim.makespanMs, 1.0 + 2.0 + 4.0 + 2.0);
+}
+
+TEST(SimModel, WideClusterCommPlanSimEqualsPlanned)
+{
+    // A V-chain whose stages sit on devices {0, 30, 66, 90} of a
+    // 91-device cluster: the placement itself crosses bit 64, and the
+    // comm expansion appends link pseudo-devices past index 90, so the
+    // whole search -> sim -> runtime path runs on multi-word resource
+    // sets (impossible under the old 64-bit device mask).
+    PlacementBuilder b("wide-v", 91);
+    const std::vector<DeviceId> stage_dev = {0, 30, 66, 90};
+    std::vector<int> fwd(4);
+    for (int s = 0; s < 4; ++s) {
+        auto h = b.forward("f" + std::to_string(s))
+                     .on(stage_dev[s])
+                     .span(1)
+                     .mem(1);
+        if (s > 0)
+            h.after(fwd[s - 1]);
+        fwd[s] = h.done();
+    }
+    int prev = fwd[3];
+    for (int s = 3; s >= 0; --s) {
+        prev = b.backward("b" + std::to_string(s))
+                   .on(stage_dev[s])
+                   .span(2)
+                   .mem(-1)
+                   .after(prev)
+                   .done();
+    }
+    const Placement wide = b.build();
+
+    ClusterModel cluster =
+        ClusterModel::uniformLink(91, LinkParams{2.0, 0.5});
+    cluster.speedFactor[66] = 2.0; // Heterogeneous middle stage.
+
+    TesselOptions opts;
+    opts.totalBudgetSec = 60.0;
+    opts.cluster = &cluster;
+    opts.edgeMB = crossDeviceEdgeMB(wide, 4.0);
+    const auto r = tesselSearch(wide, opts);
+    ASSERT_TRUE(r.found);
+    ASSERT_TRUE(r.commAware);
+    ASSERT_TRUE(r.expansion.has_value());
+    EXPECT_GT(r.expansion->numLinks, 0);
+    // The solver genuinely ran past the old 64-resource cap.
+    EXPECT_GT(r.plan.placement().numDevices(), 64);
+
+    const Schedule sched = r.plan.instantiate(r.plan.minMicrobatches() + 3);
+    const Time planned = sched.makespan();
+    const SimResult sim = simulateExpandedSchedule(sched);
+    ASSERT_TRUE(sim.ok);
+    EXPECT_FALSE(sim.deadlock);
+    EXPECT_DOUBLE_EQ(sim.makespanMs, static_cast<double>(planned));
+
+    const SimResult compacted =
+        simulateExpandedSchedule(sched, /*work_conserving=*/true);
+    ASSERT_TRUE(compacted.ok);
+    EXPECT_LE(compacted.makespanMs, static_cast<double>(planned));
+
+    // Runtime leg: device programs instantiate and free-run without
+    // rendezvous deadlock in both comm modes.
+    const Program prog = instantiate(sched, {});
+    for (bool non_blocking : {true, false}) {
+        ClusterSpec cs;
+        cs.nonBlockingComm = non_blocking;
+        const SimResult run = simulate(prog, cs);
+        EXPECT_TRUE(run.ok);
+        EXPECT_FALSE(run.deadlock) << "nonBlocking=" << non_blocking;
+    }
 }
 
 TEST(SimModel, CommAwarePlanBeatsObliviousUnderCharging)

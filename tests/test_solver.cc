@@ -16,12 +16,12 @@ namespace tessel {
 namespace {
 
 SolverBlock
-mkBlock(Time span, DeviceMask devices, Mem memory = 0,
+mkBlock(Time span, uint64_t device_bits, Mem memory = 0,
         std::vector<int> deps = {})
 {
     SolverBlock b;
     b.span = span;
-    b.devices = devices;
+    b.devices = ResourceSet::fromWord(device_bits);
     b.memory = memory;
     b.deps = std::move(deps);
     return b;

@@ -68,7 +68,7 @@ expectValid(const SolverProblem &sp, const SolveResult &r)
     for (int d = 0; d < sp.numDevices; ++d) {
         std::vector<int> on;
         for (size_t i = 0; i < sp.blocks.size(); ++i)
-            if (sp.blocks[i].devices & oneDevice(d))
+            if (sp.blocks[i].devices.test(d))
                 on.push_back(static_cast<int>(i));
         std::sort(on.begin(), on.end(), [&](int a, int b) {
             return r.starts[a] < r.starts[b];
@@ -110,7 +110,7 @@ greedyMakespan(const SolverProblem &sp)
             if (!ready)
                 continue;
             for (int d = 0; d < sp.numDevices; ++d)
-                if (sp.blocks[i].devices & oneDevice(d))
+                if (sp.blocks[i].devices.test(d))
                     est = std::max(est, avail[d]);
             if (pick < 0 || est < pick_est) {
                 pick = i;
@@ -122,7 +122,7 @@ greedyMakespan(const SolverProblem &sp)
         finish[pick] = pick_est + sp.blocks[pick].span;
         makespan = std::max(makespan, finish[pick]);
         for (int d = 0; d < sp.numDevices; ++d)
-            if (sp.blocks[pick].devices & oneDevice(d))
+            if (sp.blocks[pick].devices.test(d))
                 avail[d] = finish[pick];
     }
     return makespan;

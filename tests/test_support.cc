@@ -26,7 +26,8 @@ TEST(BlockSet, StartsEmpty)
     BlockSet s;
     EXPECT_TRUE(s.empty());
     EXPECT_EQ(s.count(), 0);
-    for (int i = 0; i < BlockSet::maxBits; i += 17)
+    // Probing far past the inline capacity is valid and reads false.
+    for (int i = 0; i < 1024; i += 17)
         EXPECT_FALSE(s.test(i));
 }
 
