@@ -9,9 +9,12 @@
 #ifndef TESSEL_BENCH_COMMON_H
 #define TESSEL_BENCH_COMMON_H
 
+#include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "baselines/schedules.h"
 #include "core/search.h"
@@ -116,6 +119,40 @@ runBaseline(const LoweredModel &model, const HardwareSpec &hw, int n,
         return std::nullopt; // Scheduling deadlock under memory: OOM.
     RunResult run = runSchedule(*sched, model, hw, n, non_blocking);
     return run.oom ? std::nullopt : std::optional<RunResult>(run);
+}
+
+/** One row of a machine-readable bench report (see writeBenchJson). */
+struct BenchJsonRow
+{
+    std::string bench;
+    double wallMs = 0.0;
+    uint64_t nodes = 0;
+    uint64_t relaxations = 0;
+};
+
+/**
+ * Emit a bench report as a JSON array of
+ * {"bench", "wall_ms", "nodes", "relaxations"} objects — the
+ * BENCH_solver.json schema CI archives per commit so the solver perf
+ * trajectory is diffable across PRs.
+ */
+inline bool
+writeBenchJson(const std::string &path,
+               const std::vector<BenchJsonRow> &rows)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "[\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        out << "  {\"bench\": \"" << rows[i].bench
+            << "\", \"wall_ms\": " << rows[i].wallMs
+            << ", \"nodes\": " << rows[i].nodes
+            << ", \"relaxations\": " << rows[i].relaxations << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    return static_cast<bool>(out);
 }
 
 /** Format a RunResult cell: PFLOPS or the paper's OOM marker 'x'. */

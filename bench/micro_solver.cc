@@ -8,12 +8,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
 #include "core/repetend.h"
 #include "core/repetend_solver.h"
 #include "core/search.h"
 #include "placement/shapes.h"
 #include "solver/bnb.h"
 #include "solver/from_ir.h"
+#include "support/timer.h"
 
 namespace tessel {
 namespace {
@@ -115,6 +120,25 @@ BM_FullSearchKShape(benchmark::State &state)
 BENCHMARK(BM_FullSearchKShape);
 
 /**
+ * Composite end-to-end search on the GPT M-shape, single-threaded so
+ * per-iteration time tracks pure solver cost (the composite bench the
+ * BENCH_solver.json trajectory locks).
+ */
+void
+BM_FullSearchMShape(benchmark::State &state)
+{
+    const Placement p = makeMShape(4);
+    for (auto _ : state) {
+        TesselOptions opts;
+        opts.totalBudgetSec = 30.0;
+        opts.numThreads = 1;
+        auto r = tesselSearch(p, opts);
+        benchmark::DoNotOptimize(r.period);
+    }
+}
+BENCHMARK(BM_FullSearchMShape)->Unit(benchmark::kMillisecond);
+
+/**
  * Serial-vs-parallel candidate sweep (the tentpole knob): Arg is
  * TesselOptions::numThreads. Every thread count returns the identical
  * plan, so the per-iteration time difference is pure sweep speedup.
@@ -134,7 +158,86 @@ BM_ParallelSearchMShape(benchmark::State &state)
 BENCHMARK(BM_ParallelSearchMShape)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * --json mode: run the composite FullSearch workloads once each with
+ * deterministic single-threaded settings and write wall time plus the
+ * solver effort counters (nodes, Bellman-Ford relaxation passes) to
+ * @p path in the BENCH_solver.json schema. CI archives the file per
+ * commit, making solver perf regressions diffable.
+ */
+int
+runJsonReport(const std::string &path)
+{
+    struct Work
+    {
+        const char *name;
+        Placement placement;
+    };
+    const Work works[] = {
+        {"FullSearchVShape", makeVShape(4)},
+        {"FullSearchKShape", makeKShape(4)},
+        {"FullSearchMShape", makeMShape(4)},
+        {"FullSearchNnShape", makeNnShape(4)},
+    };
+    std::vector<bench::BenchJsonRow> rows;
+    for (const Work &w : works) {
+        TesselOptions opts;
+        opts.totalBudgetSec = 60.0;
+        opts.numThreads = 1;
+        Stopwatch watch;
+        const TesselResult r = tesselSearch(w.placement, opts);
+        bench::BenchJsonRow row;
+        row.bench = w.name;
+        row.wallMs = watch.milliseconds();
+        row.nodes = r.breakdown.solverNodes;
+        row.relaxations = r.breakdown.relaxations;
+        rows.push_back(row);
+        std::cout << row.bench << ": wall_ms=" << row.wallMs
+                  << " nodes=" << row.nodes
+                  << " relaxations=" << row.relaxations
+                  << " period=" << r.period << "\n";
+    }
+    if (!bench::writeBenchJson(path, rows)) {
+        std::cerr << "failed to write " << path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << path << "\n";
+    return 0;
+}
+
 } // namespace
 } // namespace tessel
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Strip the Tessel-specific --json flag before handing the rest to
+    // google-benchmark (which rejects unknown arguments).
+    std::string json_path;
+    bool explicit_filter = false;
+    std::vector<char *> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+            continue;
+        }
+        if (arg.rfind("--benchmark_filter", 0) == 0)
+            explicit_filter = true;
+        args.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+        return 1;
+    // Plain `--json <path>` runs only the JSON report; the full
+    // google-benchmark suite takes minutes and should stay opt-in via
+    // an explicit --benchmark_filter.
+    if (json_path.empty() || explicit_filter)
+        benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (!json_path.empty())
+        return tessel::runJsonReport(json_path);
+    return 0;
+}

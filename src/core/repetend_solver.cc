@@ -1,8 +1,8 @@
 #include "core/repetend_solver.h"
 
 #include <algorithm>
-#include <set>
 
+#include "support/arena.h"
 #include "support/logging.h"
 #include "support/timer.h"
 
@@ -58,7 +58,7 @@ class PeriodSearch
             out.proven = true;
             return out;
         }
-        recurse();
+        recurse(0, 0, nullptr);
         out.stats = stats_;
         out.stats.seconds = budget_.elapsed();
         out.proven = !stats_.budgetExhausted;
@@ -94,12 +94,14 @@ class PeriodSearch
             spans_[i] = p_.block(i).span;
             memory_[i] = p_.block(i).memory;
         }
-        // Order-independent constraint edges.
+        // Order-independent constraint edges. Decision edges taken
+        // during branching are pushed/popped behind them in the same
+        // array, so a relaxation pass is one contiguous sweep.
         for (int j = 0; j < k_; ++j) {
             for (int i : p_.block(j).deps) {
                 const int delta = assign_.r[i] - assign_.r[j];
                 panic_if(delta < 0, "Property 4.2 violated in assignment");
-                base_.push_back({i, j, p_.block(i).span, delta});
+                edges_.push_back({i, j, p_.block(i).span, delta});
             }
         }
         for (DeviceId d = 0; d < nd_; ++d) {
@@ -107,11 +109,18 @@ class PeriodSearch
             for (int b : on)
                 for (int a : on)
                     if (a != b)
-                        base_.push_back({b, a, p_.block(b).span, 1});
+                        edges_.push_back({b, a, p_.block(b).span, 1});
         }
+        edges_.reserve(edges_.size() + 64);
 
         serialUb_ = p_.totalWork();
         globalLb_ = std::max<Time>(1, p_.perMicrobatchLowerBound());
+
+        probe_.reserve(k_);
+        order_.reserve(k_);
+        wp_.reserve(edges_.size() + 64);
+        pred_.assign(k_, -1);
+        mark_.assign(k_, 0);
 
         entryMem_ = repetendEntryMem(p_, assign_);
         if (!opts_.initialMem.empty()) {
@@ -138,66 +147,164 @@ class PeriodSearch
     }
 
     /**
-     * Bellman-Ford feasibility for a fixed period: returns true and
-     * fills @p s with feasible start times when the graph with edge
-     * weights (w - h * P) has no positive cycle.
+     * Bellman-Ford feasibility for a fixed period, resuming relaxation
+     * from the current contents of @p s: returns true and leaves @p s
+     * at the least fixed point >= its initial value when the graph with
+     * edge weights (w - h * P) has no positive cycle.
+     *
+     * Warm-start exactness: relaxation from s0 converges to the least
+     * fixed point above s0, and whenever s0 is pointwise below the
+     * all-zeros least fixed point L the two coincide (every max-weight
+     * path contribution through s0 >= 0 is also >= the zero-source
+     * contribution, and L itself bounds the result from above). Any
+     * fixed point of a *weaker* system — fewer decision edges, larger
+     * or equal period, both of which only lower the fixed point — is
+     * such an s0, so resuming from an ancestor's solution reproduces
+     * the cold result bit for bit. The iteration bound is unchanged:
+     * max-weight paths stay simple when no positive cycle exists, so
+     * k passes still suffice from any starting vector.
+     *
+     * Infeasible probes terminate early through predecessor-cycle
+     * detection rather than always exhausting all k+1 passes: a cycle
+     * in the predecessor graph implies a strictly positive constraint
+     * cycle (every pred edge was set by a strict improvement, and the
+     * cycle's latest-set edge guarantees at least one of the summed
+     * inequalities is strict), while a feasible system can never grow
+     * one — so verdicts, and hence results, are unchanged.
      */
     bool
-    feasibleAt(Time period, std::vector<Time> &s) const
+    relaxToFixpoint(Time period, std::vector<Time> &s)
     {
-        s.assign(k_, 0);
+        // The adjusted weights w - h * P are probe constants; hoisting
+        // them drops a multiply per edge from every pass.
+        const size_t ne = edges_.size();
+        wp_.resize(ne);
+        for (size_t i = 0; i < ne; ++i)
+            wp_[i] = edges_[i].w -
+                     static_cast<Time>(edges_[i].h) * period;
+        std::fill(pred_.begin(), pred_.end(), -1);
         auto relax_once = [&]() {
+            ++stats_.relaxations;
             bool changed = false;
-            for (const Edge &e : base_) {
-                const Time need =
-                    s[e.from] + e.w - static_cast<Time>(e.h) * period;
+            for (size_t i = 0; i < ne; ++i) {
+                const Edge &e = edges_[i];
+                const Time need = s[e.from] + wp_[i];
                 if (need > s[e.to]) {
                     s[e.to] = need;
-                    changed = true;
-                }
-            }
-            for (const Edge &e : decisions_) {
-                const Time need =
-                    s[e.from] + e.w - static_cast<Time>(e.h) * period;
-                if (need > s[e.to]) {
-                    s[e.to] = need;
+                    pred_[e.to] = e.from;
                     changed = true;
                 }
             }
             return changed;
         };
-        for (int iter = 0; iter < k_; ++iter)
+        for (int iter = 0; iter < k_; ++iter) {
             if (!relax_once())
                 return true;
+            if (predHasCycle())
+                return false;
+        }
         return !relax_once();
     }
+
+    /** @return true when the predecessor graph contains a cycle. */
+    bool
+    predHasCycle()
+    {
+        // One stamped walk per start node; every node is visited at
+        // most once per check, so the whole scan is O(k).
+        for (int v = 0; v < k_; ++v) {
+            if (mark_[v] >= baseStamp_)
+                continue;
+            const uint64_t walk = ++stamp_;
+            int u = v;
+            while (u >= 0 && mark_[u] < baseStamp_) {
+                mark_[u] = walk;
+                u = pred_[u];
+            }
+            if (u >= 0 && mark_[u] == walk) {
+                baseStamp_ = ++stamp_; // Age marks for the next check.
+                return true;
+            }
+        }
+        // Age all walk marks at once for the next check.
+        baseStamp_ = ++stamp_;
+        return false;
+    }
+
+    /** Per-depth scratch frame (allocated once per depth, reused). */
+    struct Frame
+    {
+        /** Start vector of this node: least fixed point at the period
+         *  minPeriod() returned. */
+        std::vector<Time> s;
+        /** Least fixed point at this node's largest-period probe; the
+         *  valid warm-start base for every descendant probe (periods
+         *  only shrink and edges only grow down the tree, both of
+         *  which raise fixed points). */
+        std::vector<Time> anchor;
+        /** Memory-violating prefix found by findMemoryViolation(). */
+        std::vector<int> prefix;
+        /** Membership marks for `prefix`, cleared after branching. */
+        std::vector<char> inPrefix;
+    };
 
     /**
      * Minimal feasible period for the current decision set within
      * [lb_hint, limit]; returns -1 when infeasible within the range.
+     * Fills f.s with the least-fixed-point start vector of the
+     * returned period. @p warm_base is the nearest ancestor anchor
+     * (nullptr at the root); on return @p anchor_out points at the
+     * anchor descendants must warm-start from.
+     *
+     * The final f.s needs no trailing re-probe: the initial probe and
+     * every accepted binary-search probe leave f.s synced with the
+     * current `hi`, so when the search converges f.s already is the
+     * fixed point of the answer.
+     *
+     * The parent period only tightens `lb_hint`; probing it outright
+     * first (betting the child's period is unchanged) was measured and
+     * rejected — an infeasible probe never benefits from the warm
+     * vector the way a feasible one does, and on the reference shapes
+     * those extra failed probes outweighed the binary searches they
+     * skipped. Keeping the cold probe schedule keeps warm cost below
+     * cold on every successful probe (same fixed point, higher start)
+     * and comparable on failed ones (bounded by the same k+1 passes).
      */
     Time
-    minPeriod(Time lb_hint, Time limit, std::vector<Time> &s) const
+    minPeriod(Time lb_hint, Time limit, Frame &f,
+              const std::vector<Time> *warm_base,
+              const std::vector<Time> *&anchor_out)
     {
         Time lo = std::max(globalLb_, lb_hint);
         Time hi = std::min(serialUb_, limit);
         if (lo > hi)
             return -1;
-        if (!feasibleAt(hi, s))
+        const bool warm = opts_.warmStart && warm_base != nullptr;
+        // Largest-period probe: establishes feasibility of the range
+        // and this node's anchor.
+        if (warm)
+            f.anchor = *warm_base;
+        else
+            f.anchor.assign(k_, 0);
+        if (!relaxToFixpoint(hi, f.anchor))
             return -1;
-        std::vector<Time> probe;
+        anchor_out = &f.anchor;
+        f.s = f.anchor;
         while (lo < hi) {
             const Time mid = lo + (hi - lo) / 2;
-            if (feasibleAt(mid, probe)) {
-                s = probe;
+            // mid < hi, so f.s (the fixed point at hi) is below the
+            // fixed point at mid and remains a valid warm base.
+            if (warm)
+                probe_ = f.s;
+            else
+                probe_.assign(k_, 0);
+            if (relaxToFixpoint(mid, probe_)) {
+                f.s.swap(probe_);
                 hi = mid;
             } else {
                 lo = mid + 1;
             }
         }
-        // Ensure s corresponds to the final period hi.
-        if (!feasibleAt(hi, s))
-            return -1;
         return hi;
     }
 
@@ -221,43 +328,60 @@ class PeriodSearch
     }
 
     /**
-     * First memory violation: returns (device, position) of the earliest
-     * prefix exceeding the capacity, or device -1 when feasible.
+     * First memory violation: fills @p prefix with the earliest
+     * per-device start-order prefix exceeding the capacity and returns
+     * its device, or -1 when feasible. Sorting happens in a persistent
+     * scratch buffer, so the probe allocates nothing in steady state.
      */
-    std::pair<int, std::vector<int>>
-    findMemoryViolation(const std::vector<Time> &s) const
+    int
+    findMemoryViolation(const std::vector<Time> &s,
+                        std::vector<int> &prefix)
     {
+        prefix.clear();
         if (opts_.memLimit >= kUnlimitedMem)
-            return {-1, {}};
+            return -1;
         for (DeviceId d = 0; d < nd_; ++d) {
-            std::vector<int> order = p_.blocksOnDevice(d);
-            std::sort(order.begin(), order.end(), [&](int a, int b) {
+            const auto &on = p_.blocksOnDevice(d);
+            order_.assign(on.begin(), on.end());
+            std::sort(order_.begin(), order_.end(), [&](int a, int b) {
                 return s[a] < s[b];
             });
             Mem used = entryMem_[d];
-            for (size_t pos = 0; pos < order.size(); ++pos) {
-                used += memory_[order[pos]];
+            for (size_t pos = 0; pos < order_.size(); ++pos) {
+                used += memory_[order_[pos]];
                 if (used > opts_.memLimit) {
-                    order.resize(pos + 1);
-                    return {d, order};
+                    prefix.assign(order_.begin(),
+                                  order_.begin() + pos + 1);
+                    return d;
                 }
             }
         }
-        return {-1, {}};
+        return -1;
     }
 
     bool
     budgetTripped()
     {
-        if (budget_.expired() ||
-            (opts_.nodeLimit && stats_.nodes >= opts_.nodeLimit)) {
-            stats_.budgetExhausted = true;
+        if (stopped_)
             return true;
+        if (opts_.nodeLimit && stats_.nodes >= opts_.nodeLimit) {
+            stats_.budgetExhausted = true;
+            return stopped_ = true;
+        }
+        // Clock and cancel-flag reads per node are measurable on deep
+        // trees; poll them every 1024 checks like the BnB solver. The
+        // gate starts open so a pre-cancelled solve still stops on its
+        // very first node.
+        if ((pollGate_++ & 1023) != 0)
+            return false;
+        if (budget_.expired()) {
+            stats_.budgetExhausted = true;
+            return stopped_ = true;
         }
         if (opts_.cancel.cancelled()) {
             stats_.cancelled = true;
             stats_.budgetExhausted = true; // Result is likewise unproven.
-            return true;
+            return stopped_ = true;
         }
         return false;
     }
@@ -278,58 +402,81 @@ class PeriodSearch
         return limit;
     }
 
+    /**
+     * One search node at recursion @p depth. @p warm_base is the
+     * nearest ancestor's anchor fixed point (nullptr at the root);
+     * all scratch lives in per-depth frames, so steady-state search
+     * allocates nothing.
+     */
     void
-    recurse(Time parent_period = 0)
+    recurse(int depth, Time parent_period,
+            const std::vector<Time> *warm_base)
     {
         if (budgetTripped())
             return;
         ++stats_.nodes;
 
-        std::vector<Time> s;
-        const Time period = minPeriod(parent_period, incumbentLimit(), s);
+        Frame &f = frames_.at(static_cast<size_t>(depth), [&](Frame &fr) {
+            fr.s.reserve(k_);
+            fr.anchor.reserve(k_);
+            fr.prefix.reserve(k_);
+            fr.inPrefix.assign(k_, 0);
+        });
+        const std::vector<Time> *child_base = warm_base;
+        const Time period =
+            minPeriod(parent_period, incumbentLimit(), f, warm_base,
+                      child_base);
         if (period < 0) {
             ++stats_.boundPrunes;
             return;
         }
 
-        const auto [a, b] = findOverlap(s);
+        const auto [a, b] = findOverlap(f.s);
         if (a >= 0) {
             // Branch on the two orderings of the conflicting pair.
-            decisions_.push_back({a, b, spans_[a], 0});
-            recurse(period);
-            decisions_.pop_back();
-            decisions_.push_back({b, a, spans_[b], 0});
-            recurse(period);
-            decisions_.pop_back();
+            edges_.push_back({a, b, spans_[a], 0});
+            recurse(depth + 1, period, child_base);
+            edges_.pop_back();
+            edges_.push_back({b, a, spans_[b], 0});
+            recurse(depth + 1, period, child_base);
+            edges_.pop_back();
             return;
         }
 
-        const auto [dev, prefix] = findMemoryViolation(s);
+        const int dev = findMemoryViolation(f.s, f.prefix);
         if (dev >= 0) {
             // Some allocating block in the violating prefix must move
             // after some releasing block currently outside it; branch
             // over all such reorderings (complete cover).
-            std::set<int> in_prefix(prefix.begin(), prefix.end());
+            for (int x : f.prefix)
+                f.inPrefix[x] = 1;
+            bool stopped = false;
             for (int y : p_.blocksOnDevice(dev)) {
-                if (in_prefix.count(y) || memory_[y] >= 0)
+                if (f.inPrefix[y] || memory_[y] >= 0)
                     continue;
-                for (int x : prefix) {
+                for (int x : f.prefix) {
                     if (memory_[x] <= 0)
                         continue;
-                    decisions_.push_back({y, x, spans_[y], 0});
-                    recurse(period);
-                    decisions_.pop_back();
-                    if (budgetTripped())
-                        return;
+                    edges_.push_back({y, x, spans_[y], 0});
+                    recurse(depth + 1, period, child_base);
+                    edges_.pop_back();
+                    if (budgetTripped()) {
+                        stopped = true;
+                        break;
+                    }
                 }
+                if (stopped)
+                    break;
             }
+            for (int x : f.prefix)
+                f.inPrefix[x] = 0;
             return;
         }
 
         // Conflict-free and memory-feasible: a complete solution.
         if (bestPeriod_ < 0 || period < bestPeriod_) {
             bestPeriod_ = period;
-            bestStart_ = s;
+            bestStart_ = f.s;
         }
     }
 
@@ -340,13 +487,24 @@ class PeriodSearch
     int k_ = 0;
     int nd_ = 0;
 
-    std::vector<Edge> base_;
-    std::vector<Edge> decisions_;
+    std::vector<Edge> edges_; // Base constraints + decision tail.
     std::vector<Time> spans_;
     std::vector<Mem> memory_;
     std::vector<Mem> entryMem_;
     Time serialUb_ = 0;
     Time globalLb_ = 1;
+
+    // Persistent scratch (see Frame for the per-depth pieces).
+    FramePool<Frame> frames_;
+    std::vector<Time> probe_; // Binary-search probe buffer.
+    std::vector<int> order_;  // findMemoryViolation sort buffer.
+    std::vector<Time> wp_;    // Per-probe adjusted edge weights.
+    std::vector<int> pred_;   // Bellman-Ford predecessor graph.
+    std::vector<uint64_t> mark_; // predHasCycle() walk stamps.
+    uint64_t stamp_ = 0;
+    uint64_t baseStamp_ = 1;
+    uint64_t pollGate_ = 0;   // Throttles clock/cancel polling.
+    bool stopped_ = false;    // Sticky budget/cancel trip.
 
     Time bestPeriod_ = -1;
     std::vector<Time> bestStart_;

@@ -45,6 +45,16 @@ struct RepetendSolveOptions
     double timeBudgetSec = 0.0;
     /** Node cap (0: unlimited). */
     uint64_t nodeLimit = 0;
+    /**
+     * Warm-start the cyclic-feasibility relaxations from inherited
+     * fixed points instead of relaxing from all-zero starts at every
+     * probe. Exact: resuming Bellman-Ford from any vector pointwise
+     * below the least fixed point converges to that same least fixed
+     * point, so periods and start vectors stay bit-identical to the
+     * cold path — only stats.relaxations shrinks. false restores the
+     * cold O(k*E) probes (the counter-regression baseline).
+     */
+    bool warmStart = true;
     /** Cooperative cancellation; a cancelled solve reports
      *  stats.cancelled and comes back infeasible/unproven. */
     CancelToken cancel;

@@ -88,12 +88,22 @@ postWindowMem(const Placement &placement, const RepetendAssignment &assign,
     return mem;
 }
 
+/** Fold one inner solve's effort counters into the breakdown. */
+void
+addSolveStats(SearchBreakdown &breakdown, const SolveStats &stats)
+{
+    breakdown.solverNodes += stats.nodes;
+    breakdown.relaxations += stats.relaxations;
+    breakdown.memoReused += stats.memoReused;
+}
+
 /** Satisfiability check: does any valid schedule of the phase exist? */
 bool
 phaseSatisfiable(const Placement &placement,
                  const std::vector<BlockRef> &refs,
                  const std::vector<Mem> &entry_mem, Mem mem_limit,
-                 double budget_sec, const CancelToken &cancel)
+                 double budget_sec, const CancelToken &cancel,
+                 SearchBreakdown &breakdown)
 {
     if (refs.empty())
         return true;
@@ -103,7 +113,9 @@ phaseSatisfiable(const Placement &placement,
     so.timeBudgetSec = budget_sec;
     so.cancel = cancel;
     BnbSolver solver(inst.sp, so);
-    return solver.decide(kUnlimitedMem).feasible();
+    const SolveResult r = solver.decide(kUnlimitedMem);
+    addSolveStats(breakdown, r.stats);
+    return r.feasible();
 }
 
 /** Anchor offset of window instance 0 behind the warmup (extra = 0). */
@@ -165,6 +177,7 @@ completePlan(const Placement &placement, const RepetendAssignment &assign,
             BnbSolver solver(inst.sp, so);
             const SolveResult r = solver.minimizeMakespan();
             breakdown.warmupSeconds += watch.seconds();
+            addSolveStats(breakdown, r.stats);
             if (!r.feasible())
                 return std::nullopt;
             warm_starts = r.starts;
@@ -220,6 +233,7 @@ completePlan(const Placement &placement, const RepetendAssignment &assign,
             BnbSolver solver(inst.sp, so);
             const SolveResult r = solver.minimizeMakespan();
             breakdown.cooldownSeconds += watch.seconds();
+            addSolveStats(breakdown, r.stats);
             if (!r.feasible())
                 return std::nullopt;
             cool_starts = r.starts;
@@ -358,6 +372,7 @@ class SweepState
             solveRepetend(placement_, assign, rso);
         local.repetendSeconds += watch.seconds();
         ++local.candidatesSolved;
+        addSolveStats(local, sched.stats);
         if (sched.stats.cancelled)
             ++local.candidatesCancelled;
 
@@ -369,7 +384,8 @@ class SweepState
                 ++local.satChecks;
                 accept = phaseSatisfiable(
                     placement_, warmupBlocks(placement_, assign), entry_,
-                    options_.memLimit, options_.phaseBudgetSec, token);
+                    options_.memLimit, options_.phaseBudgetSec, token,
+                    local);
                 local.warmupSeconds += w_watch.seconds();
                 if (accept) {
                     Stopwatch c_watch;
@@ -378,7 +394,8 @@ class SweepState
                         placement_, cooldownBlocks(placement_, assign),
                         postWindowMem(placement_, assign,
                                       options_.initialMem),
-                        options_.memLimit, options_.phaseBudgetSec, token);
+                        options_.memLimit, options_.phaseBudgetSec, token,
+                        local);
                     local.cooldownSeconds += c_watch.seconds();
                 }
             } else {
@@ -497,6 +514,7 @@ serialSweep(const Placement &enum_placement, const CommExpansion *expansion,
                     solveRepetend(placement, assign, rso);
                 result.breakdown.repetendSeconds += watch.seconds();
                 ++result.breakdown.candidatesSolved;
+                addSolveStats(result.breakdown, sched.stats);
                 if (!sched.feasible || sched.period >= optimal)
                     return true;
 
@@ -506,7 +524,7 @@ serialSweep(const Placement &enum_placement, const CommExpansion *expansion,
                     const bool sat_w = phaseSatisfiable(
                         placement, warmupBlocks(placement, assign), entry,
                         options.memLimit, options.phaseBudgetSec,
-                        options.cancel);
+                        options.cancel, result.breakdown);
                     result.breakdown.warmupSeconds += w_watch.seconds();
                     if (!sat_w)
                         return true;
@@ -517,7 +535,7 @@ serialSweep(const Placement &enum_placement, const CommExpansion *expansion,
                         postWindowMem(placement, assign,
                                       options.initialMem),
                         options.memLimit, options.phaseBudgetSec,
-                        options.cancel);
+                        options.cancel, result.breakdown);
                     result.breakdown.cooldownSeconds += c_watch.seconds();
                     if (!sat_c)
                         return true;

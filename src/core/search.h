@@ -77,6 +77,14 @@ struct SearchBreakdown
     uint64_t candidatesSolved = 0;
     uint64_t candidatesCancelled = 0; ///< solves cut short mid-flight
     uint64_t satChecks = 0;
+    /** Search nodes expanded across all inner solves (PeriodSearch +
+     * BnB phase/completion solves). */
+    uint64_t solverNodes = 0;
+    /** Bellman-Ford relaxation passes across repetend solves; the
+     * warm-start tentpole's primary effort metric. */
+    uint64_t relaxations = 0;
+    /** Cross-round dominance-memo reuses inside BnB solves. */
+    uint64_t memoReused = 0;
     int threadsUsed = 1;          ///< sweep worker count actually used
     bool earlyExit = false;       ///< lower bound reached (Algorithm 1 L19)
     bool budgetExhausted = false; ///< totalBudgetSec tripped
@@ -96,6 +104,9 @@ struct SearchBreakdown
         candidatesSolved += other.candidatesSolved;
         candidatesCancelled += other.candidatesCancelled;
         satChecks += other.satChecks;
+        solverNodes += other.solverNodes;
+        relaxations += other.relaxations;
+        memoReused += other.memoReused;
         threadsUsed = threadsUsed > other.threadsUsed ? threadsUsed
                                                       : other.threadsUsed;
         earlyExit |= other.earlyExit;

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "support/arena.h"
 #include "support/bitset.h"
 #include "support/logging.h"
 #include "support/timer.h"
@@ -47,6 +48,26 @@ struct BnbSolver::Impl
     Time curMakespan = 0;
     int numScheduled = 0;
 
+    // Ready list: the unscheduled blocks whose dependencies are all
+    // scheduled, maintained incrementally by dispatch()/undo() so a
+    // node never scans all nb blocks for candidates. List order is
+    // arbitrary; the candidate sort's full tie-break restores the
+    // exact cold-path expansion order.
+    std::vector<int> readyList;
+    std::vector<int> readyPos; // Index into readyList, -1 if absent.
+
+    // Per-depth scratch (depth == numScheduled <= nb): dispatch
+    // save/restore rows and candidate buffers, allocated once per
+    // solve so steady-state search does zero heap allocation.
+    DepthArena<Time> savedAvail;
+    DepthArena<Mem> savedMem;
+    struct Cand
+    {
+        int block;
+        Time est;
+    };
+    FramePool<std::vector<Cand>> candPool;
+
     // Incumbent.
     Time bestMakespan = 0;
     bool haveIncumbent = false;
@@ -61,7 +82,29 @@ struct BnbSolver::Impl
     SolveStats stats;
 
     using DomVec = std::vector<Time>;
-    std::unordered_map<BlockSet, std::vector<DomVec>, BlockSetHash> memo;
+
+    /**
+     * One dominance-memo entry. `epoch` stamps the run() that last
+     * inserted it: same-epoch entries prune duplicates within a round
+     * exactly as before. `exhaustedAt` is a cross-round proof level —
+     * the entry's subtree was exhaustively explored in some decide()
+     * round with deadline `exhaustedAt` without finding a schedule, so
+     * no completion with makespan <= exhaustedAt exists below it and
+     * any later round with deadline <= exhaustedAt may prune dominated
+     * states outright. Entries whose exploration was cut short (early
+     * SAT stop, budget trip) keep exhaustedAt = -1 and never prune
+     * across rounds.
+     */
+    struct MemoEntry
+    {
+        DomVec v;
+        Time exhaustedAt = -1;
+        uint32_t epoch = 0;
+    };
+    std::unordered_map<BlockSet, std::vector<MemoEntry>, BlockSetHash>
+        memo;
+    uint32_t memoEpoch = 0;
+    DomVec domScratch; // Current node's vector (reused across nodes).
 
     explicit Impl(const SolverProblem &p, SolverOptions o)
         : prob(p), opts(o)
@@ -182,7 +225,35 @@ struct BnbSolver::Impl
         stop = false;
         provenInfeasibleDisabled = false;
         stats = SolveStats{};
-        memo.clear();
+        if (!opts.persistentMemo)
+            memo.clear();
+        ++memoEpoch;
+        savedAvail.reset(nb + 1, nd);
+        savedMem.reset(nb + 1, nd);
+        readyList.clear();
+        readyPos.assign(nb, -1);
+        for (int i = 0; i < nb; ++i)
+            if (depsLeft[i] == 0)
+                readyAdd(i);
+    }
+
+    void
+    readyAdd(int i)
+    {
+        readyPos[i] = static_cast<int>(readyList.size());
+        readyList.push_back(i);
+        ++stats.readyPushes;
+    }
+
+    void
+    readyRemove(int i)
+    {
+        const int pos = readyPos[i];
+        const int last = readyList.back();
+        readyList[pos] = last;
+        readyPos[last] = pos;
+        readyList.pop_back();
+        readyPos[i] = -1;
     }
 
     /** Earliest start of a dispatchable block in the current state. */
@@ -205,11 +276,8 @@ struct BnbSolver::Impl
         Time lb = curMakespan;
         for (int d = 0; d < nd; ++d)
             lb = std::max(lb, avail[d] + remWork[d]);
-        for (int i = 0; i < nb; ++i) {
-            if (scheduled[i] || depsLeft[i] != 0)
-                continue;
+        for (int i : readyList)
             lb = std::max(lb, estOf(i) + tail[i]);
-        }
         return lb;
     }
 
@@ -234,19 +302,17 @@ struct BnbSolver::Impl
         return limit;
     }
 
-    /** Build the dominance vector for the current state. */
-    DomVec
-    domVector() const
+    /** Build the dominance vector for the current state into @p v. */
+    void
+    buildDomVector(DomVec &v) const
     {
-        DomVec v;
-        v.reserve(nd + 4);
+        v.clear();
         for (int d = 0; d < nd; ++d)
             v.push_back(avail[d]);
         for (int i = 0; i < nb; ++i)
             if (scheduled[i] && openSuccs[i] > 0)
                 v.push_back(finishOf[i]);
         v.push_back(curMakespan);
-        return v;
     }
 
     static bool
@@ -259,29 +325,75 @@ struct BnbSolver::Impl
         return true;
     }
 
-    /** @return true when the current state is dominated (prune it). */
+    /**
+     * @return true when the current state is dominated (prune it).
+     * Otherwise inserts the state and points @p slot at the new entry
+     * (left null when the entry caps forbid insertion) so search() can
+     * record the exhaustion proof level on clean backtrack.
+     *
+     * A dominating entry prunes when it is from the current round
+     * (visited-duplicate semantics, unchanged) or when its recorded
+     * proof level covers the current @p limit (cross-round reuse).
+     * Entry references stay valid for the whole subtree: rehashing
+     * never invalidates unordered_map references, and the bucket
+     * vector only mutates on same-key visits, which share this node's
+     * depth and therefore cannot occur inside its subtree.
+     */
     bool
-    checkAndInsertMemo()
+    checkAndInsertMemo(Time limit, MemoEntry *&slot)
     {
         if (!opts.useDominance)
             return false;
         auto &entries = memo[schedSet];
-        const DomVec cur = domVector();
-        for (const DomVec &e : entries) {
-            if (dominates(e, cur)) {
+        buildDomVector(domScratch);
+        MemoEntry *refresh = nullptr;
+        for (MemoEntry &e : entries) {
+            if (!dominates(e.v, domScratch))
+                continue;
+            if (e.epoch == memoEpoch) {
                 ++stats.memoHits;
                 return true;
             }
+            if (e.exhaustedAt >= 0 && limit <= e.exhaustedAt) {
+                ++stats.memoHits;
+                ++stats.memoReused;
+                return true;
+            }
+            if (!refresh && dominates(domScratch, e.v))
+                refresh = &e;
         }
-        // Drop entries the current state dominates, then insert.
-        entries.erase(std::remove_if(entries.begin(), entries.end(),
-                                     [&](const DomVec &e) {
-                                         return dominates(cur, e);
-                                     }),
-                      entries.end());
+        if (refresh) {
+            // Equal-vector stale entry: adopt it in place instead of
+            // drop-and-reinsert, keeping any exhaustion proof it holds
+            // (the proof is a fact about the state, not the round) in
+            // case this round's re-exploration is cut short.
+            refresh->epoch = memoEpoch;
+            slot = refresh;
+            return false;
+        }
+        // Drop entries the current state dominates (stale equal states
+        // are refreshed this way) plus dead old-epoch ones — an entry
+        // from an earlier round that never earned a proof level can
+        // never prune again and must not clog the per-key cap. Then
+        // insert, reusing storage.
+        size_t w = 0;
+        for (size_t r = 0; r < entries.size(); ++r) {
+            if (dominates(domScratch, entries[r].v))
+                continue;
+            if (entries[r].epoch != memoEpoch &&
+                entries[r].exhaustedAt < 0)
+                continue;
+            if (w != r)
+                entries[w] = std::move(entries[r]);
+            ++w;
+        }
+        entries.resize(w);
         if (entries.size() < kMaxEntriesPerKey &&
             memo.size() < opts.memoCap) {
-            entries.push_back(cur);
+            entries.emplace_back();
+            entries.back().v = domScratch;
+            entries.back().epoch = memoEpoch;
+            slot = &entries.back();
         }
         return false;
     }
@@ -320,8 +432,10 @@ struct BnbSolver::Impl
             memUsed[d] += b.memory;
             remWork[d] -= b.span;
         }
+        readyRemove(i);
         for (int s : succs[i])
-            --depsLeft[s];
+            if (--depsLeft[s] == 0)
+                readyAdd(s);
         for (int dep : b.deps)
             --openSuccs[dep];
     }
@@ -342,7 +456,9 @@ struct BnbSolver::Impl
             remWork[d] += b.span;
         }
         for (int s : succs[i])
-            ++depsLeft[s];
+            if (depsLeft[s]++ == 0)
+                readyRemove(s);
+        readyAdd(i);
         for (int dep : b.deps)
             ++openSuccs[dep];
         curMakespan = saved_makespan;
@@ -377,20 +493,18 @@ struct BnbSolver::Impl
             ++stats.boundPrunes;
             return;
         }
-        if (checkAndInsertMemo())
+        MemoEntry *slot = nullptr;
+        if (checkAndInsertMemo(limit, slot))
             return;
 
-        // Gather dispatchable candidates.
-        struct Cand
-        {
-            int block;
-            Time est;
-        };
-        std::vector<Cand> cands;
-        cands.reserve(8);
-        for (int i = 0; i < nb; ++i) {
-            if (scheduled[i] || depsLeft[i] != 0)
-                continue;
+        // Gather dispatchable candidates from the ready list. The
+        // list's order is arbitrary, but the filters are per-block and
+        // the sort below breaks every tie, so the expansion order (and
+        // hence the search tree) is identical to a full index scan.
+        const int depth = numScheduled;
+        std::vector<Cand> &cands = candPool.at(depth);
+        cands.clear();
+        for (int i : readyList) {
             const SolverBlock &b = prob.blocks[i];
             if (opts.useSymmetry && b.orderAfter >= 0 &&
                 !scheduled[b.orderAfter]) {
@@ -413,30 +527,38 @@ struct BnbSolver::Impl
             }
             cands.push_back({i, est});
         }
-        if (cands.empty())
-            return; // Memory deadlock or all candidates pruned.
+        if (!cands.empty()) {
+            std::sort(cands.begin(), cands.end(),
+                      [&](const Cand &a, const Cand &b) {
+                          if (a.est != b.est)
+                              return a.est < b.est;
+                          if (tail[a.block] != tail[b.block])
+                              return tail[a.block] > tail[b.block];
+                          return a.block < b.block;
+                      });
 
-        std::sort(cands.begin(), cands.end(),
-                  [&](const Cand &a, const Cand &b) {
-                      if (a.est != b.est)
-                          return a.est < b.est;
-                      if (tail[a.block] != tail[b.block])
-                          return tail[a.block] > tail[b.block];
-                      return a.block < b.block;
-                  });
-
-        std::vector<Time> saved_avail(nd);
-        std::vector<Mem> saved_mem(nd);
-        for (const Cand &c : cands) {
-            if (stop)
-                return;
-            const Time saved_makespan = curMakespan;
-            dispatch(c.block, c.est, saved_avail.data(), saved_mem.data());
-            curMakespan = std::max(curMakespan, finishOf[c.block]);
-            search();
-            undo(c.block, saved_makespan, saved_avail.data(),
-                 saved_mem.data());
+            Time *saved_avail = savedAvail.row(depth);
+            Mem *saved_mem = savedMem.row(depth);
+            for (const Cand &c : cands) {
+                if (stop)
+                    return; // Unwinding: leave the entry unexhausted.
+                const Time saved_makespan = curMakespan;
+                dispatch(c.block, c.est, saved_avail, saved_mem);
+                curMakespan = std::max(curMakespan, finishOf[c.block]);
+                search();
+                undo(c.block, saved_makespan, saved_avail, saved_mem);
+            }
         }
+        // Subtree exhausted without a stop: in decide mode that proves
+        // no completion with makespan <= deadline exists below this
+        // state (bound prunes are admissible at `limit`, memo prunes
+        // certify inductively), so later rounds with deadlines <= limit
+        // may prune dominated states from this entry. An empty
+        // candidate set (memory deadlock / all pruned) is exhausted
+        // too. Minimize mode keeps no proof level: its limit tightens
+        // mid-subtree with the incumbent and liveCutoff.
+        if (slot && decideMode && !stop)
+            slot->exhaustedAt = std::max(slot->exhaustedAt, limit);
     }
 
     SolveResult
@@ -537,10 +659,7 @@ BnbSolver::binarySearchMakespan()
     while (lo < hi) {
         const Time mid = lo + (hi - lo) / 2;
         SolveResult r = decide(mid);
-        total.nodes += r.stats.nodes;
-        total.seconds += r.stats.seconds;
-        total.memoHits += r.stats.memoHits;
-        total.boundPrunes += r.stats.boundPrunes;
+        total.merge(r.stats);
         if (r.feasible()) {
             best = r;
             hi = r.makespan;
