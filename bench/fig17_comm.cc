@@ -65,7 +65,8 @@ budgetedOptions(const LoweredModel &m)
 }
 
 void
-sweep(Table &table, const std::string &model,
+sweep(Table &table, std::vector<bench::BenchJsonRow> &json,
+      const std::string &model,
       const std::function<LoweredModel(int)> &lower, const HardwareSpec &hw,
       int n)
 {
@@ -119,6 +120,20 @@ sweep(Table &table, const std::string &model,
                            std::max(aware_ms, 1e-9),
                        2) +
                  "x"});
+
+        // Machine-readable rows (BENCH_comm.json): the three makespans
+        // as wall_ms, with each search's deterministic effort counters.
+        const std::string tag = model + "/" + std::to_string(gpus) + "gpu";
+        json.push_back({tag + "/oblivious_blocking",
+                        obl_blocking.makespanMs,
+                        oblivious.breakdown.solverNodes,
+                        oblivious.breakdown.relaxations});
+        json.push_back({tag + "/oblivious_overlap", obl_overlap.makespanMs,
+                        oblivious.breakdown.solverNodes,
+                        oblivious.breakdown.relaxations});
+        json.push_back({tag + "/comm_aware", aware_ms,
+                        aware.breakdown.solverNodes,
+                        aware.breakdown.relaxations});
     }
 }
 
@@ -130,7 +145,8 @@ sweep(Table &table, const std::string &model,
  * the runtime program. @return true when every leg succeeded.
  */
 bool
-wideRun(Table &table, const HardwareSpec &hw, int gpus, int n)
+wideRun(Table &table, std::vector<bench::BenchJsonRow> &json,
+        const HardwareSpec &hw, int gpus, int n)
 {
     // Reuse the 32-GPU Table III model; at 64 GPUs the same model runs
     // with twice the tensor-parallel degree per stage.
@@ -185,18 +201,34 @@ wideRun(Table &table, const HardwareSpec &hw, int gpus, int n)
     table.addRow({std::to_string(gpus), std::to_string(resources),
                   fmtDouble(static_cast<double>(planned) / 1e3, 2),
                   fmtDouble(sim.makespanMs / 1e3, 2), status});
+    json.push_back({"wide/" + std::to_string(gpus) + "gpu/planned",
+                    static_cast<double>(planned),
+                    r.breakdown.solverNodes, r.breakdown.relaxations});
     return sim_ok && run_ok && resources > 64;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     HardwareSpec hw;
     const int n = 32;
     const char *section_env = std::getenv("TESSEL_FIG17_SECTION");
     const std::string section = section_env ? section_env : "all";
+
+    // --json <path>: also emit the comm-overhead numbers machine-readably
+    // (BENCH_comm.json, same schema CI archives for BENCH_solver.json).
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::cerr << "usage: bench_fig17_comm [--json <path>]\n";
+            return 2;
+        }
+    }
+    std::vector<bench::BenchJsonRow> json;
 
     if (section != "wide") {
         Table table("Fig. 17 (comm study): comm-oblivious vs comm-aware "
@@ -204,13 +236,13 @@ main()
         table.setHeader({"model", "GPUs", "oblivious+blocking (s)",
                          "oblivious+overlap (s)", "comm-aware (s)",
                          "blocking/aware"});
-        sweep(table, "GPT (M-Shape)",
+        sweep(table, json, "GPT (M-Shape)",
               [&](int gpus) {
                   return lowerGptMShape(gptConfigForGpus(gpus), gpus, 1,
                                         hw);
               },
               hw, n);
-        sweep(table, "mT5 (NN-Shape)",
+        sweep(table, json, "mT5 (NN-Shape)",
               [&](int gpus) {
                   return lowerMt5NnShape(mt5ConfigForGpus(gpus), gpus, 2,
                                          hw);
@@ -234,11 +266,16 @@ main()
         wide.setHeader({"GPUs", "resources", "planned (s)",
                         "simulated (s)", "planned==sim"});
         for (int gpus : {32, 64})
-            wide_ok = wideRun(wide, hw, gpus, n) && wide_ok;
+            wide_ok = wideRun(wide, json, hw, gpus, n) && wide_ok;
         wide.print(std::cout);
         std::cout << "resources = devices + link pseudo-devices "
                      "(commResourceDemand); every row exceeds the old "
                      "64-bit device-mask cap.\n";
+    }
+    if (!json_path.empty() && !bench::writeBenchJson(json_path, json)) {
+        std::cerr << "bench_fig17_comm: cannot write " << json_path
+                  << "\n";
+        return 1;
     }
     return wide_ok ? 0 : 1;
 }

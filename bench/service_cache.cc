@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Plan-store cold-vs-warm study: answer the reference-shape query batch
+ * once with an empty cache (every query is a full schedule search) and
+ * once more through a fresh service sharing the populated cache
+ * directory (every query is a verified disk hit). Reports per-tier wall
+ * times, the cold/warm speedup, and certifies that the warm batch
+ * returned bit-identical plans (equal resultPlanDigest per query).
+ *
+ * Exits nonzero when the warm batch is not answered entirely from the
+ * cache or any plan differs, so CI can run this as the plan-store
+ * regression smoke test. The >= 10x speedup expectation is reported and
+ * enforced via TESSEL_SERVICE_MIN_SPEEDUP (default 10; set 0 to only
+ * report, e.g. on wildly loaded machines).
+ *
+ * Env knobs:
+ *   TESSEL_SERVICE_BENCH_DEVICES    devices per shape (default 4)
+ *   TESSEL_SERVICE_BENCH_BUDGET_SEC per-query budget (default 10)
+ *   TESSEL_SERVICE_MIN_SPEEDUP      minimum cold/warm ratio (default 10)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "service/service.h"
+#include "support/io.h"
+#include "support/table.h"
+
+using namespace tessel;
+
+namespace {
+
+double
+envDouble(const char *name, double fallback)
+{
+    if (const char *s = std::getenv(name)) {
+        const double v = std::atof(s);
+        if (v >= 0.0)
+            return v;
+    }
+    return fallback;
+}
+
+} // namespace
+
+int
+main()
+{
+    const int devices = static_cast<int>(
+        envDouble("TESSEL_SERVICE_BENCH_DEVICES", 4));
+    const double budget =
+        envDouble("TESSEL_SERVICE_BENCH_BUDGET_SEC", 10.0);
+    const double min_speedup =
+        envDouble("TESSEL_SERVICE_MIN_SPEEDUP", 10.0);
+
+    std::string dir;
+    if (!makeTempDir("tessel-service-bench-", &dir)) {
+        std::cerr << "cannot create temp cache dir\n";
+        return 1;
+    }
+
+    const std::vector<PlanQuery> batch =
+        referenceShapeQueries(devices, /*include_hetero=*/true, budget);
+
+    ServiceOptions opts;
+    opts.cacheDir = dir;
+
+    PlanningService cold_service(opts);
+    const BatchReport cold = cold_service.runBatch(batch);
+
+    // Fresh service, same directory: the memory tier starts empty, so
+    // every answer is a disk read + decode + oracle verification.
+    PlanningService warm_service(opts);
+    const BatchReport warm = warm_service.runBatch(batch);
+
+    Table table("Plan store: cold search vs warm cache "
+                "(reference shapes, " +
+                std::to_string(devices) + " devices)");
+    table.setHeader({"query", "cold (ms)", "warm (ms)", "warm source",
+                     "plan identical"});
+    bool all_identical = true;
+    for (size_t q = 0; q < batch.size(); ++q) {
+        const bool same =
+            cold.queries[q].planHash == warm.queries[q].planHash;
+        all_identical = all_identical && same;
+        table.addRow({batch[q].label,
+                      fmtDouble(cold.queries[q].wallSec * 1e3, 2),
+                      fmtDouble(warm.queries[q].wallSec * 1e3, 3),
+                      warm.queries[q].source, same ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+
+    const double speedup =
+        warm.wallSec > 0.0 ? cold.wallSec / warm.wallSec : 0.0;
+    std::cout << "cold batch " << fmtDouble(cold.wallSec, 3)
+              << " s (all searched), warm batch "
+              << fmtDouble(warm.wallSec, 4) << " s (verified disk hits): "
+              << fmtDouble(speedup, 1) << "x\n"
+              << "warm hit rate " << fmtPercent(warm.hitRate())
+              << ", verify failures " << warm.cacheStats.verifyFailures
+              << ", cache dir " << dir << "\n";
+
+    bool ok = all_identical && warm.hitRate() == 1.0 &&
+              warm.cacheStats.verifyFailures == 0;
+    if (!ok)
+        std::cout << "FAIL: warm batch not a bit-identical full cache "
+                     "hit\n";
+    if (min_speedup > 0.0 && speedup < min_speedup) {
+        std::cout << "FAIL: speedup " << fmtDouble(speedup, 1)
+                  << "x below required " << fmtDouble(min_speedup, 0)
+                  << "x\n";
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

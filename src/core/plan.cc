@@ -74,6 +74,23 @@ TesselPlan::instantiate(int n) const
     const int nr = assign_.numMicrobatches;
     fatal_if(n < nr, "plan: need at least NR=", nr, " micro-batches, got ",
              n);
+    std::string error;
+    std::optional<Schedule> sched = tryInstantiate(n, &error);
+    panic_if(!sched, "plan: instantiated schedule invalid: ", error);
+    return std::move(*sched);
+}
+
+std::optional<Schedule>
+TesselPlan::tryInstantiate(int n, std::string *error) const
+{
+    const auto fail = [&](const std::string &why) -> std::optional<Schedule> {
+        if (error)
+            *error = why;
+        return std::nullopt;
+    };
+    const int nr = assign_.numMicrobatches;
+    if (n < nr)
+        return fail("need at least NR micro-batches");
     const int k = placement_.numBlocks();
     const int extra = n - nr; // Window instances beyond the first.
 
@@ -155,8 +172,8 @@ TesselPlan::instantiate(int n) const
         Time est = 0;
         for (int dep : spec.deps) {
             const Time dep_start = sched.start({dep, ref.mb});
-            panic_if(dep_start == kUnscheduled,
-                     "plan: cooldown dependency not yet scheduled");
+            if (dep_start == kUnscheduled)
+                return fail("cooldown dependency not yet scheduled");
             est = std::max(est, dep_start + placement_.block(dep).span);
         }
         for (DeviceId d : spec.devices)
@@ -167,8 +184,8 @@ TesselPlan::instantiate(int n) const
     }
 
     const ValidationResult check = sched.validate();
-    panic_if(!check.ok, "plan: instantiated schedule invalid: ",
-             check.message);
+    if (!check.ok)
+        return fail(check.message);
     return sched;
 }
 

@@ -11,6 +11,8 @@
 #ifndef TESSEL_CORE_PLAN_H
 #define TESSEL_CORE_PLAN_H
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/repetend.h"
@@ -73,13 +75,69 @@ class TesselPlan
      */
     Schedule instantiate(int n) const;
 
+    /**
+     * Non-panicking variant of instantiate() for plans of *untrusted
+     * provenance* (deserialized from a plan-store file): any internal
+     * inconsistency — n below NR, a cooldown dependency the plan never
+     * schedules, or a layout that fails full Eq. 1 validation — returns
+     * nullopt with @p error set instead of aborting the process.
+     * instantiate() is this plus a panic on failure, so plans built by
+     * the search keep their hard invariant.
+     */
+    std::optional<Schedule> tryInstantiate(int n,
+                                           std::string *error = nullptr) const;
+
     /** The problem instance instantiate(n) schedules. */
     Problem problemFor(int n) const;
 
     /** Makespan of instantiate(n) (whole-run time for N micro-batches). */
     Time makespanFor(int n) const;
 
+    /** Warmup block instances and their solved absolute start times. */
+    const std::vector<BlockRef> &warmupRefs() const { return warmupRefs_; }
+    const std::vector<Time> &warmupStarts() const { return warmupStart_; }
+
+    /** Cooldown block instances and their solved start times. */
+    const std::vector<BlockRef> &cooldownRefs() const { return cooldownRefs_; }
+    const std::vector<Time> &cooldownStarts() const { return cooldownStart_; }
+
+    /** Per-device memory capacity the plan was solved under. */
+    Mem memLimit() const { return memLimit_; }
+
+    /** Per-device initial memory the plan was solved under. */
+    const std::vector<Mem> &initialMem() const { return initialMem_; }
+
+    /** Field-wise equality (serialization round-trip exactness). */
+    bool
+    operator==(const TesselPlan &other) const
+    {
+        return placement_ == other.placement_ && assign_ == other.assign_ &&
+               windowStart_ == other.windowStart_ &&
+               period_ == other.period_ &&
+               windowSpan_ == other.windowSpan_ &&
+               refsEqual(warmupRefs_, other.warmupRefs_) &&
+               warmupStart_ == other.warmupStart_ &&
+               refsEqual(cooldownRefs_, other.cooldownRefs_) &&
+               cooldownStart_ == other.cooldownStart_ &&
+               memLimit_ == other.memLimit_ &&
+               initialMem_ == other.initialMem_;
+    }
+
+    bool operator!=(const TesselPlan &other) const { return !(*this == other); }
+
   private:
+    static bool
+    refsEqual(const std::vector<BlockRef> &a,
+                    const std::vector<BlockRef> &b)
+    {
+        if (a.size() != b.size())
+            return false;
+        for (size_t i = 0; i < a.size(); ++i)
+            if (!(a[i] == b[i]))
+                return false;
+        return true;
+    }
+
     Placement placement_;
     RepetendAssignment assign_;
     std::vector<Time> windowStart_;

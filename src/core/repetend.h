@@ -30,6 +30,18 @@ struct RepetendAssignment
     std::vector<int> r;
     /** Number of micro-batches NR spanned (max r + 1). */
     int numMicrobatches = 0;
+
+    bool
+    operator==(const RepetendAssignment &other) const
+    {
+        return numMicrobatches == other.numMicrobatches && r == other.r;
+    }
+
+    bool
+    operator!=(const RepetendAssignment &other) const
+    {
+        return !(*this == other);
+    }
 };
 
 /**

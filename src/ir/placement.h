@@ -37,6 +37,29 @@ struct BlockSpec
     Mem memory = 0;
     /** Indices of same-micro-batch blocks this block depends on. */
     std::vector<int> deps;
+
+    /**
+     * Field-wise equality, display name included (plan-store
+     * round-trip exactness checks). Device masks compare canonically
+     * regardless of capacity history.
+     */
+    bool
+    operator==(const BlockSpec &other) const
+    {
+        return name == other.name && structurallyEquals(other);
+    }
+
+    bool operator!=(const BlockSpec &other) const { return !(*this == other); }
+
+    /** Equality of everything the schedule search can observe — the
+     * display name is cosmetic and ignored. */
+    bool
+    structurallyEquals(const BlockSpec &other) const
+    {
+        return kind == other.kind && devices == other.devices &&
+               span == other.span && memory == other.memory &&
+               deps == other.deps;
+    }
 };
 
 /**
@@ -88,6 +111,45 @@ class Placement
 
     /** @return direct successors of spec @p i in the dependency DAG. */
     const std::vector<int> &successors(int i) const { return succs_[i]; }
+
+    /**
+     * Field-wise equality: names, device count, and the block list.
+     * Derived tables are functions of those, so they need no
+     * comparison.
+     */
+    bool
+    operator==(const Placement &other) const
+    {
+        return name_ == other.name_ && numDevices_ == other.numDevices_ &&
+               blocks_ == other.blocks_;
+    }
+
+    bool
+    operator!=(const Placement &other) const
+    {
+        return !(*this == other);
+    }
+
+    /**
+     * Equality of everything the schedule search can observe: device
+     * count and per-block kind/devices/span/memory/deps, ignoring the
+     * placement and block display names. This is the fingerprint's
+     * notion of placement identity (store/fingerprint.h), so the plan
+     * store verifies loaded entries against it — a query differing only
+     * in names must be answerable by the same cache entry.
+     */
+    bool
+    structurallyEquals(const Placement &other) const
+    {
+        if (numDevices_ != other.numDevices_ ||
+            blocks_.size() != other.blocks_.size()) {
+            return false;
+        }
+        for (size_t i = 0; i < blocks_.size(); ++i)
+            if (!blocks_[i].structurallyEquals(other.blocks_[i]))
+                return false;
+        return true;
+    }
 
   private:
     void validate() const;

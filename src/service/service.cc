@@ -1,0 +1,261 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "placement/shapes.h"
+#include "store/serialize.h"
+#include "support/threadpool.h"
+#include "support/timer.h"
+
+namespace tessel {
+
+PlanningService::PlanningService(ServiceOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cacheDir,
+             PlanCacheOptions{options_.memoryCapacity,
+                              options_.verifyOnLoad})
+{
+}
+
+namespace {
+
+/** Resolution of one unique instance within a batch. */
+struct UniqueInstance
+{
+    Hash128 fingerprint;
+    TesselOptions effective; ///< budget/cancel/threads applied
+    int firstQuery = 0;      ///< index of the first query mapping here
+    PlanCache::Source source = PlanCache::Source::Miss;
+    bool searched = false;
+    double wallSec = 0.0;
+    TesselResult result;
+};
+
+const char *
+sourceName(PlanCache::Source source, bool searched)
+{
+    if (searched)
+        return "search";
+    return source == PlanCache::Source::Memory ? "memory" : "disk";
+}
+
+} // namespace
+
+bool
+PlanningService::parallelBatch() const
+{
+    return options_.numThreads != 1 &&
+           (options_.numThreads > 1 || ThreadPool::hardwareThreads() > 1);
+}
+
+TesselOptions
+PlanningService::resolveOptions(const PlanQuery &query) const
+{
+    TesselOptions eff = query.effectiveOptions();
+    if (options_.perQueryBudgetSec > 0.0)
+        eff.totalBudgetSec = options_.perQueryBudgetSec;
+    eff.cancel = eff.cancel.linked(options_.cancel);
+    return eff;
+}
+
+BatchReport
+PlanningService::runBatch(const std::vector<PlanQuery> &queries)
+{
+    const Stopwatch batch_watch;
+    BatchReport report;
+    report.queries.resize(queries.size());
+
+    // Phase 1: fingerprint + dedup. Identical instances (whatever their
+    // labels) share one UniqueInstance slot.
+    std::vector<UniqueInstance> unique;
+    std::unordered_map<Hash128, size_t, Hash128Hasher> slot_of;
+    std::vector<size_t> query_slot(queries.size());
+    const bool parallel_batch = parallelBatch();
+    for (size_t q = 0; q < queries.size(); ++q) {
+        TesselOptions eff = resolveOptions(queries[q]);
+        const Hash128 fp = fingerprintQuery(queries[q].placement, eff);
+        const auto it = slot_of.find(fp);
+        if (it != slot_of.end()) {
+            query_slot[q] = it->second;
+            continue;
+        }
+        UniqueInstance inst;
+        inst.fingerprint = fp;
+        inst.effective = std::move(eff);
+        inst.firstQuery = static_cast<int>(q);
+        slot_of.emplace(fp, unique.size());
+        query_slot[q] = unique.size();
+        unique.push_back(std::move(inst));
+    }
+    report.uniqueInstances = unique.size();
+
+    // Phase 2: answer from the cache (memory, then verified disk). The
+    // expensive part of a disk hit — decode, comm-expansion recompute,
+    // oracle verification — runs outside the cache lock, so lookups of
+    // distinct entries fan out over the pool on warm batches. Each slot
+    // is written by exactly one task; `hit[u]` records the outcome.
+    std::vector<uint8_t> hit(unique.size(), 0);
+    auto lookup = [&](size_t u) {
+        UniqueInstance &inst = unique[u];
+        const Stopwatch watch;
+        std::optional<TesselResult> cached =
+            cache_.get(inst.fingerprint,
+                       queries[inst.firstQuery].placement, inst.effective,
+                       &inst.source);
+        inst.wallSec = watch.seconds();
+        if (cached) {
+            inst.result = std::move(*cached);
+            hit[u] = 1;
+        }
+    };
+    if (parallel_batch && unique.size() > 1) {
+        ThreadPool pool(options_.numThreads);
+        for (size_t u = 0; u < unique.size(); ++u)
+            pool.submit([&lookup, u] { lookup(u); });
+        pool.wait();
+    } else {
+        for (size_t u = 0; u < unique.size(); ++u)
+            lookup(u);
+    }
+    std::vector<size_t> missing;
+    for (size_t u = 0; u < unique.size(); ++u)
+        if (!hit[u])
+            missing.push_back(u);
+
+    // Phase 3: fan the misses out. A pooled solve runs its own search
+    // serially (numThreads = 1) so batch parallelism is not multiplied
+    // by per-search parallelism; with a single miss (or a serial
+    // service) the search keeps its own multi-threaded sweep. Plans are
+    // identical either way by the search's determinism contract, and
+    // numThreads is excluded from the fingerprint for the same reason.
+    auto solve = [&](size_t u, bool pooled) {
+        UniqueInstance &inst = unique[u];
+        TesselOptions opts = inst.effective;
+        if (pooled)
+            opts.numThreads = 1;
+        const Stopwatch watch;
+        inst.result =
+            tesselSearch(queries[inst.firstQuery].placement, opts);
+        inst.wallSec = watch.seconds();
+        inst.searched = true;
+        cache_.put(inst.fingerprint, inst.result);
+    };
+    if (parallel_batch && missing.size() > 1) {
+        ThreadPool pool(options_.numThreads);
+        for (size_t u : missing)
+            pool.submit([&solve, u] { solve(u, true); });
+        pool.wait();
+    } else {
+        for (size_t u : missing)
+            solve(u, false);
+    }
+
+    // Phase 4: per-query rows (deduplicated queries share the unique
+    // instance's answer and timing).
+    for (size_t q = 0; q < queries.size(); ++q) {
+        const UniqueInstance &inst = unique[query_slot[q]];
+        QueryReport &row = report.queries[q];
+        row.label = queries[q].label;
+        row.fingerprint = inst.fingerprint.hex();
+        row.planHash = resultPlanDigest(inst.result).hex();
+        row.source = sourceName(inst.source, inst.searched);
+        row.found = inst.result.found;
+        row.period = inst.result.period;
+        row.wallSec = inst.wallSec;
+    }
+    for (const UniqueInstance &inst : unique) {
+        if (inst.searched)
+            ++report.searches;
+        else if (inst.source == PlanCache::Source::Memory)
+            ++report.memoryHits;
+        else
+            ++report.diskHits;
+    }
+
+    report.wallSec = batch_watch.seconds();
+    report.throughputQps =
+        report.wallSec > 0.0
+            ? static_cast<double>(queries.size()) / report.wallSec
+            : 0.0;
+    report.cacheStats = cache_.stats();
+    return report;
+}
+
+TesselResult
+PlanningService::runOne(const PlanQuery &query, QueryReport *report)
+{
+    const TesselOptions eff = resolveOptions(query);
+    const Hash128 fp = fingerprintQuery(query.placement, eff);
+    const Stopwatch watch;
+    PlanCache::Source source = PlanCache::Source::Miss;
+    std::optional<TesselResult> cached =
+        cache_.get(fp, query.placement, eff, &source);
+    TesselResult result;
+    bool searched = false;
+    if (cached) {
+        result = std::move(*cached);
+    } else {
+        result = tesselSearch(query.placement, eff);
+        cache_.put(fp, result);
+        searched = true;
+    }
+    if (report) {
+        report->label = query.label;
+        report->fingerprint = fp.hex();
+        report->planHash = resultPlanDigest(result).hex();
+        report->source = sourceName(source, searched);
+        report->found = result.found;
+        report->period = result.period;
+        report->wallSec = watch.seconds();
+    }
+    return result;
+}
+
+std::vector<PlanQuery>
+referenceShapeQueries(int num_devices, bool include_hetero,
+                      double budget_sec)
+{
+    std::vector<PlanQuery> out;
+    const char *shapes[] = {"V", "X", "M", "NN", "K"};
+    for (const char *shape : shapes) {
+        TesselOptions base;
+        base.totalBudgetSec = budget_sec;
+        base.repetendBudgetSec = budget_sec > 0.0
+                                     ? std::min(1.0, budget_sec)
+                                     : 1.0;
+        base.phaseBudgetSec =
+            budget_sec > 0.0 ? std::min(5.0, budget_sec) : 5.0;
+
+        PlanQuery homogeneous;
+        homogeneous.label = std::string(shape) + "/homogeneous";
+        homogeneous.placement = makeShapeByName(shape, num_devices);
+        homogeneous.options = base;
+        out.push_back(homogeneous);
+
+        PlanQuery capped;
+        capped.label = std::string(shape) + "/mem-capped";
+        capped.placement = homogeneous.placement;
+        capped.options = base;
+        // Unit-memory shapes hold at most one activation per in-flight
+        // micro-batch and device; a cap of 4 forces the memory pruning
+        // paths without making any shape infeasible.
+        capped.options.memLimit = 4;
+        out.push_back(capped);
+
+        if (include_hetero) {
+            HeteroShape hs = makeHeteroShapeByName(shape, num_devices);
+            PlanQuery hetero;
+            hetero.label = std::string(shape) + "/hetero";
+            hetero.placement = std::move(hs.placement);
+            hetero.options = base;
+            hetero.options.edgeMB = std::move(hs.edgeMB);
+            hetero.cluster =
+                std::make_shared<ClusterModel>(std::move(hs.cluster));
+            out.push_back(hetero);
+        }
+    }
+    return out;
+}
+
+} // namespace tessel

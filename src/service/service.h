@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Planning service: a batch query front-end over the plan store.
+ *
+ * A batch is a list of named queries (placement x cluster config x
+ * option sweep). The service fingerprints every query canonically
+ * (store/fingerprint.h), deduplicates identical instances, answers what
+ * it can from the two-tier plan cache, and fans the remaining unique
+ * searches out over a ThreadPool with per-query budgets and cooperative
+ * cancellation. Fresh results are admitted to the cache, so a repeated
+ * batch — same process or a later one sharing the cache directory — is
+ * answered entirely from storage with bit-identical plans.
+ */
+
+#ifndef TESSEL_SERVICE_SERVICE_H
+#define TESSEL_SERVICE_SERVICE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/store.h"
+
+namespace tessel {
+
+/** One named planning query. */
+struct PlanQuery
+{
+    /** Display label ("GPT-M/hetero/mem=6"); not part of the identity. */
+    std::string label;
+    Placement placement;
+    /**
+     * Search options. options.cluster may point at an external model
+     * the caller keeps alive; queries that own their model set
+     * `cluster` below instead and leave options.cluster null.
+     */
+    TesselOptions options;
+    /**
+     * Owned cluster model (shared so PlanQuery stays copyable and the
+     * pointer handed to the search outlives the batch). When set, it
+     * overrides options.cluster.
+     */
+    std::shared_ptr<const ClusterModel> cluster;
+
+    /** @return options with the owned cluster model bound. */
+    TesselOptions
+    effectiveOptions() const
+    {
+        TesselOptions opts = options;
+        if (cluster)
+            opts.cluster = cluster.get();
+        return opts;
+    }
+};
+
+/** Per-query row of a batch report. */
+struct QueryReport
+{
+    std::string label;
+    /** Canonical instance fingerprint (hex). */
+    std::string fingerprint;
+    /** Digest of the serialized result: bit-identical plans <=> equal. */
+    std::string planHash;
+    /** "memory", "disk", or "search". */
+    const char *source = "search";
+    bool found = false;
+    Time period = -1;
+    /** Wall seconds to answer the *unique* instance this query mapped
+     * to (deduplicated copies share the value). */
+    double wallSec = 0.0;
+};
+
+/** Batch outcome: per-query rows plus aggregate cache behaviour. */
+struct BatchReport
+{
+    std::vector<QueryReport> queries;
+    size_t uniqueInstances = 0; ///< after fingerprint deduplication
+    size_t memoryHits = 0;
+    size_t diskHits = 0;
+    size_t searches = 0;
+    double wallSec = 0.0;
+    /** Queries answered per second of batch wall time. */
+    double throughputQps = 0.0;
+    /** Cache counters accumulated over the service lifetime. */
+    StoreStats cacheStats;
+
+    /** @return fraction of unique instances answered from cache. */
+    double
+    hitRate() const
+    {
+        const size_t total = memoryHits + diskHits + searches;
+        return total == 0 ? 0.0
+                          : static_cast<double>(memoryHits + diskHits) /
+                                static_cast<double>(total);
+    }
+};
+
+/** Service construction knobs. */
+struct ServiceOptions
+{
+    /** Cache directory (created on first store). */
+    std::string cacheDir;
+    /** Memory-tier capacity (results). */
+    size_t memoryCapacity = 256;
+    /** Verify disk entries via the oracle before serving them. */
+    bool verifyOnLoad = true;
+    /**
+     * Workers for the cache-lookup and miss fan-outs; 0 picks
+     * hardware_concurrency(), 1 runs everything inline. Only when two
+     * or more misses actually fan out over the pool is each pooled
+     * search forced serial (numThreads = 1), so batch parallelism is
+     * not multiplied by per-search parallelism; a lone miss keeps the
+     * search's own multi-threaded sweep. Plans are identical either
+     * way by the search's determinism contract.
+     */
+    int numThreads = 0;
+    /** > 0 overrides every query's totalBudgetSec. */
+    double perQueryBudgetSec = 0.0;
+    /** Batch-wide cancellation, linked into every search. */
+    CancelToken cancel;
+};
+
+class PlanningService
+{
+  public:
+    explicit PlanningService(ServiceOptions options);
+
+    /** Answer @p queries (dedup -> cache -> parallel search). */
+    BatchReport runBatch(const std::vector<PlanQuery> &queries);
+
+    /** Convenience single-query path. */
+    TesselResult runOne(const PlanQuery &query, QueryReport *report = nullptr);
+
+    PlanCache &cache() { return cache_; }
+    const ServiceOptions &options() const { return options_; }
+
+  private:
+    /** Query options with service-level budget/cancel/threading applied. */
+    TesselOptions resolveOptions(const PlanQuery &query) const;
+
+    /** Whether misses fan out over a pool (forces serial searches). */
+    bool parallelBatch() const;
+
+    ServiceOptions options_;
+    PlanCache cache_;
+};
+
+/**
+ * The five reference shapes (V/X/M/NN/K, placement/shapes.h) as a named
+ * query batch: per shape a homogeneous query, a memory-capped variant,
+ * and (optionally) the heterogeneous comm-aware variant. Shared by the
+ * service tool, the cold/warm bench, the CI smoke job, and the tests so
+ * they all exercise the same instances.
+ *
+ * @param num_devices device count per shape (K needs it even, >= 2).
+ * @param include_hetero add makeHeteroShapeByName comm-aware variants.
+ * @param budget_sec per-query total search budget (<= 0: unlimited).
+ */
+std::vector<PlanQuery> referenceShapeQueries(int num_devices,
+                                             bool include_hetero = true,
+                                             double budget_sec = 20.0);
+
+} // namespace tessel
+
+#endif // TESSEL_SERVICE_SERVICE_H

@@ -1,0 +1,135 @@
+#include "store/fingerprint.h"
+
+#include <algorithm>
+
+namespace tessel {
+
+namespace {
+
+/** Domain separator so fingerprints can never collide with payload
+ * checksums (which seed hashBytes with 0). */
+constexpr uint64_t kFingerprintDomain = 0x5445535345'4c4650ull; // "TESSELFP"
+
+void
+hashPlacement(Hasher &h, const Placement &p)
+{
+    // The display name is cosmetic — two structurally identical
+    // placements are the same search input whatever they are called.
+    h.addI32(p.numDevices());
+    h.addI32(p.numBlocks());
+    for (int i = 0; i < p.numBlocks(); ++i) {
+        const BlockSpec &b = p.block(i);
+        h.addI32(static_cast<int32_t>(b.kind));
+        h.addI64(b.span);
+        h.addI64(b.memory);
+        h.addResourceSet(b.devices);
+        h.addU64(b.deps.size());
+        for (int dep : b.deps)
+            h.addI32(dep);
+    }
+}
+
+/** @return true when edge (producer, consumer) exists in @p p. */
+bool
+placementHasEdge(const Placement &p, int producer, int consumer)
+{
+    if (consumer < 0 || consumer >= p.numBlocks())
+        return false;
+    const std::vector<int> &deps = p.block(consumer).deps;
+    return std::find(deps.begin(), deps.end(), producer) != deps.end();
+}
+
+void
+hashCommModel(Hasher &h, const Placement &p, const TesselOptions &o)
+{
+    const int nd = p.numDevices();
+    const ClusterModel &cluster = *o.cluster;
+
+    // Speed factors: trailing 1.0 entries are invisible (speedOf
+    // returns 1.0 past the vector).
+    size_t speeds = cluster.speedFactor.size();
+    while (speeds > 0 && cluster.speedFactor[speeds - 1] == 1.0)
+        --speeds;
+    h.addU64(speeds);
+    for (size_t d = 0; d < speeds; ++d)
+        h.addDouble(cluster.speedFactor[d]);
+
+    h.addDouble(cluster.defaultLink.latency);
+    h.addDouble(cluster.defaultLink.timePerMB);
+
+    // Link overrides in map (= sorted key) order; entries equal to the
+    // default link or naming a device the placement does not have are
+    // no-ops for ClusterModel::link and are dropped.
+    for (const auto &[pair, lp] : cluster.linkOverride) {
+        if (pair.first < 0 || pair.second < 0 || pair.first >= nd ||
+            pair.second >= nd) {
+            continue;
+        }
+        if (lp.latency == cluster.defaultLink.latency &&
+            lp.timePerMB == cluster.defaultLink.timePerMB) {
+            continue;
+        }
+        h.addI32(pair.first);
+        h.addI32(pair.second);
+        h.addDouble(lp.latency);
+        h.addDouble(lp.timePerMB);
+    }
+    h.addU64(0xfeedu); // Terminator: override list vs what follows.
+
+    // Edge volumes in map order; a zero-MB entry equals a missing one
+    // (both transfer latency only), and entries for edges the placement
+    // does not contain are never read by expandWithComm.
+    for (const auto &[edge, mb] : o.edgeMB) {
+        if (mb == 0.0 || !placementHasEdge(p, edge.first, edge.second))
+            continue;
+        h.addI32(edge.first);
+        h.addI32(edge.second);
+        h.addDouble(mb);
+    }
+    h.addU64(0xfeedu);
+
+    h.addI32(static_cast<int32_t>(o.comm.granularity));
+}
+
+} // namespace
+
+Hash128
+fingerprintQuery(const Placement &placement, const TesselOptions &options)
+{
+    Hasher h(kFingerprintDomain);
+    h.addU64(kFingerprintVersion);
+
+    hashPlacement(h, placement);
+
+    h.addI64(options.memLimit);
+    // Trailing zero initial-memory entries equal an absent vector.
+    size_t mems = options.initialMem.size();
+    while (mems > 0 && options.initialMem[mems - 1] == 0)
+        --mems;
+    h.addU64(mems);
+    for (size_t d = 0; d < mems; ++d)
+        h.addI64(options.initialMem[d]);
+
+    h.addI32(options.maxRepetendMicrobatches);
+    h.addBool(options.lazy);
+    h.addDouble(options.totalBudgetSec);
+    h.addDouble(options.repetendBudgetSec);
+    h.addDouble(options.phaseBudgetSec);
+    // numThreads and cancel are plan-invariant by the search's
+    // determinism contract and are deliberately not hashed.
+
+    // The search goes comm-aware exactly when a non-trivial cluster is
+    // present (core/search.cc); a null and a trivial model both take
+    // the homogeneous path bit for bit, so they share a fingerprint and
+    // the edge volumes / granularity are unread.
+    const bool comm_aware =
+        options.cluster &&
+        !options.cluster->isTrivial(placement.numDevices());
+    h.addBool(comm_aware);
+    if (comm_aware)
+        hashCommModel(h, placement, options);
+
+    return h.digest();
+}
+
+} // namespace tessel

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Canonical instance fingerprints: a stable 128-bit digest of the fully
+ * lowered search input — the placement (blocks, spans, memory deltas,
+ * device masks, dependency edges), the cluster model, the per-edge
+ * communication volumes, and every TesselOptions field that can change
+ * the resulting plan. The digest keys the plan store: two queries with
+ * equal fingerprints are guaranteed to describe the same search, so a
+ * cached TesselResult can answer either.
+ *
+ * Stability guarantee (recorded in README "Plan store & planning
+ * service"): the fingerprint of a semantically identical query is
+ * identical across processes, platforms, and input construction order.
+ * Concretely, the digest is invariant to
+ *
+ *  - resource-set capacity history: device masks hash as their sorted
+ *    set-bit indices, so a mask that grew past 64 bits and shrank back
+ *    fingerprints like one that never grew;
+ *  - container iteration order: link overrides and edge volumes live in
+ *    std::map (sorted iteration) and are hashed in key order, so
+ *    insertion order never matters;
+ *  - no-op model entries: trailing unit speed factors, trailing zero
+ *    initial-memory entries, zero-MB edge volumes, link overrides equal
+ *    to the default link, link overrides naming out-of-range devices,
+ *    and edge-volume entries for edges the placement does not have are
+ *    all dropped before hashing (each is semantically invisible to the
+ *    search);
+ *  - the trivial-cluster identity: a null ClusterModel, and any model
+ *    for which isTrivial(numDevices) holds, fingerprint identically
+ *    (the search guarantees bit-identical plans for the two);
+ *  - plan-invariant options: numThreads and the CancelToken are
+ *    excluded (any thread count returns the same plan by construction),
+ *    as is the placement's display name.
+ *
+ * Budget fields ARE hashed: a budget-limited search may return a
+ * different (still valid) plan, so results found under one budget are
+ * never served for another.
+ */
+
+#ifndef TESSEL_STORE_FINGERPRINT_H
+#define TESSEL_STORE_FINGERPRINT_H
+
+#include "core/search.h"
+#include "ir/placement.h"
+#include "support/hashing.h"
+
+namespace tessel {
+
+/**
+ * Fingerprint format version. Bump whenever the hashed field set or
+ * canonicalization rules change so stale store entries (keyed by file
+ * name = fingerprint) can never alias a new-scheme query.
+ */
+constexpr uint32_t kFingerprintVersion = 1;
+
+/** @return the canonical 128-bit fingerprint of (placement, options). */
+Hash128 fingerprintQuery(const Placement &placement,
+                         const TesselOptions &options);
+
+} // namespace tessel
+
+#endif // TESSEL_STORE_FINGERPRINT_H

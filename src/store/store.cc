@@ -1,0 +1,267 @@
+#include "store/store.h"
+
+#include "placement/comm.h"
+#include "solver/from_ir.h"
+#include "solver/oracle.h"
+#include "store/serialize.h"
+#include "support/io.h"
+#include "support/logging.h"
+
+namespace tessel {
+
+VerifyOutcome
+verifyResultAgainstQuery(const Placement &placement,
+                         const TesselOptions &options,
+                         const TesselResult &result)
+{
+    VerifyOutcome out;
+
+    // A cached "no plan found" is a legitimate answer (the fingerprint
+    // covers the budgets that produced it); there is nothing to check.
+    if (!result.found) {
+        if (result.plan.placement().numBlocks() != 0) {
+            out.reason = "not-found result carries a plan";
+            return out;
+        }
+        out.ok = true;
+        return out;
+    }
+
+    // The stored plan must schedule exactly the placement this query
+    // would search: the comm-expanded placement when the query is
+    // comm-aware, the original otherwise. Recomputing the expansion
+    // here is what ties a comm-aware entry to the cluster model of the
+    // *current* query rather than whatever produced the file.
+    const bool comm_aware =
+        options.cluster &&
+        !options.cluster->isTrivial(placement.numDevices());
+    if (comm_aware != result.commAware) {
+        out.reason = "comm-awareness mismatch between query and entry";
+        return out;
+    }
+    // Placements compare *structurally* (display names ignored): the
+    // fingerprint excludes names, so a query differing only in names
+    // maps to this entry and must be served by it, not rejected.
+    if (comm_aware) {
+        const CommExpansion expected = expandWithComm(
+            placement, *options.cluster, options.edgeMB, options.comm);
+        if (!result.plan.placement().structurallyEquals(
+                expected.placement)) {
+            out.reason = "stored plan placement != comm-expanded query "
+                         "placement";
+            return out;
+        }
+        // The projection maps come from disk too; consumers use them to
+        // map the comm-aware schedule back onto the caller's blocks, so
+        // they must equal the recomputed expansion exactly.
+        if (!result.expansion ||
+            !result.expansion->placement.structurallyEquals(
+                expected.placement) ||
+            result.expansion->numRealDevices != expected.numRealDevices ||
+            result.expansion->numLinks != expected.numLinks ||
+            result.expansion->origSpec != expected.origSpec ||
+            result.expansion->indexSpec != expected.indexSpec ||
+            result.expansion->linkEndpoints != expected.linkEndpoints) {
+            out.reason = "stored expansion inconsistent with query";
+            return out;
+        }
+    } else if (!result.plan.placement().structurallyEquals(placement)) {
+        out.reason = "stored plan placement != query placement";
+        return out;
+    }
+
+    if (result.period != result.plan.period()) {
+        out.reason = "result period != plan period";
+        return out;
+    }
+
+    // Instantiate at NR + 1 — one extra micro-batch beyond the smallest
+    // supported N, so the verification exercises the periodic layout (a
+    // second window instance at stride P) and the cooldown retiming,
+    // not just the solved phases — then run the oracle's full
+    // constraint check (dependencies, device/link exclusivity, release
+    // times, peak memory) on the materialized schedule.
+    if (result.plan.minMicrobatches() < 1) {
+        out.reason = "plan supports no micro-batches";
+        return out;
+    }
+    const int n = result.plan.minMicrobatches() + 1;
+    std::string inst_err;
+    const std::optional<Schedule> sched =
+        result.plan.tryInstantiate(n, &inst_err);
+    if (!sched) {
+        out.reason = "plan failed to instantiate: " + inst_err;
+        return out;
+    }
+    const Problem prob = result.plan.problemFor(n);
+    const SolverProblem solver_prob = buildFullInstance(prob);
+    const std::vector<Time> starts = startsFromSchedule(prob, *sched);
+    const OracleVerdict verdict = verifySolverSchedule(solver_prob, starts);
+    if (!verdict.ok) {
+        out.reason = "oracle rejected instantiated schedule: " +
+                     verdict.message;
+        return out;
+    }
+
+    out.ok = true;
+    return out;
+}
+
+// ----------------------------------------------------------- PlanStore
+
+PlanStore::PlanStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+PlanStore::pathFor(const Hash128 &fp) const
+{
+    return dir_ + "/" + fp.hex() + ".plan";
+}
+
+bool
+PlanStore::put(const Hash128 &fp, const std::string &bytes)
+{
+    std::string err;
+    if (!ensureDir(dir_, &err)) {
+        warn("plan store: ", err);
+        return false;
+    }
+    if (!writeFileAtomic(pathFor(fp), bytes, &err)) {
+        warn("plan store: ", err);
+        return false;
+    }
+    return true;
+}
+
+bool
+PlanStore::get(const Hash128 &fp, std::string *bytes) const
+{
+    const std::string path = pathFor(fp);
+    if (!fileExists(path))
+        return false;
+    std::string err;
+    if (!readFile(path, bytes, &err)) {
+        warn("plan store: ", err);
+        return false;
+    }
+    return true;
+}
+
+bool
+PlanStore::remove(const Hash128 &fp)
+{
+    return removeFile(pathFor(fp));
+}
+
+std::vector<Hash128>
+PlanStore::list() const
+{
+    std::vector<Hash128> out;
+    for (const std::string &name : listDirFiles(dir_, ".plan")) {
+        Hash128 fp;
+        if (Hash128::fromHex(name.substr(0, name.size() - 5), &fp))
+            out.push_back(fp);
+    }
+    return out;
+}
+
+// ----------------------------------------------------------- PlanCache
+
+PlanCache::PlanCache(std::string dir, PlanCacheOptions options)
+    : store_(std::move(dir)), options_(options)
+{
+}
+
+std::optional<TesselResult>
+PlanCache::get(const Hash128 &fp, const Placement &placement,
+               const TesselOptions &options, Source *source)
+{
+    if (source)
+        *source = Source::Miss;
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = index_.find(fp);
+        if (it != index_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            ++stats_.memoryHits;
+            if (source)
+                *source = Source::Memory;
+            return it->second->second;
+        }
+    }
+
+    // Disk tier: read, decode, and verify outside the lock so slow
+    // entries do not serialize unrelated readers.
+    std::string bytes;
+    if (!store_.get(fp, &bytes)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.misses;
+        return std::nullopt;
+    }
+
+    LoadedResult loaded = deserializeResult(bytes);
+    if (loaded.ok && loaded.fingerprint != fp) {
+        loaded.ok = false;
+        loaded.error = "entry fingerprint does not match its file name";
+    }
+    if (loaded.ok && options_.verifyOnLoad) {
+        const VerifyOutcome verdict =
+            verifyResultAgainstQuery(placement, options, loaded.result);
+        if (!verdict.ok) {
+            loaded.ok = false;
+            loaded.error = verdict.reason;
+        }
+    }
+    if (!loaded.ok) {
+        warn("plan store: rejecting entry ", fp.hex(), ": ", loaded.error);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.verifyFailures;
+        return std::nullopt;
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.diskHits;
+    insertMemory(fp, loaded.result);
+    if (source)
+        *source = Source::Disk;
+    return std::move(loaded.result);
+}
+
+void
+PlanCache::put(const Hash128 &fp, const TesselResult &result)
+{
+    // Serialize and write outside the lock; admit to memory under it.
+    const std::string bytes = serializeResult(result, fp);
+    store_.put(fp, bytes);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.stores;
+    insertMemory(fp, result);
+}
+
+void
+PlanCache::insertMemory(const Hash128 &fp, const TesselResult &result)
+{
+    // Caller holds mu_.
+    const auto it = index_.find(fp);
+    if (it != index_.end()) {
+        it->second->second = result;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.emplace_front(fp, result);
+    index_[fp] = lru_.begin();
+    while (lru_.size() > options_.memoryCapacity && !lru_.empty()) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+StoreStats
+PlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace tessel

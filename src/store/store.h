@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Plan store: a concurrent in-memory LRU cache in front of an on-disk
+ * store of serialized TesselResults, keyed by canonical instance
+ * fingerprints (store/fingerprint.h).
+ *
+ * Disk layout: one file per fingerprint, `<32-hex-digits>.plan`, under
+ * the cache directory, published atomically (temp file + rename), so
+ * any number of concurrent readers — including other processes — only
+ * ever observe complete entries.
+ *
+ * Verification-on-load invariant: a disk entry is never trusted. Before
+ * a deserialized result is returned or admitted to the memory tier, the
+ * plan is re-verified against the *querying* instance: the stored
+ * placement must structurally equal the placement the query would
+ * search (the comm-expanded one for comm-aware queries), the plan must
+ * instantiate cleanly, and the instantiated schedule must pass the
+ * solver oracle's full constraint check (solver/oracle.h — dependency
+ * order, device and link exclusivity, release times, peak memory).
+ * Entries that fail any step count as verifyFailures and behave as
+ * misses, so a corrupted or version-bumped store degrades to a fresh
+ * search, never to a wrong plan. Memory-tier entries were either
+ * produced by this process's search or already verified on load, and
+ * are returned as-is.
+ */
+
+#ifndef TESSEL_STORE_STORE_H
+#define TESSEL_STORE_STORE_H
+
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/search.h"
+#include "store/fingerprint.h"
+
+namespace tessel {
+
+/** Hit/miss/verification counters of one PlanCache. */
+struct StoreStats
+{
+    uint64_t memoryHits = 0;
+    uint64_t diskHits = 0;   ///< served from disk after verification
+    uint64_t misses = 0;     ///< absent from both tiers
+    uint64_t stores = 0;     ///< results admitted via put()
+    uint64_t verifyFailures = 0; ///< disk entries rejected on load
+    uint64_t evictions = 0;  ///< memory-tier LRU evictions
+
+    uint64_t
+    hits() const
+    {
+        return memoryHits + diskHits;
+    }
+
+    uint64_t
+    lookups() const
+    {
+        return hits() + misses + verifyFailures;
+    }
+
+    /** @return hits / lookups in [0, 1] (0 when no lookups happened). */
+    double
+    hitRate() const
+    {
+        const uint64_t total = lookups();
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits()) /
+                                static_cast<double>(total);
+    }
+};
+
+/** Outcome of re-verifying a loaded result against its query. */
+struct VerifyOutcome
+{
+    bool ok = false;
+    std::string reason;
+};
+
+/**
+ * Re-verify @p result against the instance (@p placement, @p options)
+ * via the solver oracle. Cheap relative to a search: one instantiation
+ * at N = NR + 1 — the extra micro-batch forces a second repetend
+ * window at stride P, so the period itself is exercised (at N = NR the
+ * period is unused and a tampered one would pass) — plus a linear
+ * constraint sweep. Pure function, safe to call concurrently.
+ */
+VerifyOutcome verifyResultAgainstQuery(const Placement &placement,
+                                       const TesselOptions &options,
+                                       const TesselResult &result);
+
+/** On-disk tier: one atomically-published file per fingerprint. */
+class PlanStore
+{
+  public:
+    /** @param dir cache directory; created (mkdir -p) on first put. */
+    explicit PlanStore(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /** @return the entry path for @p fp (exists or not). */
+    std::string pathFor(const Hash128 &fp) const;
+
+    /** Publish serialized bytes for @p fp; false + warn on I/O errors. */
+    bool put(const Hash128 &fp, const std::string &bytes);
+
+    /** Read raw entry bytes; false when absent or unreadable. */
+    bool get(const Hash128 &fp, std::string *bytes) const;
+
+    /** Remove the entry for @p fp (idempotent). */
+    bool remove(const Hash128 &fp);
+
+    /** @return fingerprints of all entries currently on disk. */
+    std::vector<Hash128> list() const;
+
+  private:
+    std::string dir_;
+};
+
+/** Construction knobs for PlanCache. */
+struct PlanCacheOptions
+{
+    /** Max results kept in the memory tier before LRU eviction. */
+    size_t memoryCapacity = 256;
+    /** Re-verify disk entries via the oracle before trusting them. */
+    bool verifyOnLoad = true;
+};
+
+/**
+ * Two-tier cache: LRU memory tier over a PlanStore disk tier. All
+ * public methods are safe to call from any number of threads (one
+ * internal mutex; disk I/O and verification run outside it, so
+ * concurrent readers of distinct entries do not serialize on the
+ * expensive parts).
+ */
+class PlanCache
+{
+  public:
+    explicit PlanCache(std::string dir, PlanCacheOptions options = {});
+
+    /** Where a get() answer came from. */
+    enum class Source { Memory, Disk, Miss };
+
+    /**
+     * Look up @p fp. Disk answers are deserialized and verified against
+     * (@p placement, @p options) per the verification-on-load
+     * invariant, then promoted into the memory tier. @return nullopt on
+     * miss or verification failure (@p source tells which tier
+     * answered).
+     */
+    std::optional<TesselResult> get(const Hash128 &fp,
+                                    const Placement &placement,
+                                    const TesselOptions &options,
+                                    Source *source = nullptr);
+
+    /** Admit a freshly searched result to both tiers. */
+    void put(const Hash128 &fp, const TesselResult &result);
+
+    StoreStats stats() const;
+
+    const PlanStore &store() const { return store_; }
+
+  private:
+    void insertMemory(const Hash128 &fp, const TesselResult &result);
+
+    PlanStore store_;
+    PlanCacheOptions options_;
+
+    mutable std::mutex mu_;
+    /** Most-recent first; entries own their result copy. */
+    std::list<std::pair<Hash128, TesselResult>> lru_;
+    std::unordered_map<Hash128,
+                       std::list<std::pair<Hash128, TesselResult>>::iterator,
+                       Hash128Hasher>
+        index_;
+    StoreStats stats_;
+};
+
+} // namespace tessel
+
+#endif // TESSEL_STORE_STORE_H

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Streaming 128-bit hash for canonical instance fingerprints and store
+ * payload checksums.
+ *
+ * The plan store keys its on-disk entries by these digests and CI diffs
+ * them across runs, so the function must be *stable*: the same input
+ * words produce the same digest on every platform, build type, and
+ * standard library. The implementation therefore avoids std::hash and
+ * sticks to fixed 64-bit arithmetic (two accumulator lanes mixed with
+ * splitmix64-style finalizers — the same constants as support/rng.h's
+ * seeding). It is not cryptographic; it only needs to make accidental
+ * collisions across distinct planning instances vanishingly unlikely
+ * (2^-64 birthday regime at any realistic store size).
+ *
+ * Callers feed typed values (words, doubles, strings, resource sets);
+ * every variable-length value is length-prefixed so concatenation
+ * ambiguities ("ab"+"c" vs "a"+"bc") cannot collide.
+ */
+
+#ifndef TESSEL_SUPPORT_HASHING_H
+#define TESSEL_SUPPORT_HASHING_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "resourceset.h"
+
+namespace tessel {
+
+/** A 128-bit digest, comparable and hex-printable (store file names). */
+struct Hash128
+{
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+
+    bool
+    operator==(const Hash128 &other) const
+    {
+        return lo == other.lo && hi == other.hi;
+    }
+
+    bool operator!=(const Hash128 &other) const { return !(*this == other); }
+
+    bool
+    operator<(const Hash128 &other) const
+    {
+        return hi != other.hi ? hi < other.hi : lo < other.lo;
+    }
+
+    /** @return 32 lowercase hex digits (hi word first). */
+    std::string
+    hex() const
+    {
+        static const char digits[] = "0123456789abcdef";
+        std::string out(32, '0');
+        uint64_t w = hi;
+        for (int i = 15; i >= 0; --i, w >>= 4)
+            out[i] = digits[w & 0xf];
+        w = lo;
+        for (int i = 31; i >= 16; --i, w >>= 4)
+            out[i] = digits[w & 0xf];
+        return out;
+    }
+
+    /** Parse hex() output; @return false on malformed input. */
+    static bool
+    fromHex(const std::string &text, Hash128 *out)
+    {
+        if (text.size() != 32)
+            return false;
+        uint64_t words[2] = {0, 0};
+        for (int i = 0; i < 32; ++i) {
+            const char c = text[i];
+            uint64_t v;
+            if (c >= '0' && c <= '9')
+                v = static_cast<uint64_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v = static_cast<uint64_t>(c - 'a') + 10;
+            else
+                return false;
+            words[i / 16] = (words[i / 16] << 4) | v;
+        }
+        out->hi = words[0];
+        out->lo = words[1];
+        return true;
+    }
+};
+
+/** Hash functor so Hash128 can key std::unordered_map (LRU index). */
+struct Hash128Hasher
+{
+    size_t
+    operator()(const Hash128 &h) const
+    {
+        // The digest is already well mixed; fold the lanes.
+        return static_cast<size_t>(h.lo ^ (h.hi * 0x9e3779b97f4a7c15ull));
+    }
+};
+
+/** Streaming hasher producing a Hash128. */
+class Hasher
+{
+  public:
+    /** @param seed domain separator (fingerprints vs checksums). */
+    explicit Hasher(uint64_t seed = 0)
+        : a_(seed ^ 0x6a09e667f3bcc908ull), b_(~seed ^ 0xbb67ae8584caa73bull)
+    {
+    }
+
+    /** Feed one 64-bit word. */
+    void
+    addU64(uint64_t w)
+    {
+        ++len_;
+        a_ = mix(a_ ^ mix(w + len_ * 0x9e3779b97f4a7c15ull));
+        b_ = mix(b_ + rotl(w, 29) + 0x2545f4914f6cdd1dull);
+    }
+
+    void addI64(int64_t v) { addU64(static_cast<uint64_t>(v)); }
+    void addI32(int32_t v) { addI64(v); }
+    void addBool(bool v) { addU64(v ? 1 : 0); }
+
+    /**
+     * Feed a double by bit pattern, canonicalizing -0.0 to +0.0 (they
+     * compare equal and behave identically in every cost model here).
+     */
+    void
+    addDouble(double v)
+    {
+        if (v == 0.0)
+            v = 0.0; // Collapses -0.0.
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v), "double width");
+        std::memcpy(&bits, &v, sizeof(bits));
+        addU64(bits);
+    }
+
+    /** Feed a length-prefixed byte string. */
+    void
+    addString(const std::string &s)
+    {
+        addU64(s.size());
+        uint64_t w = 0;
+        int fill = 0;
+        for (unsigned char c : s) {
+            w = (w << 8) | c;
+            if (++fill == 8) {
+                addU64(w);
+                w = 0;
+                fill = 0;
+            }
+        }
+        if (fill)
+            addU64(w);
+    }
+
+    /**
+     * Feed a resource set *canonically*: the popcount followed by the
+     * ascending set-bit indices. Capacity history (grown-and-shrunk vs
+     * never grown, inline vs heap representation) cannot influence the
+     * digest, which is the fingerprint-stability guarantee device masks
+     * need past 64 resources.
+     */
+    void
+    addResourceSet(const ResourceSet &s)
+    {
+        addU64(static_cast<uint64_t>(s.count()));
+        for (int bit : s)
+            addU64(static_cast<uint64_t>(bit));
+    }
+
+    /** Feed raw bytes (payload checksums), length-prefixed. */
+    void
+    addBytes(const void *data, size_t size)
+    {
+        addU64(size);
+        const unsigned char *p = static_cast<const unsigned char *>(data);
+        size_t i = 0;
+        for (; i + 8 <= size; i += 8) {
+            uint64_t w;
+            std::memcpy(&w, p + i, 8);
+            addU64(w);
+        }
+        uint64_t tail = 0;
+        for (; i < size; ++i)
+            tail = (tail << 8) | p[i];
+        if (size % 8)
+            addU64(tail);
+    }
+
+    /** @return the digest of everything fed so far (non-destructive). */
+    Hash128
+    digest() const
+    {
+        Hash128 h;
+        h.lo = mix(a_ ^ rotl(b_, 23) ^ len_);
+        h.hi = mix(b_ ^ rotl(a_, 41) ^ (len_ * 0xff51afd7ed558ccdull));
+        return h;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t v, int k)
+    {
+        return (v << k) | (v >> (64 - k));
+    }
+
+    /** splitmix64 finalizer: full avalanche per ingested word. */
+    static uint64_t
+    mix(uint64_t z)
+    {
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    uint64_t a_;
+    uint64_t b_;
+    uint64_t len_ = 0;
+};
+
+/** One-shot convenience: digest of a byte buffer. */
+inline Hash128
+hashBytes(const std::string &bytes, uint64_t seed = 0)
+{
+    Hasher h(seed);
+    h.addBytes(bytes.data(), bytes.size());
+    return h.digest();
+}
+
+} // namespace tessel
+
+#endif // TESSEL_SUPPORT_HASHING_H

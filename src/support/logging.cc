@@ -27,8 +27,13 @@ logMessage(const std::string &msg)
 {
     if (!logVerbose())
         return;
-    std::fputs(msg.c_str(), stderr);
-    std::fputc('\n', stderr);
+    // One fputs per message, newline included: POSIX stdio locks the
+    // FILE for the duration of the call, so messages emitted
+    // concurrently from ThreadPool workers (the planning service's
+    // query fan-out) land whole, never interleaved mid-line. The old
+    // fputs + fputc('\n') pair could interleave another worker's
+    // message between the body and its newline.
+    std::fputs((msg + '\n').c_str(), stderr);
 }
 
 } // namespace tessel

@@ -49,16 +49,17 @@ logFormat(const char *kind, const char *file, int line, const Args &...args)
 [[noreturn]] inline void
 logAbort(const std::string &msg)
 {
-    std::fputs(msg.c_str(), stderr);
-    std::fputc('\n', stderr);
+    // Message + newline in ONE stdio call: stdio locks the stream per
+    // call, so concurrent panics from pool workers cannot interleave
+    // mid-message (the same rule logMessage() follows).
+    std::fputs((msg + '\n').c_str(), stderr);
     std::abort();
 }
 
 [[noreturn]] inline void
 logExit(const std::string &msg)
 {
-    std::fputs(msg.c_str(), stderr);
-    std::fputc('\n', stderr);
+    std::fputs((msg + '\n').c_str(), stderr);
     std::exit(1);
 }
 

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Planning-service tests: batch deduplication, the memory/disk/search
+ * answer paths with bit-identical plans across service instances,
+ * corrupted and version-bumped store entries falling back to a fresh
+ * search, concurrent fan-out determinism, and per-query budgets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "placement/shapes.h"
+#include "service/service.h"
+#include "store/serialize.h"
+#include "support/io.h"
+#include "support/logging.h"
+
+namespace tessel {
+namespace {
+
+/** Small homogeneous batch (fast; hetero variants covered separately). */
+std::vector<PlanQuery>
+smallBatch()
+{
+    return referenceShapeQueries(4, /*include_hetero=*/false,
+                                 /*budget_sec=*/5.0);
+}
+
+ServiceOptions
+optionsFor(const std::string &dir)
+{
+    ServiceOptions opts;
+    opts.cacheDir = dir;
+    opts.numThreads = 1;
+    return opts;
+}
+
+std::vector<std::string>
+hashes(const BatchReport &report)
+{
+    std::vector<std::string> out;
+    for (const QueryReport &q : report.queries)
+        out.push_back(q.planHash);
+    return out;
+}
+
+TEST(PlanningService, ColdThenMemoryThenDiskWithIdenticalPlans)
+{
+    std::string dir;
+    ASSERT_TRUE(makeTempDir("tessel-svc-test-", &dir));
+    const std::vector<PlanQuery> batch = smallBatch();
+
+    PlanningService service(optionsFor(dir));
+    const BatchReport cold = service.runBatch(batch);
+    EXPECT_EQ(cold.searches, cold.uniqueInstances);
+    EXPECT_EQ(cold.memoryHits + cold.diskHits, 0u);
+    for (const QueryReport &q : cold.queries) {
+        EXPECT_STREQ(q.source, "search");
+        EXPECT_TRUE(q.found) << q.label;
+    }
+
+    const BatchReport warm = service.runBatch(batch);
+    EXPECT_EQ(warm.memoryHits, warm.uniqueInstances);
+    EXPECT_EQ(warm.searches, 0u);
+    EXPECT_EQ(hashes(warm), hashes(cold));
+    EXPECT_DOUBLE_EQ(warm.hitRate(), 1.0);
+
+    // A fresh service sharing the directory simulates a new process:
+    // every answer comes from a verified disk entry, bit-identical.
+    PlanningService fresh(optionsFor(dir));
+    const BatchReport disk = fresh.runBatch(batch);
+    EXPECT_EQ(disk.diskHits, disk.uniqueInstances);
+    EXPECT_EQ(disk.searches, 0u);
+    EXPECT_EQ(hashes(disk), hashes(cold));
+    for (const QueryReport &q : disk.queries)
+        EXPECT_STREQ(q.source, "disk");
+    EXPECT_EQ(fresh.cache().stats().verifyFailures, 0u);
+}
+
+TEST(PlanningService, DeduplicatesIdenticalInstances)
+{
+    std::string dir;
+    ASSERT_TRUE(makeTempDir("tessel-svc-dedup-", &dir));
+
+    PlanQuery q;
+    q.label = "a";
+    q.placement = makeShapeByName("V", 4);
+    q.options.totalBudgetSec = 5.0;
+    q.options.numThreads = 1;
+    PlanQuery q2 = q;
+    q2.label = "b";
+    // Label and thread count are not part of the instance identity.
+    q2.options.numThreads = 3;
+    PlanQuery q3 = q;
+    q3.label = "c";
+
+    PlanningService service(optionsFor(dir));
+    const BatchReport report = service.runBatch({q, q2, q3});
+    EXPECT_EQ(report.uniqueInstances, 1u);
+    EXPECT_EQ(report.searches, 1u);
+    ASSERT_EQ(report.queries.size(), 3u);
+    EXPECT_EQ(report.queries[0].fingerprint,
+              report.queries[1].fingerprint);
+    EXPECT_EQ(report.queries[0].planHash, report.queries[2].planHash);
+}
+
+TEST(PlanningService, CorruptedEntryFallsBackToSearch)
+{
+    std::string dir;
+    ASSERT_TRUE(makeTempDir("tessel-svc-corrupt-", &dir));
+    PlanQuery q;
+    q.label = "V";
+    q.placement = makeShapeByName("V", 4);
+    q.options.totalBudgetSec = 5.0;
+
+    PlanningService service(optionsFor(dir));
+    QueryReport cold;
+    const TesselResult cold_result = service.runOne(q, &cold);
+    ASSERT_TRUE(cold_result.found);
+    EXPECT_STREQ(cold.source, "search");
+
+    // Flip one payload byte of the stored entry.
+    const std::vector<Hash128> entries = service.cache().store().list();
+    ASSERT_EQ(entries.size(), 1u);
+    const std::string path = service.cache().store().pathFor(entries[0]);
+    std::string bytes, err;
+    ASSERT_TRUE(readFile(path, &bytes, &err)) << err;
+    std::string corrupted = bytes;
+    corrupted[bytes.size() / 2] ^= 0x10;
+    ASSERT_TRUE(writeFileAtomic(path, corrupted, &err)) << err;
+
+    const bool prev = setLogVerbose(false);
+    PlanningService recovered(optionsFor(dir));
+    QueryReport rec;
+    const TesselResult rec_result = recovered.runOne(q, &rec);
+    setLogVerbose(prev);
+    EXPECT_STREQ(rec.source, "search");
+    EXPECT_EQ(recovered.cache().stats().verifyFailures, 1u);
+    ASSERT_TRUE(rec_result.found);
+    // The fallback search reproduces the identical plan.
+    EXPECT_EQ(rec.planHash, cold.planHash);
+    EXPECT_TRUE(rec_result.plan == cold_result.plan);
+
+    // Version-bumped entries are likewise rejected, not misparsed.
+    std::string bumped = bytes;
+    bumped[kPlanVersionOffset] =
+        static_cast<char>(kPlanFormatVersion + 7);
+    ASSERT_TRUE(writeFileAtomic(path, bumped, &err)) << err;
+    const bool prev2 = setLogVerbose(false);
+    PlanningService after_bump(optionsFor(dir));
+    QueryReport bump_rep;
+    after_bump.runOne(q, &bump_rep);
+    setLogVerbose(prev2);
+    EXPECT_STREQ(bump_rep.source, "search");
+    EXPECT_EQ(after_bump.cache().stats().verifyFailures, 1u);
+    EXPECT_EQ(bump_rep.planHash, cold.planHash);
+}
+
+TEST(PlanningService, ParallelFanOutMatchesSerial)
+{
+    std::string serial_dir, parallel_dir;
+    ASSERT_TRUE(makeTempDir("tessel-svc-serial-", &serial_dir));
+    ASSERT_TRUE(makeTempDir("tessel-svc-parallel-", &parallel_dir));
+    const std::vector<PlanQuery> batch = smallBatch();
+
+    PlanningService serial(optionsFor(serial_dir));
+    ServiceOptions par_opts = optionsFor(parallel_dir);
+    par_opts.numThreads = 4;
+    PlanningService parallel(par_opts);
+
+    const BatchReport a = serial.runBatch(batch);
+    const BatchReport b = parallel.runBatch(batch);
+    // The pool fan-out must not change any plan (determinism contract).
+    EXPECT_EQ(hashes(a), hashes(b));
+    EXPECT_EQ(b.searches, b.uniqueInstances);
+}
+
+TEST(PlanningService, PerQueryBudgetOverrideChangesIdentity)
+{
+    std::string dir;
+    ASSERT_TRUE(makeTempDir("tessel-svc-budget-", &dir));
+    PlanQuery q;
+    q.label = "M";
+    q.placement = makeShapeByName("M", 4);
+    q.options.totalBudgetSec = 5.0;
+
+    PlanningService service(optionsFor(dir));
+    QueryReport base;
+    service.runOne(q, &base);
+
+    // A service-level budget override is part of the effective options,
+    // hence of the fingerprint: the same query under a different budget
+    // is a different instance and must not reuse the cache entry.
+    ServiceOptions tighter = optionsFor(dir);
+    tighter.perQueryBudgetSec = 4.0;
+    PlanningService tight_service(tighter);
+    QueryReport tight;
+    tight_service.runOne(q, &tight);
+    EXPECT_NE(tight.fingerprint, base.fingerprint);
+    EXPECT_STREQ(tight.source, "search");
+}
+
+TEST(PlanningService, HeteroQueriesServedAndVerifiedCommAware)
+{
+    std::string dir;
+    ASSERT_TRUE(makeTempDir("tessel-svc-hetero-", &dir));
+    const HeteroShape hs = makeHeteroShapeByName("V", 4);
+    PlanQuery q;
+    q.label = "V/hetero";
+    q.placement = hs.placement;
+    q.options.totalBudgetSec = 5.0;
+    q.options.edgeMB = hs.edgeMB;
+    q.cluster = std::make_shared<ClusterModel>(hs.cluster);
+
+    PlanningService service(optionsFor(dir));
+    QueryReport cold;
+    const TesselResult result = service.runOne(q, &cold);
+    ASSERT_TRUE(result.found);
+    EXPECT_TRUE(result.commAware);
+
+    // Disk answer re-verifies against the comm-expanded placement.
+    PlanningService fresh(optionsFor(dir));
+    QueryReport warm;
+    const TesselResult cached = fresh.runOne(q, &warm);
+    EXPECT_STREQ(warm.source, "disk");
+    EXPECT_EQ(warm.planHash, cold.planHash);
+    EXPECT_TRUE(cached.plan == result.plan);
+    EXPECT_EQ(fresh.cache().stats().verifyFailures, 0u);
+}
+
+} // namespace
+} // namespace tessel

@@ -8,10 +8,16 @@
 #include <atomic>
 #include <set>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "support/bitset.h"
+#include "support/io.h"
+#include "support/logging.h"
 #include "support/cancel.h"
 #include "support/rng.h"
 #include "support/table.h"
@@ -298,6 +304,76 @@ TEST(Logging, VerboseToggle)
     EXPECT_FALSE(logVerbose());
     setLogVerbose(prev);
     EXPECT_EQ(logVerbose(), prev);
+}
+
+TEST(Logging, MessagesAtomicAcrossThreadPoolWorkers)
+{
+    // warn()/inform() must land whole, one line per message, even when
+    // ThreadPool workers log concurrently (the planning service's miss
+    // fan-out does exactly that). logMessage writes message + newline
+    // in a single fputs, and stdio locks the FILE per call, so lines
+    // can never interleave mid-message. Capture stderr through a temp
+    // file shared by every worker and check each line verbatim.
+    std::string dir;
+    ASSERT_TRUE(makeTempDir("tessel-logtest-", &dir));
+    const std::string path = dir + "/stderr.txt";
+
+    ASSERT_EQ(std::fflush(stderr), 0);
+    const int saved = ::dup(STDERR_FILENO);
+    ASSERT_GE(saved, 0);
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_GE(::dup2(fd, STDERR_FILENO), 0);
+    ::close(fd);
+
+    constexpr int kMessages = 400;
+    // Long payload: a torn write would interleave inside the x-run.
+    const std::string payload(160, 'x');
+    {
+        ThreadPool pool(8);
+        for (int i = 0; i < kMessages; ++i) {
+            pool.submit([i, &payload] {
+                inform("atomic-", i, "-", payload, "-end");
+            });
+        }
+        pool.wait();
+    }
+    ASSERT_EQ(std::fflush(stderr), 0);
+    ASSERT_GE(::dup2(saved, STDERR_FILENO), 0);
+    ::close(saved);
+
+    std::string captured, err;
+    ASSERT_TRUE(readFile(path, &captured, &err)) << err;
+    ::unlink(path.c_str());
+    ::rmdir(dir.c_str());
+
+    // Every line must be exactly one complete message; every message
+    // must appear exactly once.
+    std::set<int> seen;
+    size_t pos = 0;
+    while (pos < captured.size()) {
+        size_t nl = captured.find('\n', pos);
+        ASSERT_NE(nl, std::string::npos)
+            << "unterminated line: " << captured.substr(pos, 80);
+        const std::string line = captured.substr(pos, nl - pos);
+        pos = nl + 1;
+        const size_t tag = line.find("atomic-");
+        ASSERT_NE(tag, std::string::npos) << "torn line: " << line;
+        const size_t dash = line.find('-', tag + 7);
+        ASSERT_NE(dash, std::string::npos) << "torn line: " << line;
+        const int id = std::stoi(line.substr(tag + 7, dash - tag - 7));
+        EXPECT_TRUE(seen.insert(id).second)
+            << "message " << id << " split across lines";
+        EXPECT_NE(line.find("-" + payload + "-end"), std::string::npos)
+            << "torn line: " << line;
+        // The whole line is one formatted message: "info: " prefix and
+        // the source-location suffix must both be on this line.
+        EXPECT_EQ(line.rfind("info: ", 0), 0u) << "torn line: " << line;
+        EXPECT_NE(line.find("[" __FILE__), std::string::npos)
+            << "suffix missing: " << line;
+    }
+    EXPECT_EQ(seen.size(), static_cast<size_t>(kMessages));
 }
 
 } // namespace

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Planning-service front-end: answer a batch of schedule-search queries
+ * (the five reference shapes x homogeneous/memory-capped/heterogeneous
+ * option sweeps) through the plan store, reporting per-query source
+ * (memory / disk / fresh search), batch throughput, and cache hit rate.
+ *
+ * Typical uses:
+ *
+ *   # Cold run: searches everything, populates the cache directory.
+ *   tessel_service --cache-dir /tmp/plans --json stats1.json
+ *
+ *   # Warm run (same dir, new process): ~100% disk hits, bit-identical
+ *   # plans; nonzero exit if the hit rate disappoints.
+ *   tessel_service --cache-dir /tmp/plans --json stats2.json \
+ *       --min-hit-rate 0.99
+ *
+ *   # Self-contained cold/warm/corruption demonstration (CI smoke).
+ *   tessel_service --selftest
+ *
+ * The stats JSON carries one object per query with its canonical
+ * fingerprint and the digest of the serialized result (`plan_hash`);
+ * equal plan hashes across runs certify bit-identical plans.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+#include "store/serialize.h"
+#include "support/io.h"
+#include "support/table.h"
+
+using namespace tessel;
+
+namespace {
+
+struct Args
+{
+    std::string cacheDir = "tessel-plan-cache";
+    std::string jsonPath;
+    int devices = 4;
+    int threads = 0;
+    double budgetSec = 10.0;
+    bool hetero = true;
+    double minHitRate = -1.0;
+    bool selftest = false;
+};
+
+void
+usage()
+{
+    std::cout
+        << "usage: tessel_service [options]\n"
+           "  --cache-dir DIR    plan cache directory "
+           "(default: tessel-plan-cache)\n"
+           "  --devices N        devices per reference shape (default 4)\n"
+           "  --threads N        miss fan-out workers (0 = hardware)\n"
+           "  --budget-sec S     per-query search budget (default 10)\n"
+           "  --no-hetero        skip the heterogeneous comm-aware "
+           "variants\n"
+           "  --json PATH        write batch stats as JSON\n"
+           "  --min-hit-rate F   exit 1 unless batch hit rate >= F\n"
+           "  --selftest         cold/warm/corruption demonstration in a "
+           "temp dir\n";
+}
+
+bool
+parseArgs(int argc, char **argv, Args *args)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "tessel_service: " << what
+                          << " needs a value\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (a == "--cache-dir") {
+            const char *v = next("--cache-dir");
+            if (!v)
+                return false;
+            args->cacheDir = v;
+        } else if (a == "--devices") {
+            const char *v = next("--devices");
+            if (!v)
+                return false;
+            args->devices = std::atoi(v);
+        } else if (a == "--threads") {
+            const char *v = next("--threads");
+            if (!v)
+                return false;
+            args->threads = std::atoi(v);
+        } else if (a == "--budget-sec") {
+            const char *v = next("--budget-sec");
+            if (!v)
+                return false;
+            args->budgetSec = std::atof(v);
+        } else if (a == "--no-hetero") {
+            args->hetero = false;
+        } else if (a == "--json") {
+            const char *v = next("--json");
+            if (!v)
+                return false;
+            args->jsonPath = v;
+        } else if (a == "--min-hit-rate") {
+            const char *v = next("--min-hit-rate");
+            if (!v)
+                return false;
+            args->minHitRate = std::atof(v);
+        } else if (a == "--selftest") {
+            args->selftest = true;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            std::cerr << "tessel_service: unknown option '" << a << "'\n";
+            usage();
+            return false;
+        }
+    }
+    if (args->devices < 2 || args->devices % 2 != 0) {
+        std::cerr << "tessel_service: --devices must be even and >= 2 "
+                     "(K-Shape constraint)\n";
+        return false;
+    }
+    return true;
+}
+
+void
+printReport(const BatchReport &report, const std::string &caption)
+{
+    Table table(caption);
+    table.setHeader(
+        {"query", "source", "found", "period", "wall (ms)", "plan hash"});
+    for (const QueryReport &q : report.queries) {
+        table.addRow({q.label, q.source, q.found ? "yes" : "no",
+                      std::to_string(q.period),
+                      fmtDouble(q.wallSec * 1e3, 2),
+                      q.planHash.substr(0, 12)});
+    }
+    table.print(std::cout);
+    std::cout << report.queries.size() << " queries, "
+              << report.uniqueInstances << " unique instances: "
+              << report.memoryHits << " memory hits, " << report.diskHits
+              << " disk hits, " << report.searches << " searches; "
+              << "hit rate " << fmtPercent(report.hitRate())
+              << ", wall " << fmtDouble(report.wallSec, 3) << " s, "
+              << fmtDouble(report.throughputQps, 1) << " queries/s\n";
+    const StoreStats &cs = report.cacheStats;
+    std::cout << "cache lifetime: " << cs.memoryHits << " mem / "
+              << cs.diskHits << " disk hits, " << cs.misses << " misses, "
+              << cs.stores << " stores, " << cs.verifyFailures
+              << " verify failures, " << cs.evictions << " evictions\n\n";
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+bool
+writeStatsJson(const std::string &path, const BatchReport &report)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "{\n  \"queries\": [\n";
+    for (size_t i = 0; i < report.queries.size(); ++i) {
+        const QueryReport &q = report.queries[i];
+        out << "    {\"label\": \"" << jsonEscape(q.label)
+            << "\", \"fingerprint\": \"" << q.fingerprint
+            << "\", \"plan_hash\": \"" << q.planHash << "\", \"source\": \""
+            << q.source << "\", \"found\": " << (q.found ? "true" : "false")
+            << ", \"period\": " << q.period
+            << ", \"wall_sec\": " << q.wallSec << "}"
+            << (i + 1 < report.queries.size() ? "," : "") << "\n";
+    }
+    const StoreStats &cs = report.cacheStats;
+    out << "  ],\n"
+        << "  \"unique_instances\": " << report.uniqueInstances << ",\n"
+        << "  \"memory_hits\": " << report.memoryHits << ",\n"
+        << "  \"disk_hits\": " << report.diskHits << ",\n"
+        << "  \"searches\": " << report.searches << ",\n"
+        << "  \"hit_rate\": " << report.hitRate() << ",\n"
+        << "  \"wall_sec\": " << report.wallSec << ",\n"
+        << "  \"throughput_qps\": " << report.throughputQps << ",\n"
+        << "  \"cache\": {\"memory_hits\": " << cs.memoryHits
+        << ", \"disk_hits\": " << cs.diskHits
+        << ", \"misses\": " << cs.misses << ", \"stores\": " << cs.stores
+        << ", \"verify_failures\": " << cs.verifyFailures
+        << ", \"evictions\": " << cs.evictions << "}\n}\n";
+    return static_cast<bool>(out);
+}
+
+std::vector<std::string>
+planHashes(const BatchReport &report)
+{
+    std::vector<std::string> hashes;
+    hashes.reserve(report.queries.size());
+    for (const QueryReport &q : report.queries)
+        hashes.push_back(q.planHash);
+    return hashes;
+}
+
+/** Flip one byte of a store entry at @p offset (selftest corruption). */
+bool
+corruptEntry(const std::string &path, size_t offset)
+{
+    std::string bytes, err;
+    if (!readFile(path, &bytes, &err) || bytes.size() <= offset)
+        return false;
+    bytes[offset] ^= 0x5a;
+    return writeFileAtomic(path, bytes, &err);
+}
+
+int
+runSelftest(const Args &args)
+{
+    std::string dir;
+    if (!makeTempDir("tessel-service-selftest-", &dir)) {
+        std::cerr << "selftest: cannot create temp dir\n";
+        return 1;
+    }
+    int failures = 0;
+    auto expect = [&](bool ok, const std::string &what) {
+        if (!ok) {
+            ++failures;
+            std::cout << "FAIL: " << what << "\n";
+        } else {
+            std::cout << "ok: " << what << "\n";
+        }
+    };
+
+    const std::vector<PlanQuery> batch =
+        referenceShapeQueries(args.devices, args.hetero, args.budgetSec);
+
+    ServiceOptions service_opts;
+    service_opts.cacheDir = dir;
+    service_opts.numThreads = args.threads;
+
+    // Cold: everything is a fresh search.
+    PlanningService cold_service(service_opts);
+    const BatchReport cold = cold_service.runBatch(batch);
+    printReport(cold, "Selftest: cold batch (" + dir + ")");
+    expect(cold.searches == cold.uniqueInstances,
+           "cold batch searched every unique instance");
+
+    // Warm, same service: pure memory hits, bit-identical plans.
+    const BatchReport warm_mem = cold_service.runBatch(batch);
+    printReport(warm_mem, "Selftest: warm batch (memory tier)");
+    expect(warm_mem.memoryHits == warm_mem.uniqueInstances,
+           "second batch was 100% memory hits");
+    expect(planHashes(warm_mem) == planHashes(cold),
+           "memory-tier plans bit-identical to cold plans");
+
+    // Warm, new process stand-in (fresh LRU): verified disk hits.
+    PlanningService disk_service(service_opts);
+    const BatchReport warm_disk = disk_service.runBatch(batch);
+    printReport(warm_disk, "Selftest: warm batch (disk tier, fresh LRU)");
+    expect(warm_disk.diskHits == warm_disk.uniqueInstances,
+           "fresh service answered 100% from verified disk entries");
+    expect(planHashes(warm_disk) == planHashes(cold),
+           "disk-tier plans bit-identical to cold plans");
+    const double min_speedup =
+        std::getenv("TESSEL_SERVICE_MIN_SPEEDUP")
+            ? std::atof(std::getenv("TESSEL_SERVICE_MIN_SPEEDUP"))
+            : 10.0;
+    const double speedup =
+        warm_disk.wallSec > 0.0 ? cold.wallSec / warm_disk.wallSec : 0.0;
+    std::cout << "cold " << fmtDouble(cold.wallSec, 3) << " s vs warm "
+              << fmtDouble(warm_disk.wallSec, 3) << " s => "
+              << fmtDouble(speedup, 1) << "x\n";
+    expect(speedup >= min_speedup,
+           "warm batch >= " + fmtDouble(min_speedup, 0) +
+               "x faster than cold");
+
+    // Corruption: flip a payload byte of one entry; the next fresh
+    // service must reject it, fall back to a search, and still produce
+    // the identical plan.
+    const std::vector<Hash128> entries = disk_service.cache().store().list();
+    expect(!entries.empty(), "store has entries to corrupt");
+    if (!entries.empty()) {
+        const std::string victim =
+            disk_service.cache().store().pathFor(entries.front());
+        expect(corruptEntry(victim, 64), "corrupted one stored entry");
+        PlanningService after_corruption(service_opts);
+        const BatchReport rec = after_corruption.runBatch(batch);
+        expect(rec.searches == 1 &&
+                   rec.cacheStats.verifyFailures >= 1,
+               "corrupted entry rejected and re-searched");
+        expect(planHashes(rec) == planHashes(cold),
+               "recovered plans bit-identical to cold plans");
+
+        // Version bump: poke the format version field; the entry must
+        // be rejected as unsupported, not misparsed.
+        expect(corruptEntry(victim, kPlanVersionOffset),
+               "bumped a stored entry's format version");
+        PlanningService after_bump(service_opts);
+        const BatchReport rec2 = after_bump.runBatch(batch);
+        expect(rec2.searches == 1 &&
+                   rec2.cacheStats.verifyFailures >= 1,
+               "version-bumped entry rejected and re-searched");
+        expect(planHashes(rec2) == planHashes(cold),
+               "plans after version bump bit-identical to cold plans");
+    }
+
+    std::cout << (failures == 0 ? "selftest PASSED\n"
+                                : "selftest FAILED\n");
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    if (!parseArgs(argc, argv, &args))
+        return 2;
+    if (args.selftest)
+        return runSelftest(args);
+
+    const std::vector<PlanQuery> batch =
+        referenceShapeQueries(args.devices, args.hetero, args.budgetSec);
+
+    ServiceOptions service_opts;
+    service_opts.cacheDir = args.cacheDir;
+    service_opts.numThreads = args.threads;
+    PlanningService service(service_opts);
+
+    const BatchReport report = service.runBatch(batch);
+    printReport(report, "Planning service batch (" + args.cacheDir + ")");
+
+    if (!args.jsonPath.empty() &&
+        !writeStatsJson(args.jsonPath, report)) {
+        std::cerr << "tessel_service: cannot write " << args.jsonPath
+                  << "\n";
+        return 1;
+    }
+    if (args.minHitRate >= 0.0 && report.hitRate() < args.minHitRate) {
+        std::cerr << "tessel_service: hit rate "
+                  << fmtPercent(report.hitRate()) << " below required "
+                  << fmtPercent(args.minHitRate) << "\n";
+        return 1;
+    }
+    return 0;
+}
