@@ -428,6 +428,11 @@ class PeriodSearch
                       child_base);
         if (period < 0) {
             ++stats_.boundPrunes;
+            // Attribute the prune to the warm-start seed while the
+            // caller's bound is still seed-derived and this solve has
+            // not yet found a solution of its own to bound against.
+            if (opts_.cutoffFromSeed && bestPeriod_ < 0)
+                ++stats_.seedPrunes;
             return;
         }
 

@@ -41,6 +41,15 @@ struct RepetendSolveOptions
     /** Prune any candidate whose period would reach this value
      *  (Algorithm 1 passes the incumbent; -1 disables). */
     Time cutoff = -1;
+    /**
+     * Marks `cutoff`/`liveCutoff` as inherited from a warm-start seed
+     * rather than from a candidate the enclosing sweep accepted itself.
+     * Purely attributional: bound prunes taken under a seed-derived
+     * bound are additionally counted in SolveStats::seedPrunes so the
+     * seed's share of the pruning work is observable. Never changes
+     * which nodes are pruned.
+     */
+    bool cutoffFromSeed = false;
     /** Wall-clock budget (<= 0: unlimited). */
     double timeBudgetSec = 0.0;
     /** Node cap (0: unlimited). */

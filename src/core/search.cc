@@ -95,23 +95,47 @@ addSolveStats(SearchBreakdown &breakdown, const SolveStats &stats)
     breakdown.solverNodes += stats.nodes;
     breakdown.relaxations += stats.relaxations;
     breakdown.memoReused += stats.memoReused;
+    breakdown.seededNodesPruned += stats.seedPrunes;
 }
 
-/** Satisfiability check: does any valid schedule of the phase exist? */
+/**
+ * Project the seed's steady-state layout onto a phase block set: block
+ * (spec, mb) is suggested at windowStart[spec] + mb * period, the start
+ * it would have in an infinite repetend. Guides the decide() first dive
+ * toward a dispatch order known to work; empty when unseeded.
+ */
+std::vector<Time>
+seedPhasePriority(const SearchSeed *seed, const std::vector<BlockRef> &refs)
+{
+    std::vector<Time> prio;
+    if (!seed)
+        return prio;
+    prio.reserve(refs.size());
+    for (const BlockRef &ref : refs)
+        prio.push_back(seed->windowStart[ref.spec] +
+                       static_cast<Time>(ref.mb) * seed->period);
+    return prio;
+}
+
+/** Satisfiability check: does any valid schedule of the phase exist?
+ * @p seed orders the first dive only; the verdict is seed-invariant. */
 bool
 phaseSatisfiable(const Placement &placement,
                  const std::vector<BlockRef> &refs,
                  const std::vector<Mem> &entry_mem, Mem mem_limit,
                  double budget_sec, const CancelToken &cancel,
-                 SearchBreakdown &breakdown)
+                 const SearchSeed *seed, SearchBreakdown &breakdown)
 {
     if (refs.empty())
         return true;
     PhaseInstance inst =
         buildPhase(placement, refs, entry_mem, mem_limit, nullptr, nullptr);
+    const std::vector<Time> prio = seedPhasePriority(seed, refs);
     SolverOptions so;
     so.timeBudgetSec = budget_sec;
     so.cancel = cancel;
+    if (!prio.empty())
+        so.seedPriority = &prio;
     BnbSolver solver(inst.sp, so);
     const SolveResult r = solver.decide(kUnlimitedMem);
     addSolveStats(breakdown, r.stats);
@@ -147,15 +171,22 @@ computeTheta0(const Placement &placement, const RepetendAssignment &assign,
     return theta0;
 }
 
-/**
- * Time-optimal completion (Algorithm 1 lines 14-18): solve warmup, anchor
- * the window, solve cooldown against the window context, assemble the
- * plan. Returns nullopt when a phase solve fails within its budget.
- */
+/** Best candidate found so far: its assignment and window schedule. */
+struct BestCandidate
+{
+    RepetendAssignment assign;
+    RepetendSchedule sched;
+};
+
+} // namespace
+
+/** Time-optimal completion (Algorithm 1 lines 14-18); see search.h. */
 std::optional<TesselPlan>
-completePlan(const Placement &placement, const RepetendAssignment &assign,
-             const RepetendSchedule &rsched, const TesselOptions &options,
-             SearchBreakdown &breakdown, const CancelToken &cancel)
+completeRepetendPlan(const Placement &placement,
+                     const RepetendAssignment &assign,
+                     const RepetendSchedule &rsched,
+                     const TesselOptions &options,
+                     SearchBreakdown &breakdown, const CancelToken &cancel)
 {
     std::vector<Mem> entry = options.initialMem;
     if (entry.empty())
@@ -250,12 +281,38 @@ completePlan(const Placement &placement, const RepetendAssignment &assign,
             : options.initialMem);
 }
 
-/** Best candidate found so far: its assignment and window schedule. */
-struct BestCandidate
+namespace {
+
+/**
+ * Completion with exact seed reuse. When the seed certifies its phase
+ * schedules (SearchSeed::phasesExact — store/adapt.cc only sets it
+ * after proving the stored instance's solve placement, memory model,
+ * and phase-relevant options are identical to this query's) and the
+ * winning candidate's (assignment, window start, period) equals the
+ * seed plan's, then the per-phase minimizes completeRepetendPlan would
+ * run are the *same* deterministic solves that produced the seed plan
+ * — so the seed plan IS the completion, returned without paying the
+ * phase budgets again. Any mismatch falls through to the real
+ * completion; the answer is bit-identical either way.
+ */
+std::optional<TesselPlan>
+completeOrReusePlan(const Placement &placement,
+                    const RepetendAssignment &assign,
+                    const RepetendSchedule &rsched,
+                    const TesselOptions &options,
+                    SearchBreakdown &breakdown, const CancelToken &cancel)
 {
-    RepetendAssignment assign;
-    RepetendSchedule sched;
-};
+    const SearchSeed *seed = options.seed;
+    if (seed && seed->phasesExact && seed->plan &&
+        seed->plan->period() == rsched.period &&
+        seed->plan->windowStart() == rsched.start &&
+        seed->plan->assignment() == assign &&
+        seed->plan->memLimit() == options.memLimit) {
+        return *seed->plan;
+    }
+    return completeRepetendPlan(placement, assign, rsched, options,
+                                breakdown, cancel);
+}
 
 /**
  * Shared state of one parallel candidate sweep.
@@ -270,6 +327,13 @@ struct BestCandidate
  * Algorithm 1 early exit becomes an index bar: once some candidate hits
  * the lower bound, only lower-index candidates (which could still win
  * the tie-break) keep running; everything above the bar is cancelled.
+ *
+ * Seeding: a warm-start seed initializes the shared bound as a virtual
+ * incumbent at (seed period, index +infinity) — bestPeriod_ starts at
+ * the seed period while bestIndex_ stays at its unset maximum, so every
+ * real candidate's frozen cutoff allows periods <= the seed's and every
+ * real candidate wins the index tie-break. hasBest() stays false until
+ * a real candidate publishes, exactly as in a cold sweep.
  */
 class SweepState
 {
@@ -365,6 +429,10 @@ class SweepState
         // then keeps tightening mid-solve as siblings publish.
         rso.cutoff = index > snap_index ? snap_period : snap_period + 1;
         rso.liveCutoff = incumbent_.raw();
+        // Until a real candidate publishes, the bound is the seed's.
+        rso.cutoffFromSeed =
+            options_.seed != nullptr &&
+            snap_index == std::numeric_limits<uint64_t>::max();
         rso.timeBudgetSec = options_.repetendBudgetSec;
         rso.cancel = token;
         Stopwatch watch;
@@ -385,7 +453,7 @@ class SweepState
                 accept = phaseSatisfiable(
                     placement_, warmupBlocks(placement_, assign), entry_,
                     options_.memLimit, options_.phaseBudgetSec, token,
-                    local);
+                    options_.seed, local);
                 local.warmupSeconds += w_watch.seconds();
                 if (accept) {
                     Stopwatch c_watch;
@@ -395,14 +463,14 @@ class SweepState
                         postWindowMem(placement_, assign,
                                       options_.initialMem),
                         options_.memLimit, options_.phaseBudgetSec, token,
-                        local);
+                        options_.seed, local);
                     local.cooldownSeconds += c_watch.seconds();
                 }
             } else {
                 // Full time-optimal completion per improving candidate
                 // (Algorithm 1 lines 16-17 verbatim).
-                plan = completePlan(placement_, assign, sched, options_,
-                                    local, token);
+                plan = completeOrReusePlan(placement_, assign, sched,
+                                           options_, local, token);
                 accept = plan.has_value();
             }
             if (accept)
@@ -485,6 +553,14 @@ serialSweep(const Placement &enum_placement, const CommExpansion *expansion,
             std::optional<TesselPlan> &best_plan)
 {
     Time optimal = placement.totalWork() + 1;
+    // A seed acts as a virtual accepted candidate at index +infinity:
+    // the strict cutoff below it admits every period <= the seed's, so
+    // any candidate the cold loop would have accepted as final winner
+    // (its period is <= the seed's, the seed plan being a feasible
+    // witness) is still accepted here — only the doomed prefix of
+    // strictly-worse candidates is skipped.
+    if (options.seed)
+        optimal = std::min(optimal, options.seed->period + 1);
 
     // Lines 7-20. Under lazy search (Sec. V) the per-candidate
     // time-optimal completions become satisfiability checks.
@@ -507,6 +583,8 @@ serialSweep(const Placement &enum_placement, const CommExpansion *expansion,
                 rso.memLimit = options.memLimit;
                 rso.initialMem = options.initialMem;
                 rso.cutoff = optimal;
+                rso.cutoffFromSeed =
+                    options.seed != nullptr && !best.has_value();
                 rso.timeBudgetSec = options.repetendBudgetSec;
                 rso.cancel = options.cancel;
                 Stopwatch watch;
@@ -524,7 +602,7 @@ serialSweep(const Placement &enum_placement, const CommExpansion *expansion,
                     const bool sat_w = phaseSatisfiable(
                         placement, warmupBlocks(placement, assign), entry,
                         options.memLimit, options.phaseBudgetSec,
-                        options.cancel, result.breakdown);
+                        options.cancel, options.seed, result.breakdown);
                     result.breakdown.warmupSeconds += w_watch.seconds();
                     if (!sat_w)
                         return true;
@@ -535,16 +613,16 @@ serialSweep(const Placement &enum_placement, const CommExpansion *expansion,
                         postWindowMem(placement, assign,
                                       options.initialMem),
                         options.memLimit, options.phaseBudgetSec,
-                        options.cancel, result.breakdown);
+                        options.cancel, options.seed, result.breakdown);
                     result.breakdown.cooldownSeconds += c_watch.seconds();
                     if (!sat_c)
                         return true;
                 } else {
                     // Full time-optimal completion per improving
                     // candidate (Algorithm 1 lines 16-17 verbatim).
-                    auto plan =
-                        completePlan(placement, assign, sched, options,
-                                     result.breakdown, options.cancel);
+                    auto plan = completeOrReusePlan(
+                        placement, assign, sched, options,
+                        result.breakdown, options.cancel);
                     if (!plan)
                         return true;
                     best_plan = std::move(plan);
@@ -573,8 +651,15 @@ parallelSweep(const Placement &enum_placement,
               TesselResult &result, std::optional<BestCandidate> &best,
               std::optional<TesselPlan> &best_plan)
 {
+    // The cold virtual incumbent sits just above the serial upper bound
+    // (inclusive live bound + strict frozen cutoff = "anything goes");
+    // a seed tightens it to the seed period, which every real candidate
+    // may still match (seed index = +infinity loses all tie-breaks).
+    Time optimal_init = placement.totalWork() + 1;
+    if (options.seed)
+        optimal_init = std::min(optimal_init, options.seed->period);
     SweepState state(placement, options, total_budget, lower_bound,
-                     placement.totalWork() + 1, entry);
+                     optimal_init, entry);
     // The submitting thread helps drain the queues inside wait(), so it
     // counts as one of the requested workers.
     ThreadPool pool(std::max(1, threads - 1));
@@ -608,7 +693,10 @@ parallelSweep(const Placement &enum_placement,
         }
         pool.wait();
 
-        if (state.bestPeriod() == lower_bound) {
+        // hasBest() guards the seeded case: bestPeriod_ may start AT the
+        // lower bound (a seed already that tight) without any candidate
+        // having published — the sweep must still run to find one.
+        if (state.hasBest() && state.bestPeriod() == lower_bound) {
             SearchBreakdown early;
             early.earlyExit = true;
             state.mergeStats(early);
@@ -653,6 +741,21 @@ tesselSearch(const Placement &placement, const TesselOptions &options)
 
     result.lowerBound = solve_placement->perMicrobatchLowerBound();
 
+    // Validate the warm-start seed once so the sweeps can trust it
+    // blindly: it must carry a plausible period and a window aligned
+    // with the placement actually being solved. An unusable seed is
+    // dropped, never an error — the search simply runs cold.
+    if (eff.seed) {
+        const SearchSeed &seed = *eff.seed;
+        if (seed.period < 1 ||
+            seed.windowStart.size() !=
+                static_cast<size_t>(solve_placement->numBlocks())) {
+            eff.seed = nullptr;
+        } else {
+            result.breakdown.seedMakespan = seed.makespan;
+        }
+    }
+
     TimeBudget total_budget(eff.totalBudgetSec);
 
     // Algorithm 1, lines 1-6. Memory headroom depends only on real
@@ -692,9 +795,9 @@ tesselSearch(const Placement &placement, const TesselOptions &options)
         return result;
 
     if (eff.lazy || !best_plan) {
-        best_plan = completePlan(*solve_placement, best->assign,
-                                 best->sched, eff, result.breakdown,
-                                 eff.cancel);
+        best_plan = completeOrReusePlan(*solve_placement, best->assign,
+                                        best->sched, eff,
+                                        result.breakdown, eff.cancel);
         if (!best_plan)
             return result;
     }

@@ -21,6 +21,50 @@
 
 namespace tessel {
 
+/**
+ * Warm-start seed distilled from a feasible plan of the *same* lowered
+ * instance (typically a store neighbor adapted by store/adapt.h).
+ *
+ * Seed-only-prunes invariant: the seed never changes the search's
+ * answer, only how fast it is reached. `period` acts as a virtual
+ * incumbent at enumeration index +infinity — candidates with strictly
+ * larger periods are pruned, equal-period candidates still run and win
+ * every (period, index) tie-break — and `windowStart` merely reorders
+ * the first dive of the satisfiability checks, whose results are
+ * order-independent booleans. Final plans are therefore bit-identical
+ * to an unseeded search. A seed that fails validation (period < 1, or
+ * windowStart not aligned with the solve placement) is ignored.
+ */
+struct SearchSeed
+{
+    /** Feasible period achieved by the seed plan's repetend. */
+    Time period = -1;
+    /**
+     * Window start per block spec of the *solve* placement (the
+     * comm-expanded placement for comm-aware queries). Guides the BnB
+     * first dive of phase satisfiability checks.
+     */
+    std::vector<Time> windowStart;
+    /** Seed plan's makespan at NR + 1 (reporting only). */
+    Time makespan = -1;
+    /**
+     * When true, `plan` holds a full TesselPlan whose warmup/cooldown
+     * schedules were produced by the same deterministic completion
+     * pipeline on the *identical* phase instances this query would
+     * build (store/adapt.cc certifies this: the solve placements match
+     * block for block — spans included — memory limits and initial
+     * memory agree, and the stored and querying instances share a
+     * phaseOptionsDigest). If the search winner's (assignment,
+     * windowStart, period) equals the seed plan's, completion may
+     * return `*plan` verbatim instead of re-running the per-phase
+     * minimizes — the output is the same by determinism of the
+     * pipeline, so final plans remain bit-identical to cold search.
+     */
+    bool phasesExact = false;
+    /** The seed plan itself; only consulted when phasesExact. */
+    std::optional<TesselPlan> plan;
+};
+
 /** Knobs for the end-to-end schedule search. */
 struct TesselOptions
 {
@@ -65,6 +109,13 @@ struct TesselOptions
     std::map<std::pair<int, int>, double> edgeMB;
     /** Comm lowering knobs (transfer granularity). */
     CommOptions comm;
+    /**
+     * Optional warm-start seed (see SearchSeed). Plan-invariant by the
+     * seed-only-prunes invariant, so it is excluded from the instance
+     * fingerprint exactly like numThreads. The pointee must outlive the
+     * call; nullptr runs cold.
+     */
+    const SearchSeed *seed = nullptr;
 };
 
 /** Search diagnostics (feeds the Fig. 9/10 benches). */
@@ -88,6 +139,13 @@ struct SearchBreakdown
     int threadsUsed = 1;          ///< sweep worker count actually used
     bool earlyExit = false;       ///< lower bound reached (Algorithm 1 L19)
     bool budgetExhausted = false; ///< totalBudgetSec tripped
+    /** Makespan of the warm-start seed plan (-1: search ran unseeded);
+     * merged by max so the provenance survives worker folds. */
+    Time seedMakespan = -1;
+    /** Repetend-solver bound prunes taken while the active cutoff was
+     * still seed-derived (no candidate of this search had been accepted
+     * yet) — the "nodes saved vs cold" estimate. */
+    uint64_t seededNodesPruned = 0;
 
     /**
      * Fold @p other into this accumulator. Commutative and
@@ -111,6 +169,10 @@ struct SearchBreakdown
                                                       : other.threadsUsed;
         earlyExit |= other.earlyExit;
         budgetExhausted |= other.budgetExhausted;
+        seedMakespan = seedMakespan > other.seedMakespan
+                           ? seedMakespan
+                           : other.seedMakespan;
+        seededNodesPruned += other.seededNodesPruned;
         return *this;
     }
 };
@@ -140,6 +202,24 @@ struct TesselResult
  */
 TesselResult tesselSearch(const Placement &placement,
                           const TesselOptions &options = {});
+
+/**
+ * Time-optimal completion of one repetend candidate (Algorithm 1 lines
+ * 14-18): solve the warmup, anchor the window, solve the cooldown
+ * against the window context, and assemble the plan. Returns nullopt
+ * when a phase solve fails within its budget.
+ *
+ * @p placement must be the *solve* placement (the comm-expanded one for
+ * comm-aware instances) and @p options must already be lowered
+ * accordingly (initialMem padded to the expanded device count). Used by
+ * the search itself and by the neighbor-adaptation path
+ * (store/adapt.cc), which re-times a known-good assignment without
+ * re-running the candidate sweep.
+ */
+std::optional<TesselPlan> completeRepetendPlan(
+    const Placement &placement, const RepetendAssignment &assign,
+    const RepetendSchedule &sched, const TesselOptions &options,
+    SearchBreakdown &breakdown, const CancelToken &cancel);
 
 } // namespace tessel
 

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "placement/shapes.h"
+#include "store/adapt.h"
 #include "store/serialize.h"
 #include "support/threadpool.h"
 #include "support/timer.h"
@@ -30,7 +31,55 @@ struct UniqueInstance
     bool searched = false;
     double wallSec = 0.0;
     TesselResult result;
+    /** Warm-start seed adapted from a neighbor; referenced by the
+     * search options, so it must outlive the solve (it does: instances
+     * live in a vector that no longer grows once solving starts). */
+    SearchSeed seed;
+    bool seeded = false;
+    std::string seededFrom; ///< neighbor fingerprint (hex) when seeded
+    /** Solver work the adaptation itself spent (retime path). */
+    SearchBreakdown seedWork;
 };
+
+/**
+ * Try to warm-start a missed instance from the store's neighbor index:
+ * rank stored instances by similarity, fetch each candidate raw, and
+ * keep the first one that adapts into a verified plan for this query.
+ * On success inst.seed carries the virtual incumbent (period + window
+ * order) for the search. Failures are free beyond the adaptation
+ * attempt itself — the search simply runs cold.
+ */
+bool
+trySeedFromNeighbors(PlanCache &cache, const Placement &placement,
+                     UniqueInstance &inst, size_t k)
+{
+    const InstanceMeta meta =
+        computeInstanceMeta(placement, inst.effective);
+    for (const NeighborIndex::Neighbor &near : cache.neighbors(meta, k)) {
+        const std::optional<TesselResult> stored =
+            cache.peek(near.fingerprint);
+        if (!stored)
+            continue;
+        // Exact phase reuse is licensed only when the stored instance's
+        // phase-relevant options (budgets, memory model) digest equals
+        // the query's — adaptation then proves placement identity on
+        // its own before trusting the attestation.
+        InstanceMeta stored_meta;
+        const bool phases_allowed =
+            cache.neighborMeta(near.fingerprint, &stored_meta) &&
+            stored_meta.phaseOptions == meta.phaseOptions;
+        AdaptOutcome adapted = adaptResultToQuery(
+            placement, inst.effective, *stored, phases_allowed);
+        inst.seedWork.merge(adapted.breakdown);
+        if (!adapted.ok)
+            continue;
+        inst.seed = std::move(adapted.seed);
+        inst.seeded = true;
+        inst.seededFrom = near.fingerprint.hex();
+        return true;
+    }
+    return false;
+}
 
 const char *
 sourceName(PlanCache::Source source, bool searched)
@@ -134,12 +183,22 @@ PlanningService::runBatch(const std::vector<PlanQuery> &queries)
         TesselOptions opts = inst.effective;
         if (pooled)
             opts.numThreads = 1;
+        // Adaptation time is charged to the query's wall clock: the
+        // warm/cold comparisons the bench and CI make are only honest
+        // if the cost of obtaining the seed is part of the warm path.
         const Stopwatch watch;
+        if (options_.neighborSeed &&
+            trySeedFromNeighbors(cache_, queries[inst.firstQuery].placement,
+                                 inst, options_.neighborK)) {
+            opts.seed = &inst.seed;
+        }
         inst.result =
             tesselSearch(queries[inst.firstQuery].placement, opts);
         inst.wallSec = watch.seconds();
         inst.searched = true;
-        cache_.put(inst.fingerprint, inst.result);
+        inst.result.breakdown.merge(inst.seedWork);
+        cache_.put(inst.fingerprint, queries[inst.firstQuery].placement,
+                   inst.effective, inst.result);
     };
     if (parallel_batch && missing.size() > 1) {
         ThreadPool pool(options_.numThreads);
@@ -163,6 +222,11 @@ PlanningService::runBatch(const std::vector<PlanQuery> &queries)
         row.found = inst.result.found;
         row.period = inst.result.period;
         row.wallSec = inst.wallSec;
+        if (inst.seeded) {
+            row.seededFrom = inst.seededFrom;
+            row.seedMakespan = inst.result.breakdown.seedMakespan;
+            row.seedNodesPruned = inst.result.breakdown.seededNodesPruned;
+        }
     }
     for (const UniqueInstance &inst : unique) {
         if (inst.searched)
@@ -193,11 +257,21 @@ PlanningService::runOne(const PlanQuery &query, QueryReport *report)
         cache_.get(fp, query.placement, eff, &source);
     TesselResult result;
     bool searched = false;
+    UniqueInstance inst;
     if (cached) {
         result = std::move(*cached);
     } else {
-        result = tesselSearch(query.placement, eff);
-        cache_.put(fp, result);
+        inst.fingerprint = fp;
+        inst.effective = eff;
+        TesselOptions opts = eff;
+        if (options_.neighborSeed &&
+            trySeedFromNeighbors(cache_, query.placement, inst,
+                                 options_.neighborK)) {
+            opts.seed = &inst.seed;
+        }
+        result = tesselSearch(query.placement, opts);
+        result.breakdown.merge(inst.seedWork);
+        cache_.put(fp, query.placement, eff, result);
         searched = true;
     }
     if (report) {
@@ -208,6 +282,11 @@ PlanningService::runOne(const PlanQuery &query, QueryReport *report)
         report->found = result.found;
         report->period = result.period;
         report->wallSec = watch.seconds();
+        if (inst.seeded) {
+            report->seededFrom = inst.seededFrom;
+            report->seedMakespan = result.breakdown.seedMakespan;
+            report->seedNodesPruned = result.breakdown.seededNodesPruned;
+        }
     }
     return result;
 }

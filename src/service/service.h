@@ -68,6 +68,18 @@ struct QueryReport
     /** Wall seconds to answer the *unique* instance this query mapped
      * to (deduplicated copies share the value). */
     double wallSec = 0.0;
+    /**
+     * Fingerprint (hex) of the stored neighbor whose adapted plan
+     * warm-started this search; empty when the search ran cold or the
+     * query was answered from the cache.
+     */
+    std::string seededFrom;
+    /** Makespan of the adapted seed plan (-1 when unseeded). */
+    Time seedMakespan = -1;
+    /** Solver nodes pruned under the seed-derived bound before the
+     * search accepted its first own candidate — the nodes a cold run
+     * would have had to expand or bound some other way. */
+    uint64_t seedNodesPruned = 0;
 };
 
 /** Batch outcome: per-query rows plus aggregate cache behaviour. */
@@ -116,6 +128,15 @@ struct ServiceOptions
     int numThreads = 0;
     /** > 0 overrides every query's totalBudgetSec. */
     double perQueryBudgetSec = 0.0;
+    /**
+     * On a store miss, consult the neighbor index and warm-start the
+     * search from an adapted nearby plan (store/adapt.h). Never changes
+     * any answer — the seed only prunes, so plans stay bit-identical to
+     * cold searches — only how fast misses resolve.
+     */
+    bool neighborSeed = true;
+    /** How many nearest neighbors to try adapting per miss. */
+    size_t neighborK = 4;
     /** Batch-wide cancellation, linked into every search. */
     CancelToken cancel;
 };

@@ -528,8 +528,20 @@ struct BnbSolver::Impl
             cands.push_back({i, est});
         }
         if (!cands.empty()) {
+            // Seed ordering (decide mode only): follow the suggested
+            // dispatch order first so the first dive replays a known
+            // schedule. The verdict is unaffected — decide() returns an
+            // order-independent boolean — and minimize mode never sees
+            // the priority (its incumbent depends on expansion order).
+            const std::vector<Time> *prio =
+                decideMode && opts.seedPriority &&
+                        opts.seedPriority->size() == prob.blocks.size()
+                    ? opts.seedPriority
+                    : nullptr;
             std::sort(cands.begin(), cands.end(),
                       [&](const Cand &a, const Cand &b) {
+                          if (prio && (*prio)[a.block] != (*prio)[b.block])
+                              return (*prio)[a.block] < (*prio)[b.block];
                           if (a.est != b.est)
                               return a.est < b.est;
                           if (tail[a.block] != tail[b.block])

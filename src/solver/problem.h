@@ -86,6 +86,11 @@ struct SolveStats
      *  earlier decide() round on the same solver (persistent-memo
      *  reuse inside binarySearchMakespan). */
     uint64_t memoReused = 0;
+    /** Bound prunes taken while the solve's cutoff was still inherited
+     *  from a warm-start seed (RepetendSolveOptions::cutoffFromSeed)
+     *  rather than from a candidate the enclosing search accepted
+     *  itself — the seed's share of the pruning work. */
+    uint64_t seedPrunes = 0;
 
     /**
      * Fold @p other into this accumulator. Commutative and associative,
@@ -104,6 +109,7 @@ struct SolveStats
         relaxations += other.relaxations;
         readyPushes += other.readyPushes;
         memoReused += other.memoReused;
+        seedPrunes += other.seedPrunes;
         return *this;
     }
 };
@@ -160,6 +166,17 @@ struct SolverOptions
      * frozen at solve start. nullptr disables.
      */
     const std::atomic<Time> *liveCutoff = nullptr;
+    /**
+     * Per-block dispatch priority for decide() first dives, indexed by
+     * block position in SolverProblem::blocks: candidates sort by
+     * ascending priority before the usual (est, tail, index) keys, so
+     * the first leaf reached follows the suggested order. Consulted in
+     * decide mode ONLY — a decide() verdict is an order-independent
+     * boolean, while minimize-mode incumbents depend on expansion order
+     * and would stop being bit-identical across seeded/unseeded runs.
+     * Ignored when the size does not match; nullptr disables.
+     */
+    const std::vector<Time> *seedPriority = nullptr;
 };
 
 } // namespace tessel

@@ -10,6 +10,16 @@ namespace {
  * checksums (which seed hashBytes with 0). */
 constexpr uint64_t kFingerprintDomain = 0x5445535345'4c4650ull; // "TESSELFP"
 
+/** Component-digest domains: each sub-fingerprint hashes the same
+ * canonical field sequence as the full fingerprint but under its own
+ * seed, so components can never alias each other or the full digest. */
+constexpr uint64_t kPlacementDomain = 0x5445535345'4c5043ull; // "TESSELPC"
+constexpr uint64_t kClusterDomain = 0x5445535345'4c434cull;   // "TESSELCL"
+constexpr uint64_t kOptionsDomain = 0x5445535345'4c4f50ull;   // "TESSELOP"
+
+/** Phase-completion digest domain (phaseOptionsDigest). */
+constexpr uint64_t kPhaseDomain = 0x5445535345'4c5048ull; // "TESSELPH"
+
 void
 hashPlacement(Hasher &h, const Placement &p)
 {
@@ -91,16 +101,9 @@ hashCommModel(Hasher &h, const Placement &p, const TesselOptions &o)
     h.addI32(static_cast<int32_t>(o.comm.granularity));
 }
 
-} // namespace
-
-Hash128
-fingerprintQuery(const Placement &placement, const TesselOptions &options)
+void
+hashOptions(Hasher &h, const TesselOptions &options)
 {
-    Hasher h(kFingerprintDomain);
-    h.addU64(kFingerprintVersion);
-
-    hashPlacement(h, placement);
-
     h.addI64(options.memLimit);
     // Trailing zero initial-memory entries equal an absent vector.
     size_t mems = options.initialMem.size();
@@ -115,19 +118,98 @@ fingerprintQuery(const Placement &placement, const TesselOptions &options)
     h.addDouble(options.totalBudgetSec);
     h.addDouble(options.repetendBudgetSec);
     h.addDouble(options.phaseBudgetSec);
-    // numThreads and cancel are plan-invariant by the search's
-    // determinism contract and are deliberately not hashed.
+    // numThreads, cancel, and the warm-start seed are plan-invariant by
+    // the search's contracts and are deliberately not hashed.
+}
+
+/** The comm-aware predicate of core/search.cc. */
+bool
+queryIsCommAware(const Placement &placement, const TesselOptions &options)
+{
+    return options.cluster &&
+           !options.cluster->isTrivial(placement.numDevices());
+}
+
+} // namespace
+
+Hash128
+fingerprintQuery(const Placement &placement, const TesselOptions &options)
+{
+    Hasher h(kFingerprintDomain);
+    h.addU64(kFingerprintVersion);
+
+    hashPlacement(h, placement);
+    hashOptions(h, options);
 
     // The search goes comm-aware exactly when a non-trivial cluster is
     // present (core/search.cc); a null and a trivial model both take
     // the homogeneous path bit for bit, so they share a fingerprint and
     // the edge volumes / granularity are unread.
-    const bool comm_aware =
-        options.cluster &&
-        !options.cluster->isTrivial(placement.numDevices());
+    const bool comm_aware = queryIsCommAware(placement, options);
     h.addBool(comm_aware);
     if (comm_aware)
         hashCommModel(h, placement, options);
+
+    return h.digest();
+}
+
+SubFingerprints
+subFingerprintsQuery(const Placement &placement,
+                     const TesselOptions &options)
+{
+    SubFingerprints out;
+    {
+        Hasher h(kPlacementDomain);
+        h.addU64(kFingerprintVersion);
+        hashPlacement(h, placement);
+        out.placement = h.digest();
+    }
+    {
+        // Null and trivial models share the homogeneous sentinel digest
+        // for the same reason they share a full fingerprint.
+        Hasher h(kClusterDomain);
+        h.addU64(kFingerprintVersion);
+        const bool comm_aware = queryIsCommAware(placement, options);
+        h.addBool(comm_aware);
+        if (comm_aware)
+            hashCommModel(h, placement, options);
+        out.cluster = h.digest();
+    }
+    {
+        Hasher h(kOptionsDomain);
+        h.addU64(kFingerprintVersion);
+        hashOptions(h, options);
+        out.options = h.digest();
+    }
+    return out;
+}
+
+Hash128
+phaseOptionsDigest(const TesselOptions &options)
+{
+    Hasher h(kPhaseDomain);
+    h.addU64(kFingerprintVersion);
+
+    // Budgets first: completeRepetendPlan runs each phase minimize
+    // under phaseBudgetSec and the whole search under totalBudgetSec; a
+    // truncated minimize returns its best-so-far, so either budget
+    // moving can move the phase schedules.
+    h.addDouble(options.totalBudgetSec);
+    h.addDouble(options.phaseBudgetSec);
+
+    // Memory shapes the phase instances themselves.
+    h.addI64(options.memLimit);
+    size_t mems = options.initialMem.size();
+    while (mems > 0 && options.initialMem[mems - 1] == 0)
+        --mems;
+    h.addU64(mems);
+    for (size_t d = 0; d < mems; ++d)
+        h.addI64(options.initialMem[d]);
+
+    // Lazy vs eager picks a different completion call site but the same
+    // computation; hashed anyway — it is one bit and keeps the digest
+    // conservative.
+    h.addBool(options.lazy);
 
     return h.digest();
 }

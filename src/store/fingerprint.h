@@ -57,6 +57,56 @@ constexpr uint32_t kFingerprintVersion = 1;
 Hash128 fingerprintQuery(const Placement &placement,
                          const TesselOptions &options);
 
+/**
+ * Per-component digests of a lowered instance, hashed with the same
+ * canonicalization rules as the full fingerprint but under distinct
+ * domain separators. Two instances agreeing on a component hash that
+ * component identically; the neighbor index (store/neighbor.h) uses
+ * agreement/disagreement per component to rank near-miss candidates
+ * (e.g. "same placement, different cluster" adapts better than "same
+ * cluster, different placement").
+ */
+struct SubFingerprints
+{
+    /** Placement structure + costs (display names excluded). */
+    Hash128 placement;
+    /** Cluster/comm model, canonicalized; fixed sentinel digest for
+     * homogeneous instances (null or trivial model). */
+    Hash128 cluster;
+    /** Plan-relevant TesselOptions fields (budgets included). */
+    Hash128 options;
+
+    bool
+    operator==(const SubFingerprints &other) const
+    {
+        return placement == other.placement && cluster == other.cluster &&
+               options == other.options;
+    }
+
+    bool
+    operator!=(const SubFingerprints &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+/** @return the component digests of (placement, options). */
+SubFingerprints subFingerprintsQuery(const Placement &placement,
+                                     const TesselOptions &options);
+
+/**
+ * Digest of every option that can influence the *phase completion*
+ * output for a fixed phase instance: the phase and total budgets (a
+ * truncated warmup/cooldown minimize returns its best-so-far, so the
+ * budget is part of the answer), the memory limit / initial memory
+ * (they shape the phase instance), and the lazy flag. Plan adaptation
+ * (store/adapt.h) may mark a seed's phase schedules as exactly
+ * reusable ONLY when the stored and querying instance agree on this
+ * digest — otherwise the neighbor's completion could legitimately
+ * differ from what the query's own cold search would compute.
+ */
+Hash128 phaseOptionsDigest(const TesselOptions &options);
+
 } // namespace tessel
 
 #endif // TESSEL_STORE_FINGERPRINT_H

@@ -1,5 +1,7 @@
 #include "store/store.h"
 
+#include <algorithm>
+
 #include "placement/comm.h"
 #include "solver/from_ir.h"
 #include "solver/oracle.h"
@@ -117,6 +119,12 @@ PlanStore::pathFor(const Hash128 &fp) const
     return dir_ + "/" + fp.hex() + ".plan";
 }
 
+std::string
+PlanStore::metaPathFor(const Hash128 &fp) const
+{
+    return dir_ + "/" + fp.hex() + ".meta";
+}
+
 bool
 PlanStore::put(const Hash128 &fp, const std::string &bytes)
 {
@@ -126,6 +134,21 @@ PlanStore::put(const Hash128 &fp, const std::string &bytes)
         return false;
     }
     if (!writeFileAtomic(pathFor(fp), bytes, &err)) {
+        warn("plan store: ", err);
+        return false;
+    }
+    return true;
+}
+
+bool
+PlanStore::putMeta(const Hash128 &fp, const std::string &bytes)
+{
+    std::string err;
+    if (!ensureDir(dir_, &err)) {
+        warn("plan store: ", err);
+        return false;
+    }
+    if (!writeFileAtomic(metaPathFor(fp), bytes, &err)) {
         warn("plan store: ", err);
         return false;
     }
@@ -147,9 +170,25 @@ PlanStore::get(const Hash128 &fp, std::string *bytes) const
 }
 
 bool
+PlanStore::getMeta(const Hash128 &fp, std::string *bytes) const
+{
+    const std::string path = metaPathFor(fp);
+    if (!fileExists(path))
+        return false;
+    std::string err;
+    if (!readFile(path, bytes, &err)) {
+        warn("plan store: ", err);
+        return false;
+    }
+    return true;
+}
+
+bool
 PlanStore::remove(const Hash128 &fp)
 {
-    return removeFile(pathFor(fp));
+    const bool removed = removeFile(pathFor(fp));
+    removeFile(metaPathFor(fp));
+    return removed;
 }
 
 std::vector<Hash128>
@@ -164,11 +203,66 @@ PlanStore::list() const
     return out;
 }
 
+std::vector<Hash128>
+PlanStore::listMetas() const
+{
+    std::vector<Hash128> out;
+    for (const std::string &name : listDirFiles(dir_, ".meta")) {
+        Hash128 fp;
+        if (Hash128::fromHex(name.substr(0, name.size() - 5), &fp))
+            out.push_back(fp);
+    }
+    return out;
+}
+
 // ----------------------------------------------------------- PlanCache
 
 PlanCache::PlanCache(std::string dir, PlanCacheOptions options)
     : store_(std::move(dir)), options_(options)
 {
+    if (options_.shards == 0)
+        options_.shards = 1;
+    perShardCapacity_ =
+        std::max<size_t>(1, options_.memoryCapacity / options_.shards);
+    shards_.reserve(options_.shards);
+    for (size_t s = 0; s < options_.shards; ++s)
+        shards_.push_back(std::make_unique<Shard>());
+
+    // Rebuild the neighbor index from the sidecars already on disk so a
+    // reopened store seeds searches immediately. A sidecar that fails
+    // to decode, or whose recorded fingerprint disagrees with its file
+    // name, is skipped (the .plan entry still serves exact hits).
+    for (const Hash128 &fp : store_.listMetas()) {
+        std::string bytes;
+        InstanceMeta meta;
+        if (store_.getMeta(fp, &bytes) && deserializeMeta(bytes, &meta) &&
+            meta.fingerprint == fp) {
+            neighborIndex_.add(meta);
+        }
+    }
+}
+
+PlanCache::Shard &
+PlanCache::shardFor(const Hash128 &fp)
+{
+    return *shards_[Hash128Hasher()(fp) % shards_.size()];
+}
+
+const PlanCache::Shard &
+PlanCache::shardFor(const Hash128 &fp) const
+{
+    return *shards_[Hash128Hasher()(fp) % shards_.size()];
+}
+
+std::unique_lock<std::mutex>
+PlanCache::lockShard(const Shard &shard) const
+{
+    std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+    if (!lock.owns_lock()) {
+        lockContended_.fetch_add(1, std::memory_order_relaxed);
+        lock.lock();
+    }
+    return lock;
 }
 
 std::optional<TesselResult>
@@ -177,13 +271,14 @@ PlanCache::get(const Hash128 &fp, const Placement &placement,
 {
     if (source)
         *source = Source::Miss;
+    Shard &shard = shardFor(fp);
 
     {
-        std::lock_guard<std::mutex> lock(mu_);
-        const auto it = index_.find(fp);
-        if (it != index_.end()) {
-            lru_.splice(lru_.begin(), lru_, it->second);
-            ++stats_.memoryHits;
+        auto lock = lockShard(shard);
+        const auto it = shard.index.find(fp);
+        if (it != shard.index.end()) {
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            ++shard.stats.memoryHits;
             if (source)
                 *source = Source::Memory;
             return it->second->second;
@@ -194,8 +289,8 @@ PlanCache::get(const Hash128 &fp, const Placement &placement,
     // entries do not serialize unrelated readers.
     std::string bytes;
     if (!store_.get(fp, &bytes)) {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.misses;
+        auto lock = lockShard(shard);
+        ++shard.stats.misses;
         return std::nullopt;
     }
 
@@ -214,17 +309,32 @@ PlanCache::get(const Hash128 &fp, const Placement &placement,
     }
     if (!loaded.ok) {
         warn("plan store: rejecting entry ", fp.hex(), ": ", loaded.error);
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.verifyFailures;
+        auto lock = lockShard(shard);
+        ++shard.stats.verifyFailures;
         return std::nullopt;
     }
 
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.diskHits;
-    insertMemory(fp, loaded.result);
+    auto lock = lockShard(shard);
+    ++shard.stats.diskHits;
+    insertMemory(shard, fp, loaded.result);
     if (source)
         *source = Source::Disk;
     return std::move(loaded.result);
+}
+
+void
+PlanCache::put(const Hash128 &fp, const Placement &placement,
+               const TesselOptions &options, const TesselResult &result)
+{
+    // Sidecar first, in-memory index last: once the instance is
+    // discoverable through the index its plan bytes are already
+    // published, so a neighbor lookup can always peek() what it found.
+    // A crash between the writes leaves at worst an orphan sidecar,
+    // which reopening tolerates (peek() simply fails).
+    const InstanceMeta meta = computeInstanceMeta(placement, options);
+    store_.putMeta(fp, serializeMeta(meta));
+    put(fp, result);
+    neighborIndex_.add(meta);
 }
 
 void
@@ -233,35 +343,94 @@ PlanCache::put(const Hash128 &fp, const TesselResult &result)
     // Serialize and write outside the lock; admit to memory under it.
     const std::string bytes = serializeResult(result, fp);
     store_.put(fp, bytes);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.stores;
-    insertMemory(fp, result);
+    Shard &shard = shardFor(fp);
+    auto lock = lockShard(shard);
+    ++shard.stats.stores;
+    insertMemory(shard, fp, result);
+}
+
+std::optional<TesselResult>
+PlanCache::peek(const Hash128 &fp)
+{
+    neighborFetches_.fetch_add(1, std::memory_order_relaxed);
+
+    Shard &shard = shardFor(fp);
+    {
+        auto lock = lockShard(shard);
+        const auto it = shard.index.find(fp);
+        // No LRU touch: a neighbor fetch is not a query for this entry
+        // and must not keep it alive over genuinely hot ones.
+        if (it != shard.index.end())
+            return it->second->second;
+    }
+
+    std::string bytes;
+    if (!store_.get(fp, &bytes))
+        return std::nullopt;
+    LoadedResult loaded = deserializeResult(bytes);
+    if (!loaded.ok || loaded.fingerprint != fp)
+        return std::nullopt;
+    // Deliberately unverified and not admitted to the memory tier: the
+    // caller (store/adapt.cc) oracle-checks whatever it derives, and
+    // the memory tier only ever holds entries verified for their own
+    // fingerprint.
+    return std::move(loaded.result);
+}
+
+std::vector<NeighborIndex::Neighbor>
+PlanCache::neighbors(const InstanceMeta &query, size_t k) const
+{
+    return neighborIndex_.nearest(query, k);
+}
+
+bool
+PlanCache::neighborMeta(const Hash128 &fp, InstanceMeta *meta) const
+{
+    return neighborIndex_.find(fp, meta);
+}
+
+size_t
+PlanCache::indexedInstances() const
+{
+    return neighborIndex_.size();
 }
 
 void
-PlanCache::insertMemory(const Hash128 &fp, const TesselResult &result)
+PlanCache::insertMemory(Shard &shard, const Hash128 &fp,
+                        const TesselResult &result)
 {
-    // Caller holds mu_.
-    const auto it = index_.find(fp);
-    if (it != index_.end()) {
+    // Caller holds the shard lock.
+    const auto it = shard.index.find(fp);
+    if (it != shard.index.end()) {
         it->second->second = result;
-        lru_.splice(lru_.begin(), lru_, it->second);
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         return;
     }
-    lru_.emplace_front(fp, result);
-    index_[fp] = lru_.begin();
-    while (lru_.size() > options_.memoryCapacity && !lru_.empty()) {
-        index_.erase(lru_.back().first);
-        lru_.pop_back();
-        ++stats_.evictions;
+    shard.lru.emplace_front(fp, result);
+    shard.index[fp] = shard.lru.begin();
+    while (shard.lru.size() > perShardCapacity_ && !shard.lru.empty()) {
+        shard.index.erase(shard.lru.back().first);
+        shard.lru.pop_back();
+        ++shard.stats.evictions;
     }
 }
 
 StoreStats
 PlanCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    StoreStats out;
+    for (const std::unique_ptr<Shard> &shard : shards_) {
+        auto lock = lockShard(*shard);
+        out.memoryHits += shard->stats.memoryHits;
+        out.diskHits += shard->stats.diskHits;
+        out.misses += shard->stats.misses;
+        out.stores += shard->stats.stores;
+        out.verifyFailures += shard->stats.verifyFailures;
+        out.evictions += shard->stats.evictions;
+    }
+    out.lockContended = lockContended_.load(std::memory_order_relaxed);
+    out.neighborFetches = neighborFetches_.load(std::memory_order_relaxed);
+    return out;
 }
 
 } // namespace tessel

@@ -7,7 +7,10 @@
  * Disk layout: one file per fingerprint, `<32-hex-digits>.plan`, under
  * the cache directory, published atomically (temp file + rename), so
  * any number of concurrent readers — including other processes — only
- * ever observe complete entries.
+ * ever observe complete entries. Entries admitted with their query
+ * context additionally publish a `<32-hex-digits>.meta` sidecar (sub-
+ * fingerprints + feature vector, store/neighbor.h) that feeds the
+ * neighbor index; a store without sidecars still serves exact hits.
  *
  * Verification-on-load invariant: a disk entry is never trusted. Before
  * a deserialized result is returned or admitted to the memory tier, the
@@ -21,13 +24,25 @@
  * misses, so a corrupted or version-bumped store degrades to a fresh
  * search, never to a wrong plan. Memory-tier entries were either
  * produced by this process's search or already verified on load, and
- * are returned as-is.
+ * are returned as-is. The one exception is peek(), which fetches a
+ * *neighbor's* entry raw — it cannot be verified against the caller's
+ * query (it answers a different fingerprint) and is only ever consumed
+ * by store/adapt.cc, which runs the same oracle on the adapted plan
+ * before anything downstream may use it.
+ *
+ * Concurrency: the memory tier is sharded by fingerprint — hit-path
+ * lookups only contend when two threads race for the same shard, so the
+ * reader-mostly service batch path scales with its thread pool instead
+ * of serializing on one cache mutex. Failed lock acquisitions are
+ * counted (StoreStats::lockContended) so contention is observable.
  */
 
 #ifndef TESSEL_STORE_STORE_H
 #define TESSEL_STORE_STORE_H
 
+#include <atomic>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -36,6 +51,7 @@
 
 #include "core/search.h"
 #include "store/fingerprint.h"
+#include "store/neighbor.h"
 
 namespace tessel {
 
@@ -48,6 +64,12 @@ struct StoreStats
     uint64_t stores = 0;     ///< results admitted via put()
     uint64_t verifyFailures = 0; ///< disk entries rejected on load
     uint64_t evictions = 0;  ///< memory-tier LRU evictions
+    /** Shard-mutex acquisitions that found the lock already held (the
+     * try-lock failed and the caller had to block). */
+    uint64_t lockContended = 0;
+    /** Raw neighbor-entry fetches via peek() (not query lookups; they
+     * never count toward hits/misses). */
+    uint64_t neighborFetches = 0;
 
     uint64_t
     hits() const
@@ -103,17 +125,29 @@ class PlanStore
     /** @return the entry path for @p fp (exists or not). */
     std::string pathFor(const Hash128 &fp) const;
 
+    /** @return the meta-sidecar path for @p fp (exists or not). */
+    std::string metaPathFor(const Hash128 &fp) const;
+
     /** Publish serialized bytes for @p fp; false + warn on I/O errors. */
     bool put(const Hash128 &fp, const std::string &bytes);
+
+    /** Publish the meta sidecar for @p fp; false + warn on errors. */
+    bool putMeta(const Hash128 &fp, const std::string &bytes);
 
     /** Read raw entry bytes; false when absent or unreadable. */
     bool get(const Hash128 &fp, std::string *bytes) const;
 
-    /** Remove the entry for @p fp (idempotent). */
+    /** Read raw sidecar bytes; false when absent or unreadable. */
+    bool getMeta(const Hash128 &fp, std::string *bytes) const;
+
+    /** Remove the entry (and sidecar) for @p fp (idempotent). */
     bool remove(const Hash128 &fp);
 
     /** @return fingerprints of all entries currently on disk. */
     std::vector<Hash128> list() const;
+
+    /** @return fingerprints of all meta sidecars currently on disk. */
+    std::vector<Hash128> listMetas() const;
 
   private:
     std::string dir_;
@@ -122,18 +156,23 @@ class PlanStore
 /** Construction knobs for PlanCache. */
 struct PlanCacheOptions
 {
-    /** Max results kept in the memory tier before LRU eviction. */
+    /** Max results kept in the memory tier before LRU eviction, split
+     * evenly across shards (each shard holds at least one). */
     size_t memoryCapacity = 256;
     /** Re-verify disk entries via the oracle before trusting them. */
     bool verifyOnLoad = true;
+    /** Memory-tier shard count (>= 1; fingerprints hash to shards).
+     * 1 restores the single-mutex behavior, with global LRU order. */
+    size_t shards = 8;
 };
 
 /**
- * Two-tier cache: LRU memory tier over a PlanStore disk tier. All
- * public methods are safe to call from any number of threads (one
- * internal mutex; disk I/O and verification run outside it, so
- * concurrent readers of distinct entries do not serialize on the
- * expensive parts).
+ * Two-tier cache: sharded LRU memory tier over a PlanStore disk tier,
+ * plus a neighbor index over the meta sidecars for near-miss lookups.
+ * All public methods are safe to call from any number of threads; disk
+ * I/O and verification run outside the shard locks, so concurrent
+ * readers do not serialize on the expensive parts, and readers of
+ * distinct shards do not serialize at all.
  */
 class PlanCache
 {
@@ -155,27 +194,80 @@ class PlanCache
                                     const TesselOptions &options,
                                     Source *source = nullptr);
 
-    /** Admit a freshly searched result to both tiers. */
+    /**
+     * Admit a freshly searched result to both tiers, publish its meta
+     * sidecar, and index it for neighbor lookups. (@p placement,
+     * @p options) must be the query that produced @p fp.
+     */
+    void put(const Hash128 &fp, const Placement &placement,
+             const TesselOptions &options, const TesselResult &result);
+
+    /**
+     * Admit a result without query context: both cache tiers are
+     * updated but no meta sidecar is written, so the entry serves exact
+     * hits only and never appears as a neighbor.
+     */
     void put(const Hash128 &fp, const TesselResult &result);
+
+    /**
+     * Raw fetch of a (neighbor) entry: memory tier first, then disk
+     * decode with a fingerprint check — but NO oracle verification and
+     * NO memory-tier admission. Only store/adapt.cc should consume the
+     * result, and it must re-verify whatever it derives. Counts as a
+     * neighborFetch, never as a hit or miss.
+     */
+    std::optional<TesselResult> peek(const Hash128 &fp);
+
+    /** The @p k indexed instances nearest to @p query (see
+     * NeighborIndex::nearest; the query's own fingerprint is excluded). */
+    std::vector<NeighborIndex::Neighbor>
+    neighbors(const InstanceMeta &query, size_t k) const;
+
+    /** Copy the indexed meta of a stored instance into @p meta;
+     * @return false when @p fp is not in the neighbor index. Adaptation
+     * callers compare the stored phaseOptions digest against the
+     * query's to decide whether phase schedules may be reused verbatim. */
+    bool neighborMeta(const Hash128 &fp, InstanceMeta *meta) const;
+
+    /** Number of instances currently in the neighbor index. */
+    size_t indexedInstances() const;
 
     StoreStats stats() const;
 
     const PlanStore &store() const { return store_; }
 
   private:
-    void insertMemory(const Hash128 &fp, const TesselResult &result);
+    using LruList = std::list<std::pair<Hash128, TesselResult>>;
+
+    /** One memory-tier shard: its own lock, LRU order, and counters. */
+    struct Shard
+    {
+        mutable std::mutex mu;
+        LruList lru;
+        std::unordered_map<Hash128, LruList::iterator, Hash128Hasher> index;
+        StoreStats stats; // Only the per-shard counters are used.
+    };
+
+    Shard &shardFor(const Hash128 &fp);
+    const Shard &shardFor(const Hash128 &fp) const;
+
+    /** Lock @p shard, counting the acquisition as contended when the
+     * uncontended try-lock fails. */
+    std::unique_lock<std::mutex> lockShard(const Shard &shard) const;
+
+    /** Insert under the shard lock (caller holds it). */
+    void insertMemory(Shard &shard, const Hash128 &fp,
+                      const TesselResult &result);
 
     PlanStore store_;
     PlanCacheOptions options_;
+    size_t perShardCapacity_;
 
-    mutable std::mutex mu_;
-    /** Most-recent first; entries own their result copy. */
-    std::list<std::pair<Hash128, TesselResult>> lru_;
-    std::unordered_map<Hash128,
-                       std::list<std::pair<Hash128, TesselResult>>::iterator,
-                       Hash128Hasher>
-        index_;
-    StoreStats stats_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    mutable std::atomic<uint64_t> lockContended_{0};
+    std::atomic<uint64_t> neighborFetches_{0};
+
+    NeighborIndex neighborIndex_;
 };
 
 } // namespace tessel

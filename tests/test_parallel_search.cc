@@ -138,9 +138,11 @@ TEST(ParallelSearch, SolveStatsMergeIsAssociative)
     a.memoHits = 1;
     b.nodes = 7;
     b.boundPrunes = 4;
+    b.seedPrunes = 2;
     b.budgetExhausted = true;
     c.nodes = 11;
     c.seconds = 1.25;
+    c.seedPrunes = 5;
     c.cancelled = true;
 
     SolveStats left = a;   // (a + b) + c
@@ -160,6 +162,7 @@ TEST(ParallelSearch, SolveStatsMergeIsAssociative)
     EXPECT_EQ(left.cancelled, right.cancelled);
     EXPECT_EQ(left.memoHits, right.memoHits);
     EXPECT_EQ(left.boundPrunes, right.boundPrunes);
+    EXPECT_EQ(left.seedPrunes, right.seedPrunes);
 }
 
 TEST(ParallelSearch, BreakdownMergeIsAssociative)
@@ -171,10 +174,14 @@ TEST(ParallelSearch, BreakdownMergeIsAssociative)
     b.warmupSeconds = 0.25;
     b.candidatesSolved = 3;
     b.earlyExit = true;
+    b.seedMakespan = 40;
+    b.seededNodesPruned = 17;
     c.cooldownSeconds = 0.5;
     c.satChecks = 9;
     c.threadsUsed = 8;
     c.budgetExhausted = true;
+    c.seedMakespan = 25;
+    c.seededNodesPruned = 4;
 
     SearchBreakdown ab = a;
     ab.merge(b);
@@ -195,6 +202,12 @@ TEST(ParallelSearch, BreakdownMergeIsAssociative)
     EXPECT_EQ(left.threadsUsed, right.threadsUsed);
     EXPECT_EQ(left.earlyExit, right.earlyExit);
     EXPECT_EQ(left.budgetExhausted, right.budgetExhausted);
+    // seedMakespan merges by max (all workers saw the same seed, some
+    // saw none), seededNodesPruned by sum — both associative.
+    EXPECT_EQ(left.seedMakespan, right.seedMakespan);
+    EXPECT_EQ(left.seededNodesPruned, right.seededNodesPruned);
+    EXPECT_EQ(left.seedMakespan, 40);
+    EXPECT_EQ(left.seededNodesPruned, 21u);
 }
 
 TEST(ParallelSearch, SweepSpeedsUpOnRealMulticore)

@@ -163,7 +163,18 @@ TEST(PlanningService, ParallelFanOutMatchesSerial)
     std::string serial_dir, parallel_dir;
     ASSERT_TRUE(makeTempDir("tessel-svc-serial-", &serial_dir));
     ASSERT_TRUE(makeTempDir("tessel-svc-parallel-", &parallel_dir));
-    const std::vector<PlanQuery> batch = smallBatch();
+    // Identical-plans-under-fan-out is only promised for searches that
+    // *complete*: a wall budget expiring mid-sweep truncates to a
+    // best-so-far that depends on how much CPU the contended pool gave
+    // this query. Debug builds push the heavyweight shapes close to the
+    // batch's 5 s budget, so give every budget enough headroom that no
+    // solve truncates even with four searches timesharing the cores.
+    std::vector<PlanQuery> batch = smallBatch();
+    for (PlanQuery &q : batch) {
+        q.options.totalBudgetSec = 60.0;
+        q.options.repetendBudgetSec = 60.0;
+        q.options.phaseBudgetSec = 60.0;
+    }
 
     PlanningService serial(optionsFor(serial_dir));
     ServiceOptions par_opts = optionsFor(parallel_dir);

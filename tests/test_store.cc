@@ -608,6 +608,10 @@ TEST(PlanCache, LruEvictsBeyondCapacity)
     ASSERT_TRUE(makeTempDir("tessel-store-lru-", &dir));
     PlanCacheOptions cache_opts;
     cache_opts.memoryCapacity = 2;
+    // One shard = one global LRU order, so "capacity 2, third insert
+    // evicts the oldest" holds exactly; with multiple shards the
+    // entries could land apart and nothing would need evicting.
+    cache_opts.shards = 1;
     PlanCache cache(dir, cache_opts);
 
     const Placement p = makeShapeByName("V", 4);

@@ -48,6 +48,7 @@ struct Args
     bool hetero = true;
     double minHitRate = -1.0;
     bool selftest = false;
+    bool neighborSeed = true;
 };
 
 void
@@ -64,6 +65,9 @@ usage()
            "variants\n"
            "  --json PATH        write batch stats as JSON\n"
            "  --min-hit-rate F   exit 1 unless batch hit rate >= F\n"
+           "  --neighbor-seed on|off\n"
+           "                     warm-start store misses from adapted "
+           "neighbor plans (default on)\n"
            "  --selftest         cold/warm/corruption demonstration in a "
            "temp dir\n";
 }
@@ -113,6 +117,17 @@ parseArgs(int argc, char **argv, Args *args)
             if (!v)
                 return false;
             args->minHitRate = std::atof(v);
+        } else if (a == "--neighbor-seed") {
+            const char *v = next("--neighbor-seed");
+            if (!v)
+                return false;
+            const std::string mode = v;
+            if (mode != "on" && mode != "off") {
+                std::cerr << "tessel_service: --neighbor-seed takes "
+                             "'on' or 'off'\n";
+                return false;
+            }
+            args->neighborSeed = mode == "on";
         } else if (a == "--selftest") {
             args->selftest = true;
         } else if (a == "--help" || a == "-h") {
@@ -136,13 +151,15 @@ void
 printReport(const BatchReport &report, const std::string &caption)
 {
     Table table(caption);
-    table.setHeader(
-        {"query", "source", "found", "period", "wall (ms)", "plan hash"});
+    table.setHeader({"query", "source", "found", "period", "wall (ms)",
+                     "plan hash", "seeded from"});
     for (const QueryReport &q : report.queries) {
         table.addRow({q.label, q.source, q.found ? "yes" : "no",
                       std::to_string(q.period),
                       fmtDouble(q.wallSec * 1e3, 2),
-                      q.planHash.substr(0, 12)});
+                      q.planHash.substr(0, 12),
+                      q.seededFrom.empty() ? "-"
+                                           : q.seededFrom.substr(0, 12)});
     }
     table.print(std::cout);
     std::cout << report.queries.size() << " queries, "
@@ -185,7 +202,9 @@ writeStatsJson(const std::string &path, const BatchReport &report)
             << "\", \"plan_hash\": \"" << q.planHash << "\", \"source\": \""
             << q.source << "\", \"found\": " << (q.found ? "true" : "false")
             << ", \"period\": " << q.period
-            << ", \"wall_sec\": " << q.wallSec << "}"
+            << ", \"wall_sec\": " << q.wallSec << ", \"seeded_from\": \""
+            << q.seededFrom << "\", \"seed_makespan\": " << q.seedMakespan
+            << ", \"seed_nodes_pruned\": " << q.seedNodesPruned << "}"
             << (i + 1 < report.queries.size() ? "," : "") << "\n";
     }
     const StoreStats &cs = report.cacheStats;
@@ -201,7 +220,9 @@ writeStatsJson(const std::string &path, const BatchReport &report)
         << ", \"disk_hits\": " << cs.diskHits
         << ", \"misses\": " << cs.misses << ", \"stores\": " << cs.stores
         << ", \"verify_failures\": " << cs.verifyFailures
-        << ", \"evictions\": " << cs.evictions << "}\n}\n";
+        << ", \"evictions\": " << cs.evictions
+        << ", \"lock_contended\": " << cs.lockContended
+        << ", \"neighbor_fetches\": " << cs.neighborFetches << "}\n}\n";
     return static_cast<bool>(out);
 }
 
@@ -250,6 +271,7 @@ runSelftest(const Args &args)
     ServiceOptions service_opts;
     service_opts.cacheDir = dir;
     service_opts.numThreads = args.threads;
+    service_opts.neighborSeed = args.neighborSeed;
 
     // Cold: everything is a fresh search.
     PlanningService cold_service(service_opts);
@@ -339,6 +361,7 @@ main(int argc, char **argv)
     ServiceOptions service_opts;
     service_opts.cacheDir = args.cacheDir;
     service_opts.numThreads = args.threads;
+    service_opts.neighborSeed = args.neighborSeed;
     PlanningService service(service_opts);
 
     const BatchReport report = service.runBatch(batch);
