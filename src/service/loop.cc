@@ -1,0 +1,214 @@
+#include "service/loop.h"
+
+#include <algorithm>
+
+namespace tessel {
+
+const char *
+admissionName(Admission a)
+{
+    switch (a) {
+    case Admission::Accepted:
+        return "accepted";
+    case Admission::QueueFull:
+        return "queue-full";
+    case Admission::Throttled:
+        return "throttled";
+    case Admission::ShuttingDown:
+        return "shutting-down";
+    }
+    return "unknown";
+}
+
+namespace {
+
+ServiceOptions
+withLoopCancel(ServiceOptions opts, const CancelSource &source)
+{
+    // Every query resolved by the service links options_.cancel; with
+    // the loop's source folded in here, shutdown(cancel) reaches every
+    // in-flight search without any per-query wiring.
+    opts.cancel = opts.cancel.linked(source.token());
+    return opts;
+}
+
+} // namespace
+
+ServiceLoop::ServiceLoop(ServiceLoopOptions options)
+    : options_(std::move(options)),
+      service_(withLoopCancel(options_.service, cancelSource_))
+{
+    options_.queueDepth = std::max<size_t>(1, options_.queueDepth);
+    options_.workers = std::max(1, options_.workers);
+    if (options_.revalidateIntervalSec > 0.0)
+        service_.cache().startRevalidation(options_.revalidateIntervalSec);
+    workers_.reserve(static_cast<size_t>(options_.workers));
+    for (int w = 0; w < options_.workers; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ServiceLoop::~ServiceLoop()
+{
+    shutdown(/*cancel_in_flight=*/false);
+}
+
+bool
+ServiceLoop::tenantAdmit(const std::string &tenant)
+{
+    // Caller holds mu_.
+    const auto now = std::chrono::steady_clock::now();
+    auto it = buckets_.find(tenant);
+    if (it == buckets_.end()) {
+        Bucket bucket;
+        const auto cfg = options_.tenantBudgets.find(tenant);
+        bucket.budget = cfg != options_.tenantBudgets.end()
+                            ? cfg->second
+                            : options_.defaultBudget;
+        bucket.tokens = std::max(1.0, bucket.budget.burst);
+        bucket.last = now;
+        it = buckets_.emplace(tenant, bucket).first;
+    }
+    Bucket &bucket = it->second;
+    if (bucket.budget.ratePerSec <= 0.0)
+        return true; // unlimited tenant
+    const double elapsed =
+        std::chrono::duration<double>(now - bucket.last).count();
+    bucket.last = now;
+    bucket.tokens =
+        std::min(std::max(1.0, bucket.budget.burst),
+                 bucket.tokens + elapsed * bucket.budget.ratePerSec);
+    if (bucket.tokens < 1.0)
+        return false;
+    bucket.tokens -= 1.0;
+    return true;
+}
+
+Admission
+ServiceLoop::submit(PlanQuery query, const std::string &tenant,
+                    Callback done)
+{
+    Admission verdict = Admission::Accepted;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++submitted_;
+        if (stop_) {
+            verdict = Admission::ShuttingDown;
+            ++rejectedShutdown_;
+        } else if (queue_.size() >= options_.queueDepth) {
+            verdict = Admission::QueueFull;
+            ++rejectedQueueFull_;
+        } else if (!tenantAdmit(tenant)) {
+            verdict = Admission::Throttled;
+            ++rejectedThrottled_;
+        } else {
+            ++accepted_;
+        }
+    }
+    if (verdict != Admission::Accepted) {
+        // Rejections surface as a clean per-query response, never as a
+        // silent drop: the callback fires inline with the verdict.
+        if (done) {
+            Response resp;
+            resp.admission = verdict;
+            resp.report.label = query.label;
+            resp.report.source = "rejected";
+            resp.error = std::string("rejected: ") + admissionName(verdict) +
+                         (verdict == Admission::Throttled
+                              ? " (tenant '" + tenant + "' over budget)"
+                              : "");
+            done(resp);
+        }
+        return verdict;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(Item{std::move(query), std::move(done)});
+    }
+    workCv_.notify_one();
+    return verdict;
+}
+
+void
+ServiceLoop::workerLoop()
+{
+    for (;;) {
+        Item item;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            workCv_.wait(lock,
+                         [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ and drained
+            item = std::move(queue_.front());
+            queue_.pop_front();
+            ++inFlight_;
+        }
+
+        Response resp;
+        resp.admission = Admission::Accepted;
+        service_.runOne(item.query, &resp.report);
+        resp.cancelled = cancelSource_.cancelled();
+        if (resp.cancelled)
+            resp.error = "cancelled by shutdown";
+        if (item.done)
+            item.done(resp);
+
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --inFlight_;
+            ++completed_;
+        }
+        idleCv_.notify_all();
+    }
+}
+
+void
+ServiceLoop::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idleCv_.wait(lock,
+                 [this] { return queue_.empty() && inFlight_ == 0; });
+}
+
+void
+ServiceLoop::shutdown(bool cancel_in_flight)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_ && workers_.empty())
+            return; // already shut down
+        stop_ = true;
+    }
+    if (cancel_in_flight)
+        cancelSource_.cancel();
+    workCv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+    workers_.clear();
+    service_.cache().stopRevalidation();
+}
+
+bool
+ServiceLoop::accepting() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return !stop_;
+}
+
+LoopStats
+ServiceLoop::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    LoopStats out;
+    out.submitted = submitted_;
+    out.accepted = accepted_;
+    out.rejectedQueueFull = rejectedQueueFull_;
+    out.rejectedThrottled = rejectedThrottled_;
+    out.rejectedShutdown = rejectedShutdown_;
+    out.completed = completed_;
+    out.queueDepth = queue_.size();
+    out.inFlight = inFlight_;
+    return out;
+}
+
+} // namespace tessel

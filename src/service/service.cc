@@ -98,6 +98,20 @@ PlanningService::parallelBatch() const
            (options_.numThreads > 1 || ThreadPool::hardwareThreads() > 1);
 }
 
+ThreadPool &
+PlanningService::pool()
+{
+    // One persistent pool per service: the daemon loop answers batches
+    // for the process lifetime, and constructing/joining a worker set
+    // per phase (the pre-daemon behavior) costs two thread-team
+    // spawn/join cycles per batch. Lazy so a serial service (or one
+    // that only ever takes the inline path) never spawns workers.
+    std::lock_guard<std::mutex> lock(poolMu_);
+    if (!pool_)
+        pool_ = std::make_unique<ThreadPool>(options_.numThreads);
+    return *pool_;
+}
+
 TesselOptions
 PlanningService::resolveOptions(const PlanQuery &query) const
 {
@@ -159,10 +173,10 @@ PlanningService::runBatch(const std::vector<PlanQuery> &queries)
         }
     };
     if (parallel_batch && unique.size() > 1) {
-        ThreadPool pool(options_.numThreads);
+        ThreadPool &p = pool();
         for (size_t u = 0; u < unique.size(); ++u)
-            pool.submit([&lookup, u] { lookup(u); });
-        pool.wait();
+            p.submit([&lookup, u] { lookup(u); });
+        p.wait();
     } else {
         for (size_t u = 0; u < unique.size(); ++u)
             lookup(u);
@@ -197,14 +211,22 @@ PlanningService::runBatch(const std::vector<PlanQuery> &queries)
         inst.wallSec = watch.seconds();
         inst.searched = true;
         inst.result.breakdown.merge(inst.seedWork);
-        cache_.put(inst.fingerprint, queries[inst.firstQuery].placement,
-                   inst.effective, inst.result);
+        // A search that observed a cancellation (daemon shutdown, batch
+        // abort) may have been truncated mid-sweep; its answer is valid
+        // for *this* caller but must not be cached — cancellation is
+        // not part of the fingerprint, so an uncancelled future query
+        // would be served the truncated plan as if fully searched.
+        if (!inst.effective.cancel.cancelled()) {
+            cache_.put(inst.fingerprint,
+                       queries[inst.firstQuery].placement, inst.effective,
+                       inst.result);
+        }
     };
     if (parallel_batch && missing.size() > 1) {
-        ThreadPool pool(options_.numThreads);
+        ThreadPool &p = pool();
         for (size_t u : missing)
-            pool.submit([&solve, u] { solve(u, true); });
-        pool.wait();
+            p.submit([&solve, u] { solve(u, true); });
+        p.wait();
     } else {
         for (size_t u : missing)
             solve(u, false);
@@ -271,7 +293,10 @@ PlanningService::runOne(const PlanQuery &query, QueryReport *report)
         }
         result = tesselSearch(query.placement, opts);
         result.breakdown.merge(inst.seedWork);
-        cache_.put(fp, query.placement, eff, result);
+        // Same cancellation guard as the batch path: truncated-by-
+        // cancel results answer the caller but never enter the store.
+        if (!eff.cancel.cancelled())
+            cache_.put(fp, query.placement, eff, result);
         searched = true;
     }
     if (report) {
@@ -291,6 +316,48 @@ PlanningService::runOne(const PlanQuery &query, QueryReport *report)
     return result;
 }
 
+std::optional<PlanQuery>
+referenceShapeQuery(const std::string &shape, const std::string &variant,
+                    int num_devices, double budget_sec)
+{
+    static const char *const kShapes[] = {"V", "X", "M", "NN", "K"};
+    const bool known =
+        std::find_if(std::begin(kShapes), std::end(kShapes),
+                     [&](const char *s) { return shape == s; }) !=
+        std::end(kShapes);
+    if (!known || num_devices < 2 || num_devices % 2 != 0)
+        return std::nullopt;
+
+    TesselOptions base;
+    base.totalBudgetSec = budget_sec;
+    base.repetendBudgetSec =
+        budget_sec > 0.0 ? std::min(1.0, budget_sec) : 1.0;
+    base.phaseBudgetSec =
+        budget_sec > 0.0 ? std::min(5.0, budget_sec) : 5.0;
+
+    PlanQuery query;
+    query.label = shape + "/" + variant;
+    query.options = base;
+    if (variant == "homogeneous") {
+        query.placement = makeShapeByName(shape.c_str(), num_devices);
+    } else if (variant == "mem-capped") {
+        query.placement = makeShapeByName(shape.c_str(), num_devices);
+        // Unit-memory shapes hold at most one activation per in-flight
+        // micro-batch and device; a cap of 4 forces the memory pruning
+        // paths without making any shape infeasible.
+        query.options.memLimit = 4;
+    } else if (variant == "hetero") {
+        HeteroShape hs = makeHeteroShapeByName(shape.c_str(), num_devices);
+        query.placement = std::move(hs.placement);
+        query.options.edgeMB = std::move(hs.edgeMB);
+        query.cluster =
+            std::make_shared<ClusterModel>(std::move(hs.cluster));
+    } else {
+        return std::nullopt;
+    }
+    return query;
+}
+
 std::vector<PlanQuery>
 referenceShapeQueries(int num_devices, bool include_hetero,
                       double budget_sec)
@@ -298,41 +365,13 @@ referenceShapeQueries(int num_devices, bool include_hetero,
     std::vector<PlanQuery> out;
     const char *shapes[] = {"V", "X", "M", "NN", "K"};
     for (const char *shape : shapes) {
-        TesselOptions base;
-        base.totalBudgetSec = budget_sec;
-        base.repetendBudgetSec = budget_sec > 0.0
-                                     ? std::min(1.0, budget_sec)
-                                     : 1.0;
-        base.phaseBudgetSec =
-            budget_sec > 0.0 ? std::min(5.0, budget_sec) : 5.0;
-
-        PlanQuery homogeneous;
-        homogeneous.label = std::string(shape) + "/homogeneous";
-        homogeneous.placement = makeShapeByName(shape, num_devices);
-        homogeneous.options = base;
-        out.push_back(homogeneous);
-
-        PlanQuery capped;
-        capped.label = std::string(shape) + "/mem-capped";
-        capped.placement = homogeneous.placement;
-        capped.options = base;
-        // Unit-memory shapes hold at most one activation per in-flight
-        // micro-batch and device; a cap of 4 forces the memory pruning
-        // paths without making any shape infeasible.
-        capped.options.memLimit = 4;
-        out.push_back(capped);
-
-        if (include_hetero) {
-            HeteroShape hs = makeHeteroShapeByName(shape, num_devices);
-            PlanQuery hetero;
-            hetero.label = std::string(shape) + "/hetero";
-            hetero.placement = std::move(hs.placement);
-            hetero.options = base;
-            hetero.options.edgeMB = std::move(hs.edgeMB);
-            hetero.cluster =
-                std::make_shared<ClusterModel>(std::move(hs.cluster));
-            out.push_back(hetero);
-        }
+        out.push_back(*referenceShapeQuery(shape, "homogeneous",
+                                           num_devices, budget_sec));
+        out.push_back(*referenceShapeQuery(shape, "mem-capped",
+                                           num_devices, budget_sec));
+        if (include_hetero)
+            out.push_back(*referenceShapeQuery(shape, "hetero",
+                                               num_devices, budget_sec));
     }
     return out;
 }

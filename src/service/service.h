@@ -16,10 +16,12 @@
 #define TESSEL_SERVICE_SERVICE_H
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "store/store.h"
+#include "support/threadpool.h"
 
 namespace tessel {
 
@@ -82,21 +84,41 @@ struct QueryReport
     uint64_t seedNodesPruned = 0;
 };
 
-/** Batch outcome: per-query rows plus aggregate cache behaviour. */
+/**
+ * Batch outcome: per-query rows plus aggregate cache behaviour.
+ *
+ * Accounting definitions (each name has exactly one): `queries` holds
+ * one row per *submitted* query, deduplicated copies included, and
+ * `throughputQps` divides that same count by `wallSec` — it is the
+ * client-visible answer rate. `uniqueInstances`, `memoryHits`,
+ * `diskHits`, and `searches` all count *unique* instances (after
+ * fingerprint deduplication; copies count once), and memoryHits +
+ * diskHits + searches == uniqueInstances always. hitRate() is defined
+ * over unique instances (below) and is the rate the CI
+ * `--min-hit-rate` gate enforces; the lifetime store-level rate,
+ * defined over raw lookups instead, lives in
+ * `cacheStats.hitRate()` (store/store.h).
+ */
 struct BatchReport
 {
     std::vector<QueryReport> queries;
     size_t uniqueInstances = 0; ///< after fingerprint deduplication
-    size_t memoryHits = 0;
-    size_t diskHits = 0;
-    size_t searches = 0;
+    size_t memoryHits = 0;      ///< unique instances served from memory
+    size_t diskHits = 0;        ///< unique instances served from disk
+    size_t searches = 0;        ///< unique instances freshly searched
     double wallSec = 0.0;
-    /** Queries answered per second of batch wall time. */
+    /** Submitted queries (dedup copies included) per wall second. */
     double throughputQps = 0.0;
     /** Cache counters accumulated over the service lifetime. */
     StoreStats cacheStats;
 
-    /** @return fraction of unique instances answered from cache. */
+    /**
+     * @return fraction of *unique* instances answered from either
+     * cache tier: (memoryHits + diskHits) / uniqueInstances.
+     * Deduplicated copies count once — a batch of one cold search plus
+     * 99 copies scores 0, not 0.99. This is the documented definition
+     * behind `tessel_service --min-hit-rate`.
+     */
     double
     hitRate() const
     {
@@ -146,10 +168,23 @@ class PlanningService
   public:
     explicit PlanningService(ServiceOptions options);
 
-    /** Answer @p queries (dedup -> cache -> parallel search). */
+    /**
+     * Answer @p queries (dedup -> cache -> parallel search). Both
+     * fan-out phases run on one persistent ThreadPool owned by the
+     * service (created lazily on the first parallel batch and reused
+     * for the service's lifetime), so a long-running daemon does not
+     * spawn and join a worker set per batch. Not re-entrant: one batch
+     * at a time per service (concurrent runOne() calls are fine — the
+     * daemon path uses those).
+     *
+     * Results whose search observed a cancellation are NOT admitted to
+     * the cache: cancellation is not part of the fingerprint, so a
+     * truncated answer must never be served to an uncancelled query.
+     */
     BatchReport runBatch(const std::vector<PlanQuery> &queries);
 
-    /** Convenience single-query path. */
+    /** Convenience single-query path. Safe to call concurrently from
+     * any number of threads (the ServiceLoop workers do). */
     TesselResult runOne(const PlanQuery &query, QueryReport *report = nullptr);
 
     PlanCache &cache() { return cache_; }
@@ -162,8 +197,14 @@ class PlanningService
     /** Whether misses fan out over a pool (forces serial searches). */
     bool parallelBatch() const;
 
+    /** The persistent batch fan-out pool (lazily constructed). */
+    ThreadPool &pool();
+
     ServiceOptions options_;
     PlanCache cache_;
+
+    std::mutex poolMu_; ///< guards lazy pool construction
+    std::unique_ptr<ThreadPool> pool_;
 };
 
 /**
@@ -180,6 +221,19 @@ class PlanningService
 std::vector<PlanQuery> referenceShapeQueries(int num_devices,
                                              bool include_hetero = true,
                                              double budget_sec = 20.0);
+
+/**
+ * One reference query by name: @p shape in {V, X, M, NN, K}, @p variant
+ * in {homogeneous, mem-capped, hetero}. Exactly the construction
+ * referenceShapeQueries() uses for the same coordinates, so a streamed
+ * trace line ("V", "hetero", 4 devices, budget 5) fingerprints — and
+ * therefore plans — identically to the corresponding batch query.
+ * @return nullopt for an unknown shape/variant or invalid device count.
+ */
+std::optional<PlanQuery> referenceShapeQuery(const std::string &shape,
+                                             const std::string &variant,
+                                             int num_devices,
+                                             double budget_sec);
 
 } // namespace tessel
 

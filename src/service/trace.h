@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Line-delimited JSON trace format for the planning daemon.
+ *
+ * `tessel_service --serve` reads one JSON object per line on stdin and
+ * emits one JSON response object per answered (or rejected) query on
+ * stdout; bench_service_load replays the same objects in-process. A
+ * trace query names a reference-shape instance by coordinates instead
+ * of shipping a placement, so traces are both human-writable and
+ * guaranteed to fingerprint identically to the batch front-end's
+ * queries for the same coordinates:
+ *
+ *   {"id": "q1", "shape": "V", "variant": "hetero", "devices": 4,
+ *    "budget_sec": 5, "tenant": "team-a"}
+ *
+ * Optional perturbation knobs make cold (guaranteed-miss) traffic
+ * expressible in a trace: "nr_cap" overrides maxRepetendMicrobatches
+ * and "mem_limit" overrides memLimit — each changes the canonical
+ * fingerprint, so a perturbed line exercises the miss/neighbor-seed
+ * path against its stored base instance.
+ *
+ * The parser accepts exactly the flat-object subset the format needs
+ * (string / number / bool values, no nesting) and rejects anything
+ * malformed with a per-line error instead of crashing the daemon;
+ * unknown keys are ignored for forward compatibility.
+ */
+
+#ifndef TESSEL_SERVICE_TRACE_H
+#define TESSEL_SERVICE_TRACE_H
+
+#include <optional>
+#include <string>
+
+#include "service/loop.h"
+
+namespace tessel {
+
+/** One parsed trace line (defaults match the batch front-end). */
+struct TraceQuery
+{
+    std::string id;      ///< echoed verbatim in the response line
+    std::string shape;   ///< V / X / M / NN / K (required)
+    std::string variant = "homogeneous"; ///< homogeneous/mem-capped/hetero
+    std::string tenant;  ///< admission bucket; empty = anonymous tenant
+    int devices = 4;
+    double budgetSec = 5.0;
+    /** > 0 overrides maxRepetendMicrobatches (perturbation knob). */
+    int nrCap = 0;
+    /** > 0 overrides memLimit (perturbation knob). */
+    long long memLimit = 0;
+};
+
+/**
+ * Parse one trace line. @return false with @p err set on malformed
+ * JSON, a non-scalar value, a wrong value type for a known key, or a
+ * missing/unknown "shape". Unknown keys are ignored.
+ */
+bool parseTraceLine(const std::string &line, TraceQuery *out,
+                    std::string *err);
+
+/** Serialize @p q as one trace line (no trailing newline). */
+std::string formatTraceLine(const TraceQuery &q);
+
+/**
+ * Build the PlanQuery a trace line describes: the reference-shape
+ * query for (shape, variant, devices, budget) with any perturbation
+ * knobs applied (and recorded in the label for readability).
+ * @return nullopt with @p err set for unknown coordinates.
+ */
+std::optional<PlanQuery> makeTraceQuery(const TraceQuery &q,
+                                        std::string *err);
+
+/**
+ * Serialize one daemon response as a JSON line (no trailing newline):
+ * id, label, admission verdict, fingerprint, plan hash, source,
+ * found/period/wall_sec, and the error message when any.
+ */
+std::string formatResponseLine(const std::string &id,
+                               const ServiceLoop::Response &resp);
+
+} // namespace tessel
+
+#endif // TESSEL_SERVICE_TRACE_H

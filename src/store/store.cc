@@ -1,6 +1,10 @@
 #include "store/store.h"
 
 #include <algorithm>
+#include <cctype>
+#include <chrono>
+
+#include <cstdio>
 
 #include "placement/comm.h"
 #include "solver/from_ir.h"
@@ -10,6 +14,51 @@
 #include "support/logging.h"
 
 namespace tessel {
+
+namespace {
+
+/** Shared tail of both verification entry points: instantiate at
+ * NR + 1 and run the oracle's full constraint check. */
+VerifyOutcome
+verifyPlanSchedule(const TesselResult &result)
+{
+    VerifyOutcome out;
+    if (result.period != result.plan.period()) {
+        out.reason = "result period != plan period";
+        return out;
+    }
+    // Instantiate at NR + 1 — one extra micro-batch beyond the smallest
+    // supported N, so the verification exercises the periodic layout (a
+    // second window instance at stride P) and the cooldown retiming,
+    // not just the solved phases — then run the oracle's full
+    // constraint check (dependencies, device/link exclusivity, release
+    // times, peak memory) on the materialized schedule.
+    if (result.plan.minMicrobatches() < 1) {
+        out.reason = "plan supports no micro-batches";
+        return out;
+    }
+    const int n = result.plan.minMicrobatches() + 1;
+    std::string inst_err;
+    const std::optional<Schedule> sched =
+        result.plan.tryInstantiate(n, &inst_err);
+    if (!sched) {
+        out.reason = "plan failed to instantiate: " + inst_err;
+        return out;
+    }
+    const Problem prob = result.plan.problemFor(n);
+    const SolverProblem solver_prob = buildFullInstance(prob);
+    const std::vector<Time> starts = startsFromSchedule(prob, *sched);
+    const OracleVerdict verdict = verifySolverSchedule(solver_prob, starts);
+    if (!verdict.ok) {
+        out.reason = "oracle rejected instantiated schedule: " +
+                     verdict.message;
+        return out;
+    }
+    out.ok = true;
+    return out;
+}
+
+} // namespace
 
 VerifyOutcome
 verifyResultAgainstQuery(const Placement &placement,
@@ -72,64 +121,92 @@ verifyResultAgainstQuery(const Placement &placement,
         return out;
     }
 
-    if (result.period != result.plan.period()) {
-        out.reason = "result period != plan period";
-        return out;
-    }
+    return verifyPlanSchedule(result);
+}
 
-    // Instantiate at NR + 1 — one extra micro-batch beyond the smallest
-    // supported N, so the verification exercises the periodic layout (a
-    // second window instance at stride P) and the cooldown retiming,
-    // not just the solved phases — then run the oracle's full
-    // constraint check (dependencies, device/link exclusivity, release
-    // times, peak memory) on the materialized schedule.
-    if (result.plan.minMicrobatches() < 1) {
-        out.reason = "plan supports no micro-batches";
+VerifyOutcome
+verifyResultSelfConsistent(const TesselResult &result)
+{
+    VerifyOutcome out;
+    if (!result.found) {
+        if (result.plan.placement().numBlocks() != 0) {
+            out.reason = "not-found result carries a plan";
+            return out;
+        }
+        out.ok = true;
         return out;
     }
-    const int n = result.plan.minMicrobatches() + 1;
-    std::string inst_err;
-    const std::optional<Schedule> sched =
-        result.plan.tryInstantiate(n, &inst_err);
-    if (!sched) {
-        out.reason = "plan failed to instantiate: " + inst_err;
+    // No query context: the plan is checked against its own placement.
+    // A comm-aware entry must at least carry its expansion maps.
+    if (result.commAware && !result.expansion) {
+        out.reason = "comm-aware result without expansion";
         return out;
     }
-    const Problem prob = result.plan.problemFor(n);
-    const SolverProblem solver_prob = buildFullInstance(prob);
-    const std::vector<Time> starts = startsFromSchedule(prob, *sched);
-    const OracleVerdict verdict = verifySolverSchedule(solver_prob, starts);
-    if (!verdict.ok) {
-        out.reason = "oracle rejected instantiated schedule: " +
-                     verdict.message;
-        return out;
-    }
-
-    out.ok = true;
-    return out;
+    return verifyPlanSchedule(result);
 }
 
 // ----------------------------------------------------------- PlanStore
 
-PlanStore::PlanStore(std::string dir) : dir_(std::move(dir)) {}
+PlanStore::PlanStore(std::string dir) : dir_(std::move(dir))
+{
+    migrateFlatEntries();
+}
+
+std::string
+PlanStore::shardDirFor(const Hash128 &fp) const
+{
+    return dir_ + "/" + fp.hex().substr(0, 2);
+}
 
 std::string
 PlanStore::pathFor(const Hash128 &fp) const
 {
-    return dir_ + "/" + fp.hex() + ".plan";
+    return shardDirFor(fp) + "/" + fp.hex() + ".plan";
 }
 
 std::string
 PlanStore::metaPathFor(const Hash128 &fp) const
 {
-    return dir_ + "/" + fp.hex() + ".meta";
+    return shardDirFor(fp) + "/" + fp.hex() + ".meta";
+}
+
+std::string
+PlanStore::flatPathFor(const Hash128 &fp, const char *suffix) const
+{
+    return dir_ + "/" + fp.hex() + suffix;
+}
+
+void
+PlanStore::migrateFlatEntries()
+{
+    // Lazy layout upgrade: rename every flat (pre-sharding) entry into
+    // its prefix shard. rename(2) is atomic and fails cleanly if a
+    // concurrent opener won the race, so migration is idempotent and
+    // safe under concurrent opens; readers additionally fall back to
+    // the flat path, so an entry is visible at every point in between.
+    for (const char *suffix : {".plan", ".meta"}) {
+        for (const std::string &name : listDirFiles(dir_, suffix)) {
+            Hash128 fp;
+            const size_t stem = name.size() - 5;
+            if (!Hash128::fromHex(name.substr(0, stem), &fp))
+                continue;
+            std::string err;
+            if (!ensureDir(shardDirFor(fp), &err)) {
+                warn("plan store: ", err);
+                continue;
+            }
+            const std::string from = dir_ + "/" + name;
+            const std::string to = shardDirFor(fp) + "/" + name;
+            ::rename(from.c_str(), to.c_str());
+        }
+    }
 }
 
 bool
 PlanStore::put(const Hash128 &fp, const std::string &bytes)
 {
     std::string err;
-    if (!ensureDir(dir_, &err)) {
+    if (!ensureDir(shardDirFor(fp), &err)) {
         warn("plan store: ", err);
         return false;
     }
@@ -144,7 +221,7 @@ bool
 PlanStore::putMeta(const Hash128 &fp, const std::string &bytes)
 {
     std::string err;
-    if (!ensureDir(dir_, &err)) {
+    if (!ensureDir(shardDirFor(fp), &err)) {
         warn("plan store: ", err);
         return false;
     }
@@ -158,9 +235,13 @@ PlanStore::putMeta(const Hash128 &fp, const std::string &bytes)
 bool
 PlanStore::get(const Hash128 &fp, std::string *bytes) const
 {
-    const std::string path = pathFor(fp);
-    if (!fileExists(path))
-        return false;
+    std::string path = pathFor(fp);
+    if (!fileExists(path)) {
+        // Entry published by a pre-sharding writer after our open.
+        path = flatPathFor(fp, ".plan");
+        if (!fileExists(path))
+            return false;
+    }
     std::string err;
     if (!readFile(path, bytes, &err)) {
         warn("plan store: ", err);
@@ -170,11 +251,20 @@ PlanStore::get(const Hash128 &fp, std::string *bytes) const
 }
 
 bool
+PlanStore::has(const Hash128 &fp) const
+{
+    return fileExists(pathFor(fp)) || fileExists(flatPathFor(fp, ".plan"));
+}
+
+bool
 PlanStore::getMeta(const Hash128 &fp, std::string *bytes) const
 {
-    const std::string path = metaPathFor(fp);
-    if (!fileExists(path))
-        return false;
+    std::string path = metaPathFor(fp);
+    if (!fileExists(path)) {
+        path = flatPathFor(fp, ".meta");
+        if (!fileExists(path))
+            return false;
+    }
     std::string err;
     if (!readFile(path, bytes, &err)) {
         warn("plan store: ", err);
@@ -186,33 +276,51 @@ PlanStore::getMeta(const Hash128 &fp, std::string *bytes) const
 bool
 PlanStore::remove(const Hash128 &fp)
 {
-    const bool removed = removeFile(pathFor(fp));
-    removeFile(metaPathFor(fp));
+    const bool removed =
+        removeFile(pathFor(fp)) && removeFile(flatPathFor(fp, ".plan"));
+    removeMeta(fp);
     return removed;
+}
+
+bool
+PlanStore::removeMeta(const Hash128 &fp)
+{
+    return removeFile(metaPathFor(fp)) &&
+           removeFile(flatPathFor(fp, ".meta"));
+}
+
+std::vector<Hash128>
+PlanStore::listSuffix(const std::string &suffix) const
+{
+    std::vector<Hash128> out;
+    auto collect = [&](const std::string &dir) {
+        for (const std::string &name : listDirFiles(dir, suffix)) {
+            Hash128 fp;
+            if (Hash128::fromHex(name.substr(0, name.size() - 5), &fp))
+                out.push_back(fp);
+        }
+    };
+    collect(dir_); // legacy flat entries
+    for (const std::string &shard : listDirSubdirs(dir_)) {
+        // Prefix shards are exactly two hex digits; skip foreign dirs.
+        if (shard.size() == 2 &&
+            std::isxdigit(static_cast<unsigned char>(shard[0])) &&
+            std::isxdigit(static_cast<unsigned char>(shard[1])))
+            collect(dir_ + "/" + shard);
+    }
+    return out;
 }
 
 std::vector<Hash128>
 PlanStore::list() const
 {
-    std::vector<Hash128> out;
-    for (const std::string &name : listDirFiles(dir_, ".plan")) {
-        Hash128 fp;
-        if (Hash128::fromHex(name.substr(0, name.size() - 5), &fp))
-            out.push_back(fp);
-    }
-    return out;
+    return listSuffix(".plan");
 }
 
 std::vector<Hash128>
 PlanStore::listMetas() const
 {
-    std::vector<Hash128> out;
-    for (const std::string &name : listDirFiles(dir_, ".meta")) {
-        Hash128 fp;
-        if (Hash128::fromHex(name.substr(0, name.size() - 5), &fp))
-            out.push_back(fp);
-    }
-    return out;
+    return listSuffix(".meta");
 }
 
 // ----------------------------------------------------------- PlanCache
@@ -220,19 +328,33 @@ PlanStore::listMetas() const
 PlanCache::PlanCache(std::string dir, PlanCacheOptions options)
     : store_(std::move(dir)), options_(options)
 {
-    if (options_.shards == 0)
-        options_.shards = 1;
-    perShardCapacity_ =
-        std::max<size_t>(1, options_.memoryCapacity / options_.shards);
-    shards_.reserve(options_.shards);
-    for (size_t s = 0; s < options_.shards; ++s)
-        shards_.push_back(std::make_unique<Shard>());
+    // Distribute the requested capacity exactly: every unit of
+    // memoryCapacity lands in exactly one shard (low shards absorb the
+    // remainder one entry each), and a capacity below the shard count
+    // clamps the shard count instead of silently inflating capacity.
+    const size_t capacity = std::max<size_t>(1, options_.memoryCapacity);
+    const size_t nshards =
+        std::max<size_t>(1, std::min(options_.shards, capacity));
+    shards_.reserve(nshards);
+    for (size_t s = 0; s < nshards; ++s) {
+        auto shard = std::make_unique<Shard>();
+        shard->capacity = capacity / nshards + (s < capacity % nshards);
+        shard->snap = std::make_shared<Snapshot>();
+        shards_.push_back(std::move(shard));
+    }
 
     // Rebuild the neighbor index from the sidecars already on disk so a
     // reopened store seeds searches immediately. A sidecar that fails
     // to decode, or whose recorded fingerprint disagrees with its file
-    // name, is skipped (the .plan entry still serves exact hits).
+    // name, is skipped; a sidecar whose .plan entry is gone is an
+    // orphan — its neighbor candidates could never be fetched — so it
+    // is deleted here rather than indexed.
     for (const Hash128 &fp : store_.listMetas()) {
+        if (!store_.has(fp)) {
+            store_.removeMeta(fp);
+            gcRemoved_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
         std::string bytes;
         InstanceMeta meta;
         if (store_.getMeta(fp, &bytes) && deserializeMeta(bytes, &meta) &&
@@ -240,6 +362,11 @@ PlanCache::PlanCache(std::string dir, PlanCacheOptions options)
             neighborIndex_.add(meta);
         }
     }
+}
+
+PlanCache::~PlanCache()
+{
+    stopRevalidation();
 }
 
 PlanCache::Shard &
@@ -254,10 +381,17 @@ PlanCache::shardFor(const Hash128 &fp) const
     return *shards_[Hash128Hasher()(fp) % shards_.size()];
 }
 
-std::unique_lock<std::mutex>
-PlanCache::lockShard(const Shard &shard) const
+std::shared_ptr<const PlanCache::Snapshot>
+PlanCache::loadSnapshot(const Shard &shard) const
 {
-    std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+    return std::atomic_load_explicit(&shard.snap,
+                                     std::memory_order_acquire);
+}
+
+std::unique_lock<std::mutex>
+PlanCache::lockWriter(Shard &shard)
+{
+    std::unique_lock<std::mutex> lock(shard.writerMu, std::try_to_lock);
     if (!lock.owns_lock()) {
         lockContended_.fetch_add(1, std::memory_order_relaxed);
         lock.lock();
@@ -273,24 +407,28 @@ PlanCache::get(const Hash128 &fp, const Placement &placement,
         *source = Source::Miss;
     Shard &shard = shardFor(fp);
 
+    // Hot path: lock-free snapshot lookup. The access stamp feeds the
+    // approximate-LRU eviction; relaxed order suffices (it only ranks
+    // entries, it never orders memory).
     {
-        auto lock = lockShard(shard);
-        const auto it = shard.index.find(fp);
-        if (it != shard.index.end()) {
-            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-            ++shard.stats.memoryHits;
+        const std::shared_ptr<const Snapshot> snap = loadSnapshot(shard);
+        const auto it = snap->map.find(fp);
+        if (it != snap->map.end()) {
+            it->second.lastUsed->store(
+                tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+            shard.memoryHits.fetch_add(1, std::memory_order_relaxed);
             if (source)
                 *source = Source::Memory;
-            return it->second->second;
+            return *it->second.result;
         }
     }
 
-    // Disk tier: read, decode, and verify outside the lock so slow
-    // entries do not serialize unrelated readers.
+    // Disk tier: read, decode, and verify without holding any lock so
+    // slow entries do not serialize unrelated readers.
     std::string bytes;
     if (!store_.get(fp, &bytes)) {
-        auto lock = lockShard(shard);
-        ++shard.stats.misses;
+        shard.misses.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
     }
 
@@ -309,13 +447,15 @@ PlanCache::get(const Hash128 &fp, const Placement &placement,
     }
     if (!loaded.ok) {
         warn("plan store: rejecting entry ", fp.hex(), ": ", loaded.error);
-        auto lock = lockShard(shard);
-        ++shard.stats.verifyFailures;
+        shard.verifyFailures.fetch_add(1, std::memory_order_relaxed);
+        // The entry can never serve this fingerprint again; leaving it
+        // (or its sidecar) behind would re-reject on every lookup and
+        // dangle neighbor candidates whose fetch cannot succeed.
+        removeRejectedEntry(fp);
         return std::nullopt;
     }
 
-    auto lock = lockShard(shard);
-    ++shard.stats.diskHits;
+    shard.diskHits.fetch_add(1, std::memory_order_relaxed);
     insertMemory(shard, fp, loaded.result);
     if (source)
         *source = Source::Disk;
@@ -330,7 +470,7 @@ PlanCache::put(const Hash128 &fp, const Placement &placement,
     // discoverable through the index its plan bytes are already
     // published, so a neighbor lookup can always peek() what it found.
     // A crash between the writes leaves at worst an orphan sidecar,
-    // which reopening tolerates (peek() simply fails).
+    // which the next open garbage-collects.
     const InstanceMeta meta = computeInstanceMeta(placement, options);
     store_.putMeta(fp, serializeMeta(meta));
     put(fp, result);
@@ -340,12 +480,12 @@ PlanCache::put(const Hash128 &fp, const Placement &placement,
 void
 PlanCache::put(const Hash128 &fp, const TesselResult &result)
 {
-    // Serialize and write outside the lock; admit to memory under it.
+    // Serialize and write outside the writer lock; publish the memory
+    // snapshot under it.
     const std::string bytes = serializeResult(result, fp);
     store_.put(fp, bytes);
     Shard &shard = shardFor(fp);
-    auto lock = lockShard(shard);
-    ++shard.stats.stores;
+    shard.stores.fetch_add(1, std::memory_order_relaxed);
     insertMemory(shard, fp, result);
 }
 
@@ -354,14 +494,14 @@ PlanCache::peek(const Hash128 &fp)
 {
     neighborFetches_.fetch_add(1, std::memory_order_relaxed);
 
-    Shard &shard = shardFor(fp);
+    const Shard &shard = shardFor(fp);
     {
-        auto lock = lockShard(shard);
-        const auto it = shard.index.find(fp);
-        // No LRU touch: a neighbor fetch is not a query for this entry
-        // and must not keep it alive over genuinely hot ones.
-        if (it != shard.index.end())
-            return it->second->second;
+        const std::shared_ptr<const Snapshot> snap = loadSnapshot(shard);
+        const auto it = snap->map.find(fp);
+        // No access stamp: a neighbor fetch is not a query for this
+        // entry and must not keep it alive over genuinely hot ones.
+        if (it != snap->map.end())
+            return *it->second.result;
     }
 
     std::string bytes;
@@ -375,6 +515,24 @@ PlanCache::peek(const Hash128 &fp)
     // the memory tier only ever holds entries verified for their own
     // fingerprint.
     return std::move(loaded.result);
+}
+
+void
+PlanCache::remove(const Hash128 &fp)
+{
+    eraseMemory(shardFor(fp), fp);
+    store_.remove(fp);
+    neighborIndex_.remove(fp);
+}
+
+void
+PlanCache::removeRejectedEntry(const Hash128 &fp)
+{
+    // The memory tier cannot hold a rejected entry (it only admits
+    // verified ones), but purge defensively in case a concurrent put
+    // raced the rejection.
+    remove(fp);
+    gcRemoved_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<NeighborIndex::Neighbor>
@@ -399,20 +557,141 @@ void
 PlanCache::insertMemory(Shard &shard, const Hash128 &fp,
                         const TesselResult &result)
 {
-    // Caller holds the shard lock.
-    const auto it = shard.index.find(fp);
-    if (it != shard.index.end()) {
-        it->second->second = result;
-        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    auto lock = lockWriter(shard);
+    const std::shared_ptr<const Snapshot> old = loadSnapshot(shard);
+    auto next = std::make_shared<Snapshot>(*old);
+    Entry &entry = next->map[fp];
+    entry.result = std::make_shared<const TesselResult>(result);
+    if (!entry.lastUsed)
+        entry.lastUsed = std::make_shared<std::atomic<uint64_t>>(0);
+    entry.lastUsed->store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                          std::memory_order_relaxed);
+    while (next->map.size() > shard.capacity) {
+        // Approximate LRU: evict the entry with the oldest access
+        // stamp. The scan is O(shard size) but shards are small and
+        // eviction only runs on admissions, never on the hit path.
+        auto victim = next->map.begin();
+        uint64_t oldest = victim->second.lastUsed->load(
+            std::memory_order_relaxed);
+        for (auto it = std::next(next->map.begin());
+             it != next->map.end(); ++it) {
+            const uint64_t used =
+                it->second.lastUsed->load(std::memory_order_relaxed);
+            if (used < oldest) {
+                oldest = used;
+                victim = it;
+            }
+        }
+        next->map.erase(victim);
+        shard.evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::atomic_store_explicit(
+        &shard.snap,
+        std::shared_ptr<const Snapshot>(std::move(next)),
+        std::memory_order_release);
+}
+
+void
+PlanCache::eraseMemory(Shard &shard, const Hash128 &fp)
+{
+    auto lock = lockWriter(shard);
+    const std::shared_ptr<const Snapshot> old = loadSnapshot(shard);
+    if (old->map.find(fp) == old->map.end())
         return;
+    auto next = std::make_shared<Snapshot>(*old);
+    next->map.erase(fp);
+    std::atomic_store_explicit(
+        &shard.snap,
+        std::shared_ptr<const Snapshot>(std::move(next)),
+        std::memory_order_release);
+}
+
+size_t
+PlanCache::revalidateOnce()
+{
+    size_t removed = 0;
+
+    // Pass 1: every plan entry must still decode to its own fingerprint
+    // and pass the oracle's self-check. The reads and verification run
+    // without any cache lock; only an actual removal briefly takes the
+    // owning shard's writer lock.
+    for (const Hash128 &fp : store_.list()) {
+        std::string bytes;
+        if (!store_.get(fp, &bytes))
+            continue; // concurrently removed; nothing to do
+        LoadedResult loaded = deserializeResult(bytes);
+        bool ok = loaded.ok && loaded.fingerprint == fp;
+        if (ok && options_.verifyOnLoad)
+            ok = verifyResultSelfConsistent(loaded.result).ok;
+        if (ok) {
+            revalidated_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        warn("plan store: revalidation dropping entry ", fp.hex());
+        remove(fp);
+        gcRemoved_.fetch_add(1, std::memory_order_relaxed);
+        ++removed;
     }
-    shard.lru.emplace_front(fp, result);
-    shard.index[fp] = shard.lru.begin();
-    while (shard.lru.size() > perShardCapacity_ && !shard.lru.empty()) {
-        shard.index.erase(shard.lru.back().first);
-        shard.lru.pop_back();
-        ++shard.stats.evictions;
+
+    // Pass 2: meta sidecars without a plan entry are orphans — their
+    // neighbor candidates could never be fetched — so drop both the
+    // file and any index entry.
+    for (const Hash128 &fp : store_.listMetas()) {
+        if (store_.has(fp))
+            continue;
+        store_.removeMeta(fp);
+        neighborIndex_.remove(fp);
+        gcRemoved_.fetch_add(1, std::memory_order_relaxed);
+        ++removed;
     }
+    return removed;
+}
+
+void
+PlanCache::startRevalidation(double interval_sec)
+{
+    std::lock_guard<std::mutex> lock(revalMu_);
+    if (revalRunning_)
+        return;
+    revalStop_ = false;
+    revalRunning_ = true;
+    const auto interval = std::chrono::duration<double>(
+        std::max(interval_sec, 0.01));
+    revalThread_ = std::thread([this, interval] {
+        std::unique_lock<std::mutex> lock(revalMu_);
+        while (!revalStop_) {
+            if (revalCv_.wait_for(lock, interval,
+                                  [this] { return revalStop_; }))
+                break;
+            lock.unlock();
+            revalidateOnce();
+            lock.lock();
+        }
+    });
+}
+
+void
+PlanCache::stopRevalidation()
+{
+    {
+        std::lock_guard<std::mutex> lock(revalMu_);
+        if (!revalRunning_)
+            return;
+        revalStop_ = true;
+    }
+    revalCv_.notify_all();
+    revalThread_.join();
+    std::lock_guard<std::mutex> lock(revalMu_);
+    revalRunning_ = false;
+}
+
+size_t
+PlanCache::memoryCapacity() const
+{
+    size_t total = 0;
+    for (const std::unique_ptr<Shard> &shard : shards_)
+        total += shard->capacity;
+    return total;
 }
 
 StoreStats
@@ -420,16 +699,18 @@ PlanCache::stats() const
 {
     StoreStats out;
     for (const std::unique_ptr<Shard> &shard : shards_) {
-        auto lock = lockShard(*shard);
-        out.memoryHits += shard->stats.memoryHits;
-        out.diskHits += shard->stats.diskHits;
-        out.misses += shard->stats.misses;
-        out.stores += shard->stats.stores;
-        out.verifyFailures += shard->stats.verifyFailures;
-        out.evictions += shard->stats.evictions;
+        out.memoryHits += shard->memoryHits.load(std::memory_order_relaxed);
+        out.diskHits += shard->diskHits.load(std::memory_order_relaxed);
+        out.misses += shard->misses.load(std::memory_order_relaxed);
+        out.stores += shard->stores.load(std::memory_order_relaxed);
+        out.verifyFailures +=
+            shard->verifyFailures.load(std::memory_order_relaxed);
+        out.evictions += shard->evictions.load(std::memory_order_relaxed);
     }
     out.lockContended = lockContended_.load(std::memory_order_relaxed);
     out.neighborFetches = neighborFetches_.load(std::memory_order_relaxed);
+    out.revalidated = revalidated_.load(std::memory_order_relaxed);
+    out.gcRemoved = gcRemoved_.load(std::memory_order_relaxed);
     return out;
 }
 

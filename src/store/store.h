@@ -1,16 +1,23 @@
 /**
  * @file
- * Plan store: a concurrent in-memory LRU cache in front of an on-disk
+ * Plan store: a concurrent in-memory cache in front of an on-disk
  * store of serialized TesselResults, keyed by canonical instance
  * fingerprints (store/fingerprint.h).
  *
- * Disk layout: one file per fingerprint, `<32-hex-digits>.plan`, under
- * the cache directory, published atomically (temp file + rename), so
- * any number of concurrent readers — including other processes — only
- * ever observe complete entries. Entries admitted with their query
- * context additionally publish a `<32-hex-digits>.meta` sidecar (sub-
- * fingerprints + feature vector, store/neighbor.h) that feeds the
- * neighbor index; a store without sidecars still serves exact hits.
+ * Disk layout: sharded by fingerprint prefix. An entry lives at
+ * `<dir>/<2-hex>/<32-hex-digits>.plan`, where `<2-hex>` is the first
+ * byte of the fingerprint in hex, published atomically (temp file +
+ * rename), so any number of concurrent readers — including other
+ * processes and machines sharing the directory — only ever observe
+ * complete entries. Pre-sharding stores (entries directly under
+ * `<dir>/`) are migrated lazily on open: each flat file is renamed
+ * into its prefix directory (atomic, idempotent, safe under races —
+ * two openers at worst both succeed), and reads fall back to the flat
+ * path so entries published by not-yet-upgraded writers stay visible.
+ * Entries admitted with their query context additionally publish a
+ * `<32-hex-digits>.meta` sidecar (sub-fingerprints + feature vector,
+ * store/neighbor.h) next to the `.plan` that feeds the neighbor
+ * index; a store without sidecars still serves exact hits.
  *
  * Verification-on-load invariant: a disk entry is never trusted. Before
  * a deserialized result is returned or admitted to the memory tier, the
@@ -21,31 +28,50 @@
  * solver oracle's full constraint check (solver/oracle.h — dependency
  * order, device and link exclusivity, release times, peak memory).
  * Entries that fail any step count as verifyFailures and behave as
- * misses, so a corrupted or version-bumped store degrades to a fresh
- * search, never to a wrong plan. Memory-tier entries were either
- * produced by this process's search or already verified on load, and
- * are returned as-is. The one exception is peek(), which fetches a
- * *neighbor's* entry raw — it cannot be verified against the caller's
- * query (it answers a different fingerprint) and is only ever consumed
- * by store/adapt.cc, which runs the same oracle on the adapted plan
+ * misses — and are garbage-collected on the spot (plan file, meta
+ * sidecar, and neighbor-index entry removed together) so a corrupted
+ * entry is rejected once, not on every future lookup. A corrupted or
+ * version-bumped store therefore degrades to a fresh search, never to
+ * a wrong plan. Memory-tier entries were either produced by this
+ * process's search or already verified on load, and are returned
+ * as-is. The one exception is peek(), which fetches a *neighbor's*
+ * entry raw — it cannot be verified against the caller's query (it
+ * answers a different fingerprint) and is only ever consumed by
+ * store/adapt.cc, which runs the same oracle on the adapted plan
  * before anything downstream may use it.
  *
- * Concurrency: the memory tier is sharded by fingerprint — hit-path
- * lookups only contend when two threads race for the same shard, so the
- * reader-mostly service batch path scales with its thread pool instead
- * of serializing on one cache mutex. Failed lock acquisitions are
- * counted (StoreStats::lockContended) so contention is observable.
+ * Concurrency: the memory tier is sharded by fingerprint, and within a
+ * shard the hot hit path is RCU-style and never blocks. Each shard
+ * publishes an immutable snapshot (shared_ptr to a read-only hash map);
+ * readers load the snapshot pointer atomically, look up their entry,
+ * and stamp a relaxed per-entry access tick for the eviction policy —
+ * no mutex, no waiting, no matter how many writers are active. Writers
+ * (admissions, promotions, evictions, purges) serialize on a per-shard
+ * writer mutex, build the next snapshot aside, and publish it with an
+ * atomic pointer store. StoreStats::lockContended counts writer-side
+ * acquisitions that had to block; a read-only trace keeps it at exactly
+ * zero, which the daemon tests and bench_service_load enforce as the
+ * lock-free-hit regression signal.
+ *
+ * Background revalidation: startRevalidation() spawns one maintenance
+ * thread that periodically re-reads every disk entry, drops entries
+ * that no longer decode or whose plans fail the oracle's self-check,
+ * and garbage-collects orphaned meta sidecars. It runs entirely off
+ * the serving path (raw disk reads plus brief writer-side purges), so
+ * serving latency is unaffected while the shared namespace converges
+ * on verified entries.
  */
 
 #ifndef TESSEL_STORE_STORE_H
 #define TESSEL_STORE_STORE_H
 
 #include <atomic>
-#include <list>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -55,7 +81,17 @@
 
 namespace tessel {
 
-/** Hit/miss/verification counters of one PlanCache. */
+/**
+ * Hit/miss/verification counters of one PlanCache.
+ *
+ * Counter definitions (each get() increments exactly one of the first
+ * three): `memoryHits` + `diskHits` are lookups answered from a tier,
+ * `misses` are lookups absent from both tiers, and `verifyFailures`
+ * are lookups whose disk entry existed but was rejected (decode or
+ * oracle failure) — from the caller's perspective those behave as
+ * misses, but they are counted separately because each one names a
+ * store entry that was removed.
+ */
 struct StoreStats
 {
     uint64_t memoryHits = 0;
@@ -63,13 +99,19 @@ struct StoreStats
     uint64_t misses = 0;     ///< absent from both tiers
     uint64_t stores = 0;     ///< results admitted via put()
     uint64_t verifyFailures = 0; ///< disk entries rejected on load
-    uint64_t evictions = 0;  ///< memory-tier LRU evictions
-    /** Shard-mutex acquisitions that found the lock already held (the
-     * try-lock failed and the caller had to block). */
+    uint64_t evictions = 0;  ///< memory-tier evictions
+    /** Writer-side shard-mutex acquisitions that found the lock already
+     * held (the try-lock failed and the writer had to block). The hit
+     * path takes no lock at all, so a read-only trace keeps this at 0. */
     uint64_t lockContended = 0;
     /** Raw neighbor-entry fetches via peek() (not query lookups; they
      * never count toward hits/misses). */
     uint64_t neighborFetches = 0;
+    /** Disk entries re-verified intact by background revalidation. */
+    uint64_t revalidated = 0;
+    /** Stale artifacts garbage-collected: corrupt/unverifiable plan
+     * entries and orphaned meta sidecars (revalidation or load-time). */
+    uint64_t gcRemoved = 0;
 
     uint64_t
     hits() const
@@ -77,13 +119,20 @@ struct StoreStats
         return memoryHits + diskHits;
     }
 
+    /** Total get() calls: every lookup lands in exactly one bucket. */
     uint64_t
     lookups() const
     {
         return hits() + misses + verifyFailures;
     }
 
-    /** @return hits / lookups in [0, 1] (0 when no lookups happened). */
+    /**
+     * @return hits / lookups in [0, 1] (0 when no lookups happened).
+     * The denominator is *lookups*, so a rejected (verify-failed) entry
+     * counts against the rate exactly like a plain miss — this is the
+     * store-level rate over every get() ever made, distinct from
+     * BatchReport::hitRate() which is per-batch over unique instances.
+     */
     double
     hitRate() const
     {
@@ -113,19 +162,32 @@ VerifyOutcome verifyResultAgainstQuery(const Placement &placement,
                                        const TesselOptions &options,
                                        const TesselResult &result);
 
-/** On-disk tier: one atomically-published file per fingerprint. */
+/**
+ * Query-free self-check used by background revalidation: instantiate
+ * the stored plan against its *own* placement at NR + 1 and run the
+ * solver oracle. Catches rotted entries (plans that no longer satisfy
+ * their own constraints) without needing the original query context;
+ * the full query match still happens on every get().
+ */
+VerifyOutcome verifyResultSelfConsistent(const TesselResult &result);
+
+/** On-disk tier: one atomically-published file per fingerprint, in a
+ * `<2-hex>/` prefix shard directory (see file comment for layout and
+ * the lazy flat-store migration). */
 class PlanStore
 {
   public:
-    /** @param dir cache directory; created (mkdir -p) on first put. */
+    /** @param dir cache directory; created (mkdir -p) on first put.
+     * If it already holds flat (pre-sharding) entries they are migrated
+     * into prefix shards now. */
     explicit PlanStore(std::string dir);
 
     const std::string &dir() const { return dir_; }
 
-    /** @return the entry path for @p fp (exists or not). */
+    /** @return the sharded entry path for @p fp (exists or not). */
     std::string pathFor(const Hash128 &fp) const;
 
-    /** @return the meta-sidecar path for @p fp (exists or not). */
+    /** @return the sharded meta-sidecar path for @p fp. */
     std::string metaPathFor(const Hash128 &fp) const;
 
     /** Publish serialized bytes for @p fp; false + warn on I/O errors. */
@@ -134,14 +196,22 @@ class PlanStore
     /** Publish the meta sidecar for @p fp; false + warn on errors. */
     bool putMeta(const Hash128 &fp, const std::string &bytes);
 
-    /** Read raw entry bytes; false when absent or unreadable. */
+    /** Read raw entry bytes; false when absent or unreadable. Checks
+     * the sharded path first, then the legacy flat path. */
     bool get(const Hash128 &fp, std::string *bytes) const;
+
+    /** @return whether an entry exists for @p fp (either layout). */
+    bool has(const Hash128 &fp) const;
 
     /** Read raw sidecar bytes; false when absent or unreadable. */
     bool getMeta(const Hash128 &fp, std::string *bytes) const;
 
-    /** Remove the entry (and sidecar) for @p fp (idempotent). */
+    /** Remove the entry (and sidecar) for @p fp at both the sharded and
+     * legacy flat locations (idempotent). */
     bool remove(const Hash128 &fp);
+
+    /** Remove only the meta sidecar for @p fp (both locations). */
+    bool removeMeta(const Hash128 &fp);
 
     /** @return fingerprints of all entries currently on disk. */
     std::vector<Hash128> list() const;
@@ -150,34 +220,53 @@ class PlanStore
     std::vector<Hash128> listMetas() const;
 
   private:
+    /** `<dir>/<2-hex>` prefix shard directory for @p fp. */
+    std::string shardDirFor(const Hash128 &fp) const;
+
+    /** Legacy flat path (pre-sharding layout). */
+    std::string flatPathFor(const Hash128 &fp, const char *suffix) const;
+
+    /** Rename any flat `.plan`/`.meta` files into their shards. */
+    void migrateFlatEntries();
+
+    std::vector<Hash128> listSuffix(const std::string &suffix) const;
+
     std::string dir_;
 };
 
 /** Construction knobs for PlanCache. */
 struct PlanCacheOptions
 {
-    /** Max results kept in the memory tier before LRU eviction, split
-     * evenly across shards (each shard holds at least one). */
+    /** Max results kept in the memory tier before eviction. Distributed
+     * exactly across shards (remainders go to the low shards one each);
+     * when smaller than `shards` the shard count is clamped down so the
+     * total evictable capacity always equals this value (floored at 1). */
     size_t memoryCapacity = 256;
     /** Re-verify disk entries via the oracle before trusting them. */
     bool verifyOnLoad = true;
     /** Memory-tier shard count (>= 1; fingerprints hash to shards).
-     * 1 restores the single-mutex behavior, with global LRU order. */
+     * 1 restores the single-snapshot behavior with global LRU order. */
     size_t shards = 8;
 };
 
 /**
- * Two-tier cache: sharded LRU memory tier over a PlanStore disk tier,
- * plus a neighbor index over the meta sidecars for near-miss lookups.
- * All public methods are safe to call from any number of threads; disk
- * I/O and verification run outside the shard locks, so concurrent
- * readers do not serialize on the expensive parts, and readers of
- * distinct shards do not serialize at all.
+ * Two-tier cache: sharded snapshot memory tier over a PlanStore disk
+ * tier, plus a neighbor index over the meta sidecars for near-miss
+ * lookups. All public methods are safe to call from any number of
+ * threads; the hit path is lock-free (see file comment), and disk I/O
+ * and verification run outside any lock, so concurrent readers never
+ * serialize on the expensive parts.
  */
 class PlanCache
 {
   public:
     explicit PlanCache(std::string dir, PlanCacheOptions options = {});
+
+    /** Joins the revalidation thread if one is running. */
+    ~PlanCache();
+
+    PlanCache(const PlanCache &) = delete;
+    PlanCache &operator=(const PlanCache &) = delete;
 
     /** Where a get() answer came from. */
     enum class Source { Memory, Disk, Miss };
@@ -185,9 +274,10 @@ class PlanCache
     /**
      * Look up @p fp. Disk answers are deserialized and verified against
      * (@p placement, @p options) per the verification-on-load
-     * invariant, then promoted into the memory tier. @return nullopt on
-     * miss or verification failure (@p source tells which tier
-     * answered).
+     * invariant, then promoted into the memory tier. A disk entry that
+     * fails verification is removed (plan + sidecar + index entry).
+     * @return nullopt on miss or verification failure (@p source tells
+     * which tier answered).
      */
     std::optional<TesselResult> get(const Hash128 &fp,
                                     const Placement &placement,
@@ -218,6 +308,12 @@ class PlanCache
      */
     std::optional<TesselResult> peek(const Hash128 &fp);
 
+    /**
+     * Drop @p fp everywhere: memory tier, disk entry + sidecar, and
+     * neighbor index. Idempotent; used by revalidation and tests.
+     */
+    void remove(const Hash128 &fp);
+
     /** The @p k indexed instances nearest to @p query (see
      * NeighborIndex::nearest; the query's own fingerprint is excluded). */
     std::vector<NeighborIndex::Neighbor>
@@ -232,42 +328,107 @@ class PlanCache
     /** Number of instances currently in the neighbor index. */
     size_t indexedInstances() const;
 
+    /**
+     * One synchronous revalidation sweep (the background thread calls
+     * this on its interval; tests call it directly): re-read every disk
+     * entry, drop the ones that fail to decode or whose plans fail the
+     * oracle self-check, and delete orphaned meta sidecars.
+     * @return number of artifacts garbage-collected by this sweep.
+     */
+    size_t revalidateOnce();
+
+    /**
+     * Start the background revalidation thread, sweeping every
+     * @p interval_sec (clamped up to 10 ms). No-op when already
+     * running. The thread is joined by stopRevalidation() or the
+     * destructor; it never blocks serving threads.
+     */
+    void startRevalidation(double interval_sec);
+
+    /** Stop and join the revalidation thread (idempotent). */
+    void stopRevalidation();
+
+    /** Total evictable memory-tier capacity (== the requested
+     * memoryCapacity floored at 1; locked by test_store). */
+    size_t memoryCapacity() const;
+
     StoreStats stats() const;
 
     const PlanStore &store() const { return store_; }
 
   private:
-    using LruList = std::list<std::pair<Hash128, TesselResult>>;
+    /** One immutable memory-tier entry. `lastUsed` is shared across
+     * snapshot generations so a reader's access stamp survives the
+     * writer republishing the map around it. */
+    struct Entry
+    {
+        std::shared_ptr<const TesselResult> result;
+        std::shared_ptr<std::atomic<uint64_t>> lastUsed;
+    };
 
-    /** One memory-tier shard: its own lock, LRU order, and counters. */
+    /** Immutable map generation; readers hold it via shared_ptr. */
+    struct Snapshot
+    {
+        std::unordered_map<Hash128, Entry, Hash128Hasher> map;
+    };
+
+    /** One memory-tier shard: an atomically-published snapshot for
+     * readers, a writer mutex, and relaxed stat counters. */
     struct Shard
     {
-        mutable std::mutex mu;
-        LruList lru;
-        std::unordered_map<Hash128, LruList::iterator, Hash128Hasher> index;
-        StoreStats stats; // Only the per-shard counters are used.
+        /** Accessed only via atomic_load/atomic_store free functions. */
+        std::shared_ptr<const Snapshot> snap;
+        std::mutex writerMu;
+        size_t capacity = 1;
+        std::atomic<uint64_t> memoryHits{0};
+        std::atomic<uint64_t> diskHits{0};
+        std::atomic<uint64_t> misses{0};
+        std::atomic<uint64_t> stores{0};
+        std::atomic<uint64_t> verifyFailures{0};
+        std::atomic<uint64_t> evictions{0};
     };
 
     Shard &shardFor(const Hash128 &fp);
     const Shard &shardFor(const Hash128 &fp) const;
 
-    /** Lock @p shard, counting the acquisition as contended when the
-     * uncontended try-lock fails. */
-    std::unique_lock<std::mutex> lockShard(const Shard &shard) const;
+    /** Reader-side snapshot load (lock-free; acquire order). */
+    std::shared_ptr<const Snapshot> loadSnapshot(const Shard &shard) const;
 
-    /** Insert under the shard lock (caller holds it). */
+    /** Writer lock, counting the acquisition as contended when the
+     * uncontended try-lock fails. Readers never take this. */
+    std::unique_lock<std::mutex> lockWriter(Shard &shard);
+
+    /** Publish a snapshot with @p fp inserted/refreshed, evicting the
+     * least-recently-stamped entries beyond the shard capacity. */
     void insertMemory(Shard &shard, const Hash128 &fp,
                       const TesselResult &result);
 
+    /** Publish a snapshot with @p fp removed (no-op when absent). */
+    void eraseMemory(Shard &shard, const Hash128 &fp);
+
+    /** Drop a disk entry that failed load-time verification: plan
+     * file, meta sidecar, and neighbor-index entry together. */
+    void removeRejectedEntry(const Hash128 &fp);
+
     PlanStore store_;
     PlanCacheOptions options_;
-    size_t perShardCapacity_;
 
     std::vector<std::unique_ptr<Shard>> shards_;
+    /** Global access clock for the approximate-LRU eviction stamps. */
+    mutable std::atomic<uint64_t> tick_{0};
     mutable std::atomic<uint64_t> lockContended_{0};
     std::atomic<uint64_t> neighborFetches_{0};
+    std::atomic<uint64_t> revalidated_{0};
+    std::atomic<uint64_t> gcRemoved_{0};
 
     NeighborIndex neighborIndex_;
+
+    // Background revalidation thread state.
+    std::thread revalThread_;
+    std::mutex revalMu_;
+    std::condition_variable revalCv_;
+    bool revalStop_ = false;
+    bool revalRunning_ = false;
 };
 
 } // namespace tessel

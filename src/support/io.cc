@@ -342,4 +342,24 @@ listDirFiles(const std::string &dir, const std::string &suffix)
     return out;
 }
 
+std::vector<std::string>
+listDirSubdirs(const std::string &dir)
+{
+    std::vector<std::string> out;
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return out;
+    while (struct dirent *ent = ::readdir(d)) {
+        const std::string name = ent->d_name;
+        if (name == "." || name == "..")
+            continue;
+        struct stat st;
+        if (::stat((dir + "/" + name).c_str(), &st) == 0 &&
+            S_ISDIR(st.st_mode))
+            out.push_back(name);
+    }
+    ::closedir(d);
+    return out;
+}
+
 } // namespace tessel

@@ -158,6 +158,10 @@ bool removeFile(const std::string &path);
 std::vector<std::string> listDirFiles(const std::string &dir,
                                       const std::string &suffix);
 
+/** @return names (not paths) of subdirectories of @p dir, excluding
+ * "." and ".." (empty when @p dir does not exist). */
+std::vector<std::string> listDirSubdirs(const std::string &dir);
+
 /**
  * Create a fresh uniquely-named directory under $TMPDIR (or /tmp) with
  * @p prefix; @return false on failure. Used by the service selftest and

@@ -3,15 +3,25 @@
  * Planning-service tests: batch deduplication, the memory/disk/search
  * answer paths with bit-identical plans across service instances,
  * corrupted and version-bumped store entries falling back to a fresh
- * search, concurrent fan-out determinism, and per-query budgets.
+ * search, concurrent fan-out determinism, and per-query budgets — plus
+ * the daemon loop: streaming answers while a worker is busy, clean
+ * queue-full and per-tenant throttling rejections, graceful and
+ * cancelling shutdown (cancelled answers flagged and never cached), and
+ * the lock-free hot path keeping lockContended at zero on a read-only
+ * trace.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "placement/shapes.h"
+#include "service/loop.h"
 #include "service/service.h"
 #include "store/serialize.h"
 #include "support/io.h"
@@ -239,6 +249,282 @@ TEST(PlanningService, HeteroQueriesServedAndVerifiedCommAware)
     EXPECT_EQ(warm.planHash, cold.planHash);
     EXPECT_TRUE(cached.plan == result.plan);
     EXPECT_EQ(fresh.cache().stats().verifyFailures, 0u);
+}
+
+// -------------------------------------------------------- ServiceLoop
+
+ServiceLoopOptions
+loopOptionsFor(const std::string &dir, int workers = 2)
+{
+    ServiceLoopOptions opts;
+    opts.service = optionsFor(dir);
+    opts.workers = workers;
+    return opts;
+}
+
+/** A reference query by coordinates (label stays batch-identical). */
+PlanQuery
+refQuery(const std::string &shape, const std::string &variant = "homogeneous")
+{
+    auto q = referenceShapeQuery(shape, variant, 4, /*budget_sec=*/5.0);
+    EXPECT_TRUE(q.has_value()) << shape << "/" << variant;
+    return *q;
+}
+
+TEST(ServiceLoop, StreamAnsweredWhileOneWorkerBusy)
+{
+    std::string dir;
+    ASSERT_TRUE(makeTempDir("tessel-loop-stream-", &dir));
+
+    ServiceLoop loop(loopOptionsFor(dir, /*workers=*/2));
+
+    // Warm the cache so the streamed queries below are hot.
+    std::vector<std::string> shapes = {"V", "X", "M"};
+    std::atomic<size_t> warm{0};
+    for (const std::string &s : shapes)
+        loop.submit(refQuery(s), "warmup",
+                    [&warm](const ServiceLoop::Response &) { ++warm; });
+    loop.drain();
+    ASSERT_EQ(warm.load(), shapes.size());
+
+    // Occupy one worker: a query whose callback blocks until released.
+    // The other worker must keep draining the stream meanwhile — a
+    // long-running (cold) search never stalls hot traffic.
+    std::promise<void> release;
+    std::shared_future<void> released = release.get_future().share();
+    std::promise<void> entered;
+    loop.submit(refQuery("NN"), "cold",
+                [&entered, released](const ServiceLoop::Response &) {
+                    entered.set_value();
+                    released.wait();
+                });
+    entered.get_future().wait();
+
+    std::atomic<size_t> answered{0};
+    std::atomic<size_t> hits{0};
+    for (const std::string &s : shapes)
+        loop.submit(refQuery(s), "hot",
+                    [&](const ServiceLoop::Response &resp) {
+                        hits += resp.report.source == std::string("memory")
+                                    ? 1
+                                    : 0;
+                        EXPECT_TRUE(resp.report.found);
+                        ++answered;
+                    });
+    // Wait for the hot stream with the blocker still parked.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (answered.load() < shapes.size() &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::yield();
+    EXPECT_EQ(answered.load(), shapes.size())
+        << "hot queries stalled behind a busy worker";
+    EXPECT_EQ(hits.load(), shapes.size());
+
+    release.set_value();
+    loop.drain();
+    const LoopStats stats = loop.stats();
+    EXPECT_EQ(stats.completed, 2 * shapes.size() + 1);
+    EXPECT_EQ(stats.accepted, stats.submitted);
+}
+
+TEST(ServiceLoop, QueueFullRejectsWithCleanError)
+{
+    std::string dir;
+    ASSERT_TRUE(makeTempDir("tessel-loop-full-", &dir));
+
+    ServiceLoopOptions opts = loopOptionsFor(dir, /*workers=*/1);
+    opts.queueDepth = 1;
+    ServiceLoop loop(std::move(opts));
+
+    // Park the single worker inside a callback, then fill the queue.
+    std::promise<void> release;
+    std::shared_future<void> released = release.get_future().share();
+    std::promise<void> entered;
+    loop.submit(refQuery("V"), "a",
+                [&entered, released](const ServiceLoop::Response &) {
+                    entered.set_value();
+                    released.wait();
+                });
+    entered.get_future().wait();
+
+    std::atomic<size_t> queued_answers{0};
+    EXPECT_EQ(loop.submit(refQuery("X"), "a",
+                          [&queued_answers](const ServiceLoop::Response &r) {
+                              EXPECT_EQ(r.admission, Admission::Accepted);
+                              ++queued_answers;
+                          }),
+              Admission::Accepted);
+
+    // Queue is now at capacity: the next submission must be rejected
+    // synchronously with a typed verdict and a per-query error — never
+    // silently dropped, never a crash.
+    bool rejected_cb = false;
+    const Admission verdict = loop.submit(
+        refQuery("M"), "a",
+        [&rejected_cb](const ServiceLoop::Response &resp) {
+            rejected_cb = true;
+            EXPECT_EQ(resp.admission, Admission::QueueFull);
+            EXPECT_STREQ(resp.report.source, "rejected");
+            EXPECT_NE(resp.error.find("queue-full"), std::string::npos)
+                << resp.error;
+        });
+    EXPECT_EQ(verdict, Admission::QueueFull);
+    EXPECT_TRUE(rejected_cb) << "rejection callback must fire inline";
+
+    release.set_value();
+    loop.drain();
+    EXPECT_EQ(queued_answers.load(), 1u);
+    const LoopStats stats = loop.stats();
+    EXPECT_EQ(stats.rejectedQueueFull, 1u);
+    EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(ServiceLoop, TenantBudgetsThrottlePerTenant)
+{
+    std::string dir;
+    ASSERT_TRUE(makeTempDir("tessel-loop-tenant-", &dir));
+
+    ServiceLoopOptions opts = loopOptionsFor(dir, /*workers=*/1);
+    // Metered default: one token, refilled too slowly to matter within
+    // the test. "vip" overrides to unlimited.
+    opts.defaultBudget.ratePerSec = 1e-6;
+    opts.defaultBudget.burst = 1.0;
+    opts.tenantBudgets["vip"] = TenantBudget{0.0, 1.0};
+    ServiceLoop loop(std::move(opts));
+
+    EXPECT_EQ(loop.submit(refQuery("V"), "metered", nullptr),
+              Admission::Accepted);
+    bool throttled_cb = false;
+    EXPECT_EQ(loop.submit(refQuery("X"), "metered",
+                          [&throttled_cb](const ServiceLoop::Response &r) {
+                              throttled_cb = true;
+                              EXPECT_EQ(r.admission, Admission::Throttled);
+                              EXPECT_NE(r.error.find("metered"),
+                                        std::string::npos);
+                          }),
+              Admission::Throttled);
+    EXPECT_TRUE(throttled_cb);
+
+    // Budgets are per tenant: another tenant's bucket is untouched, and
+    // the unlimited override never throttles.
+    EXPECT_EQ(loop.submit(refQuery("X"), "other", nullptr),
+              Admission::Accepted);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(loop.submit(refQuery("M"), "vip", nullptr),
+                  Admission::Accepted);
+
+    loop.drain();
+    const LoopStats stats = loop.stats();
+    EXPECT_EQ(stats.rejectedThrottled, 1u);
+    EXPECT_EQ(stats.accepted, 6u);
+}
+
+TEST(ServiceLoop, ShutdownDrainsAndCancelFlagsWithoutCaching)
+{
+    std::string dir;
+    ASSERT_TRUE(makeTempDir("tessel-loop-shutdown-", &dir));
+
+    // Graceful: everything submitted before shutdown still answers.
+    {
+        ServiceLoop loop(loopOptionsFor(dir, /*workers=*/1));
+        std::atomic<size_t> answered{0};
+        for (const std::string s : {"V", "X", "M"})
+            loop.submit(refQuery(s), "t",
+                        [&answered](const ServiceLoop::Response &resp) {
+                            EXPECT_TRUE(resp.report.found);
+                            EXPECT_FALSE(resp.cancelled);
+                            ++answered;
+                        });
+        loop.shutdown(/*cancel_in_flight=*/false);
+        EXPECT_EQ(answered.load(), 3u);
+        EXPECT_FALSE(loop.accepting());
+        EXPECT_EQ(loop.submit(refQuery("V"), "t", nullptr),
+                  Admission::ShuttingDown);
+    }
+
+    // Cancelling: park the worker in a callback, queue one more query,
+    // shut down with cancellation. The queued query runs against the
+    // tripped token, comes back flagged, and is NOT admitted to the
+    // cache — cancellation is outside the fingerprint, so a truncated
+    // answer must never be served to a later uncancelled query.
+    std::string dir2;
+    ASSERT_TRUE(makeTempDir("tessel-loop-cancel-", &dir2));
+    ServiceLoop loop(loopOptionsFor(dir2, /*workers=*/1));
+    std::promise<void> release;
+    std::shared_future<void> released = release.get_future().share();
+    std::promise<void> entered;
+    loop.submit(refQuery("V"), "t",
+                [&entered, released](const ServiceLoop::Response &) {
+                    entered.set_value();
+                    released.wait();
+                });
+    entered.get_future().wait();
+
+    bool cancelled_flagged = false;
+    std::string cancelled_fp;
+    loop.submit(refQuery("NN"), "t",
+                [&](const ServiceLoop::Response &resp) {
+                    cancelled_flagged = resp.cancelled;
+                    cancelled_fp = resp.report.fingerprint;
+                    EXPECT_NE(resp.error.find("cancelled"),
+                              std::string::npos);
+                });
+    std::thread stopper([&loop] { loop.shutdown(/*cancel_in_flight=*/true); });
+    release.set_value();
+    stopper.join();
+    EXPECT_TRUE(cancelled_flagged);
+
+    // The cancelled answer must not have been cached: a fresh service
+    // searches the instance from scratch (and the first, uncancelled
+    // query is served from disk as usual).
+    ASSERT_FALSE(cancelled_fp.empty());
+    PlanningService fresh(optionsFor(dir2));
+    QueryReport after;
+    fresh.runOne(refQuery("NN"), &after);
+    EXPECT_EQ(after.fingerprint, cancelled_fp);
+    EXPECT_STREQ(after.source, "search");
+    QueryReport hot;
+    fresh.runOne(refQuery("V"), &hot);
+    EXPECT_STREQ(hot.source, "disk");
+}
+
+TEST(ServiceLoop, ReadOnlyHotTraceNeverContends)
+{
+    std::string dir;
+    ASSERT_TRUE(makeTempDir("tessel-loop-rcu-", &dir));
+
+    ServiceLoop loop(loopOptionsFor(dir, /*workers=*/2));
+    const std::vector<std::string> shapes = {"V", "X", "M", "NN", "K"};
+
+    // Two warm passes: searches, then disk promotions into memory. Both
+    // take the writer lock; after them every instance is resident.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (const std::string &s : shapes)
+            loop.submit(refQuery(s), "warm", nullptr);
+        loop.drain();
+    }
+
+    // Read-only replay: pure snapshot hits. The writer mutex is never
+    // touched, so the contention counter must not move — this is the
+    // regression signal for the lock-free hit path.
+    const uint64_t before = loop.service().cache().stats().lockContended;
+    std::atomic<size_t> memory_hits{0};
+    for (int round = 0; round < 20; ++round) {
+        for (const std::string &s : shapes)
+            loop.submit(refQuery(s), "hot",
+                        [&memory_hits](const ServiceLoop::Response &resp) {
+                            memory_hits +=
+                                resp.report.source == std::string("memory")
+                                    ? 1
+                                    : 0;
+                        });
+        // Drain per round so the bounded queue never rejects.
+        loop.drain();
+    }
+    const uint64_t after = loop.service().cache().stats().lockContended;
+    EXPECT_EQ(memory_hits.load(), 20 * shapes.size());
+    EXPECT_EQ(after - before, 0u);
 }
 
 } // namespace

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <set>
 #include <string>
@@ -576,17 +578,25 @@ TEST(PlanCache, MemoryDiskAndVerifyFailurePaths)
         EXPECT_EQ(cache.stats().diskHits, 1u);
 
         // A mismatched query must NOT be served the entry even though
-        // the fingerprint collides by construction here.
+        // the fingerprint collides by construction here — and the
+        // rejected entry is garbage-collected on the spot.
         const bool prev = setLogVerbose(false);
         PlanCache fresh(dir);
         const Placement other = makeShapeByName("NN", 4);
         EXPECT_FALSE(fresh.get(fp, other, opts).has_value());
         setLogVerbose(prev);
         EXPECT_EQ(fresh.stats().verifyFailures, 1u);
+        EXPECT_FALSE(fresh.store().has(fp));
+        EXPECT_GE(fresh.stats().gcRemoved, 1u);
     }
 
     {
-        // Corrupt the payload on disk: rejected, counted, miss.
+        // Corrupt the payload on disk: rejected, counted, miss. (The
+        // verify failure above removed the entry; publish it again.)
+        {
+            PlanCache republish(dir);
+            republish.put(fp, result);
+        }
         PlanStore store(dir);
         std::string bytes, err;
         ASSERT_TRUE(readFile(store.pathFor(fp), &bytes, &err)) << err;
@@ -630,6 +640,184 @@ TEST(PlanCache, LruEvictsBeyondCapacity)
     PlanCache::Source source;
     ASSERT_TRUE(cache.get(fps[0], p, opts, &source).has_value());
     EXPECT_EQ(source, PlanCache::Source::Disk);
+}
+
+TEST(PlanCache, MemoryCapacityHonoredBelowShardCount)
+{
+    // The requested capacity must be the *total* evictable capacity no
+    // matter how it relates to the shard count: historically a capacity
+    // below `shards` rounded each shard up to one entry, silently
+    // holding `shards` results instead of `memoryCapacity`.
+    std::string dir;
+    ASSERT_TRUE(makeTempDir("tessel-store-cap-", &dir));
+
+    const struct
+    {
+        size_t capacity;
+        size_t shards;
+    } cases[] = {{2, 8}, {1, 8}, {5, 4}, {8, 8}, {3, 1}, {0, 8}};
+    for (const auto &c : cases) {
+        PlanCacheOptions cache_opts;
+        cache_opts.memoryCapacity = c.capacity;
+        cache_opts.shards = c.shards;
+        PlanCache cache(dir, cache_opts);
+        EXPECT_EQ(cache.memoryCapacity(),
+                  std::max<size_t>(1, c.capacity))
+            << "capacity " << c.capacity << ", shards " << c.shards;
+    }
+
+    // Behavioral check: capacity 2 under 8 requested shards keeps at
+    // most 2 results in memory — the third insert must evict.
+    PlanCacheOptions cache_opts;
+    cache_opts.memoryCapacity = 2;
+    cache_opts.shards = 8;
+    PlanCache cache(dir, cache_opts);
+    const Placement p = makeShapeByName("V", 4);
+    TesselOptions opts = quickOptions();
+    std::vector<Hash128> fps;
+    std::vector<TesselOptions> variants;
+    for (int i = 0; i < 3; ++i) {
+        opts.memLimit = 20 + i;
+        fps.push_back(fingerprintQuery(p, opts));
+        variants.push_back(opts);
+        cache.put(fps.back(), tesselSearch(p, opts));
+    }
+    EXPECT_GE(cache.stats().evictions, 1u);
+    size_t in_memory = 0;
+    for (size_t i = 0; i < fps.size(); ++i) {
+        PlanCache::Source source;
+        ASSERT_TRUE(cache.get(fps[i], p, variants[i], &source).has_value());
+        in_memory += source == PlanCache::Source::Memory ? 1 : 0;
+    }
+    EXPECT_LE(in_memory, 2u);
+}
+
+// ----------------------------------------------------- Sharded layout
+
+TEST(PlanStore, FlatEntriesMigratedToPrefixShardsOnOpen)
+{
+    std::string dir;
+    ASSERT_TRUE(makeTempDir("tessel-store-migrate-", &dir));
+
+    const Placement p = makeShapeByName("V", 4);
+    const TesselOptions opts = quickOptions();
+    const Hash128 fp = fingerprintQuery(p, opts);
+    const TesselResult result = tesselSearch(p, opts);
+    ASSERT_TRUE(result.found);
+
+    {
+        PlanCache cache(dir);
+        cache.put(fp, p, opts, result);
+    }
+
+    // Demote the sharded entry (and sidecar) to the legacy flat layout
+    // a pre-sharding writer would have produced.
+    PlanStore store(dir);
+    const std::string flat_plan = dir + "/" + fp.hex() + ".plan";
+    const std::string flat_meta = dir + "/" + fp.hex() + ".meta";
+    ASSERT_TRUE(fileExists(store.pathFor(fp)));
+    ASSERT_EQ(::rename(store.pathFor(fp).c_str(), flat_plan.c_str()), 0);
+    ASSERT_EQ(::rename(store.metaPathFor(fp).c_str(), flat_meta.c_str()),
+              0);
+
+    // Re-open: the flat files must migrate into their prefix shard and
+    // remain fully readable (list, get, and a verified cache hit).
+    PlanStore reopened(dir);
+    EXPECT_TRUE(fileExists(reopened.pathFor(fp)));
+    EXPECT_TRUE(fileExists(reopened.metaPathFor(fp)));
+    EXPECT_FALSE(fileExists(flat_plan));
+    EXPECT_FALSE(fileExists(flat_meta));
+    ASSERT_EQ(reopened.list().size(), 1u);
+    EXPECT_EQ(reopened.list()[0], fp);
+
+    PlanCache cache(dir);
+    PlanCache::Source source;
+    const auto hit = cache.get(fp, p, opts, &source);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(source, PlanCache::Source::Disk);
+    EXPECT_TRUE(hit->plan == result.plan);
+    EXPECT_EQ(cache.indexedInstances(), 1u);
+}
+
+TEST(PlanCache, OrphanMetaSidecarSkippedAndDeletedOnOpen)
+{
+    std::string dir;
+    ASSERT_TRUE(makeTempDir("tessel-store-orphan-", &dir));
+
+    const Placement p = makeShapeByName("V", 4);
+    const TesselOptions opts = quickOptions();
+    const Hash128 fp = fingerprintQuery(p, opts);
+    const TesselResult result = tesselSearch(p, opts);
+    ASSERT_TRUE(result.found);
+
+    {
+        PlanCache cache(dir);
+        cache.put(fp, p, opts, result);
+    }
+
+    // Delete only the .plan, stranding the .meta sidecar — the state a
+    // crash between the two removals (or an external cleanup) leaves.
+    PlanStore store(dir);
+    ASSERT_TRUE(removeFile(store.pathFor(fp)));
+    ASSERT_TRUE(fileExists(store.metaPathFor(fp)));
+
+    // A fresh cache must not index the phantom instance; it deletes the
+    // orphan sidecar instead of seeding the neighbor index with an
+    // entry whose plan can never be fetched.
+    PlanCache cache(dir);
+    EXPECT_EQ(cache.indexedInstances(), 0u);
+    EXPECT_FALSE(fileExists(store.metaPathFor(fp)));
+    EXPECT_GE(cache.stats().gcRemoved, 1u);
+    EXPECT_FALSE(cache.get(fp, p, opts).has_value());
+}
+
+TEST(PlanCache, RevalidationSweepDropsRottenEntries)
+{
+    std::string dir;
+    ASSERT_TRUE(makeTempDir("tessel-store-reval-", &dir));
+
+    const Placement p = makeShapeByName("V", 4);
+    TesselOptions opts = quickOptions();
+    const Hash128 good_fp = fingerprintQuery(p, opts);
+    const TesselResult good = tesselSearch(p, opts);
+    ASSERT_TRUE(good.found);
+    opts.memLimit = 30;
+    const Hash128 bad_fp = fingerprintQuery(p, opts);
+    const TesselResult bad = tesselSearch(p, opts);
+    ASSERT_TRUE(bad.found);
+
+    PlanCache cache(dir);
+    cache.put(good_fp, p, quickOptions(), good);
+    cache.put(bad_fp, p, opts, bad);
+
+    // Rot one entry on disk behind the cache's back.
+    {
+        PlanStore store(dir);
+        std::string bytes, err;
+        ASSERT_TRUE(readFile(store.pathFor(bad_fp), &bytes, &err)) << err;
+        bytes[bytes.size() / 2] ^= 0x1;
+        ASSERT_TRUE(writeFileAtomic(store.pathFor(bad_fp), bytes, &err))
+            << err;
+    }
+
+    const bool prev = setLogVerbose(false);
+    const size_t removed = cache.revalidateOnce();
+    setLogVerbose(prev);
+    EXPECT_GE(removed, 1u);
+    EXPECT_GE(cache.stats().revalidated, 1u);
+    EXPECT_GE(cache.stats().gcRemoved, 1u);
+
+    // The rotten entry (and its sidecar) are gone; the good one still
+    // serves — and a second sweep finds nothing left to collect.
+    PlanStore store(dir);
+    EXPECT_FALSE(store.has(bad_fp));
+    EXPECT_FALSE(fileExists(store.metaPathFor(bad_fp)));
+    EXPECT_TRUE(store.has(good_fp));
+    const bool prev2 = setLogVerbose(false);
+    EXPECT_EQ(cache.revalidateOnce(), 0u);
+    setLogVerbose(prev2);
+    PlanCache fresh(dir);
+    EXPECT_TRUE(fresh.get(good_fp, p, quickOptions()).has_value());
 }
 
 } // namespace

@@ -18,6 +18,13 @@
  *   # Self-contained cold/warm/corruption demonstration (CI smoke).
  *   tessel_service --selftest
  *
+ *   # Daemon mode: stream line-delimited JSON queries on stdin, one
+ *   # JSON response per line on stdout (order may differ from input;
+ *   # match on "id"). --emit-trace prints the reference batch in the
+ *   # trace format, so the two compose into an end-to-end smoke:
+ *   tessel_service --emit-trace | \
+ *       tessel_service --serve --cache-dir /tmp/plans
+ *
  * The stats JSON carries one object per query with its canonical
  * fingerprint and the digest of the serialized result (`plan_hash`);
  * equal plan hashes across runs certify bit-identical plans.
@@ -26,10 +33,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "service/service.h"
+#include "service/trace.h"
 #include "store/serialize.h"
 #include "support/io.h"
 #include "support/table.h"
@@ -49,6 +58,13 @@ struct Args
     double minHitRate = -1.0;
     bool selftest = false;
     bool neighborSeed = true;
+    bool serve = false;
+    bool emitTrace = false;
+    size_t queueDepth = 64;
+    int workers = 2;
+    double tenantRate = 0.0;
+    double tenantBurst = 8.0;
+    double revalidateSec = 0.0;
 };
 
 void
@@ -69,7 +85,21 @@ usage()
            "                     warm-start store misses from adapted "
            "neighbor plans (default on)\n"
            "  --selftest         cold/warm/corruption demonstration in a "
-           "temp dir\n";
+           "temp dir\n"
+           "  --serve            daemon mode: line-delimited JSON queries "
+           "on stdin,\n"
+           "                     one JSON response per line on stdout\n"
+           "  --emit-trace       print the reference batch in the daemon "
+           "trace format\n"
+           "  --queue-depth N    --serve admission queue capacity "
+           "(default 64)\n"
+           "  --workers N        --serve dispatch workers (default 2)\n"
+           "  --tenant-rate F    per-tenant sustained queries/sec "
+           "(0 = unlimited)\n"
+           "  --tenant-burst F   per-tenant token-bucket burst "
+           "(default 8)\n"
+           "  --revalidate-sec S background store revalidation interval "
+           "(0 = off)\n";
 }
 
 bool
@@ -130,6 +160,35 @@ parseArgs(int argc, char **argv, Args *args)
             args->neighborSeed = mode == "on";
         } else if (a == "--selftest") {
             args->selftest = true;
+        } else if (a == "--serve") {
+            args->serve = true;
+        } else if (a == "--emit-trace") {
+            args->emitTrace = true;
+        } else if (a == "--queue-depth") {
+            const char *v = next("--queue-depth");
+            if (!v)
+                return false;
+            args->queueDepth = static_cast<size_t>(std::atol(v));
+        } else if (a == "--workers") {
+            const char *v = next("--workers");
+            if (!v)
+                return false;
+            args->workers = std::atoi(v);
+        } else if (a == "--tenant-rate") {
+            const char *v = next("--tenant-rate");
+            if (!v)
+                return false;
+            args->tenantRate = std::atof(v);
+        } else if (a == "--tenant-burst") {
+            const char *v = next("--tenant-burst");
+            if (!v)
+                return false;
+            args->tenantBurst = std::atof(v);
+        } else if (a == "--revalidate-sec") {
+            const char *v = next("--revalidate-sec");
+            if (!v)
+                return false;
+            args->revalidateSec = std::atof(v);
         } else if (a == "--help" || a == "-h") {
             usage();
             std::exit(0);
@@ -344,6 +403,101 @@ runSelftest(const Args &args)
     return failures == 0 ? 0 : 1;
 }
 
+/** Print the reference batch as daemon trace lines (one per query). */
+int
+runEmitTrace(const Args &args)
+{
+    static const char *kShapes[] = {"V", "X", "M", "NN", "K"};
+    static const char *kVariants[] = {"homogeneous", "mem-capped",
+                                      "hetero"};
+    int n = 0;
+    for (const char *shape : kShapes) {
+        for (const char *variant : kVariants) {
+            if (!args.hetero && std::string(variant) == "hetero")
+                continue;
+            TraceQuery q;
+            q.id = "q" + std::to_string(++n);
+            q.shape = shape;
+            q.variant = variant;
+            q.devices = args.devices;
+            q.budgetSec = args.budgetSec;
+            std::cout << formatTraceLine(q) << "\n";
+        }
+    }
+    return 0;
+}
+
+/**
+ * Daemon mode: read one JSON query per stdin line, answer through a
+ * ServiceLoop, and emit one JSON response per line on stdout (stdout is
+ * shared by concurrent workers, so emission is serialized; responses
+ * may interleave out of input order — match on "id"). Malformed lines
+ * and unknown coordinates get an error response, never a crash. EOF
+ * drains in-flight queries, prints a summary to stderr, and exits 0.
+ */
+int
+runServe(const Args &args)
+{
+    ServiceLoopOptions loop_opts;
+    loop_opts.service.cacheDir = args.cacheDir;
+    loop_opts.service.numThreads = args.threads;
+    loop_opts.service.neighborSeed = args.neighborSeed;
+    loop_opts.service.perQueryBudgetSec = 0.0; // traces carry budgets
+    loop_opts.queueDepth = args.queueDepth;
+    loop_opts.workers = args.workers;
+    loop_opts.defaultBudget.ratePerSec = args.tenantRate;
+    loop_opts.defaultBudget.burst = args.tenantBurst;
+    loop_opts.revalidateIntervalSec = args.revalidateSec;
+    ServiceLoop loop(std::move(loop_opts));
+
+    std::mutex out_mu;
+    auto emit = [&out_mu](const std::string &line) {
+        std::lock_guard<std::mutex> lock(out_mu);
+        std::cout << line << "\n" << std::flush;
+    };
+
+    std::string line;
+    uint64_t lineno = 0;
+    while (std::getline(std::cin, line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        TraceQuery tq;
+        std::string err;
+        if (!parseTraceLine(line, &tq, &err)) {
+            ServiceLoop::Response resp;
+            resp.admission = Admission::Accepted;
+            resp.report.source = "error";
+            resp.error = "parse error (line " + std::to_string(lineno) +
+                         "): " + err;
+            emit(formatResponseLine(tq.id, resp));
+            continue;
+        }
+        std::optional<PlanQuery> query = makeTraceQuery(tq, &err);
+        if (!query) {
+            ServiceLoop::Response resp;
+            resp.admission = Admission::Accepted;
+            resp.report.source = "error";
+            resp.error = err;
+            emit(formatResponseLine(tq.id, resp));
+            continue;
+        }
+        const std::string id = tq.id;
+        loop.submit(std::move(*query), tq.tenant,
+                    [&emit, id](const ServiceLoop::Response &resp) {
+                        emit(formatResponseLine(id, resp));
+                    });
+    }
+    loop.drain();
+    const LoopStats stats = loop.stats();
+    loop.shutdown();
+    std::cerr << "tessel_service --serve: " << stats.submitted
+              << " submitted, " << stats.completed << " answered, "
+              << stats.rejectedQueueFull << " queue-full, "
+              << stats.rejectedThrottled << " throttled\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -354,6 +508,10 @@ main(int argc, char **argv)
         return 2;
     if (args.selftest)
         return runSelftest(args);
+    if (args.emitTrace)
+        return runEmitTrace(args);
+    if (args.serve)
+        return runServe(args);
 
     const std::vector<PlanQuery> batch =
         referenceShapeQueries(args.devices, args.hetero, args.budgetSec);
