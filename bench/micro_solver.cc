@@ -63,6 +63,100 @@ BM_RepetendEnumeration(benchmark::State &state)
 }
 BENCHMARK(BM_RepetendEnumeration)->Arg(3)->Arg(4)->Arg(5);
 
+/**
+ * The repetend constraint system of a placement under one assignment:
+ * dependency edges (h = index gap, w = producer span) plus per-device
+ * instance-separation pairs (h = 1) — the same static system
+ * PeriodSearch roots its branch-and-bound on, here exposed raw so the
+ * MCR kernel is measurable in isolation.
+ */
+struct KernelInstance
+{
+    int nodes = 0;
+    std::vector<PeriodEdge> edges;
+    Time hi = 0;
+};
+
+KernelInstance
+kernelInstance(const Placement &p, const RepetendAssignment &a)
+{
+    KernelInstance k;
+    k.nodes = p.numBlocks();
+    for (int j = 0; j < k.nodes; ++j)
+        for (int i : p.block(j).deps)
+            k.edges.push_back({i, j, p.block(i).span, a.r[i] - a.r[j]});
+    for (DeviceId d = 0; d < p.numDevices(); ++d) {
+        const auto &on = p.blocksOnDevice(d);
+        for (int b : on)
+            for (int c : on)
+                if (c != b)
+                    k.edges.push_back({b, c, p.block(b).span, 1});
+    }
+    k.hi = p.totalWork();
+    return k;
+}
+
+KernelInstance
+kernelInstanceByShape(int shape)
+{
+    const Placement p = shape == 0   ? makeVShape(4)
+                        : shape == 1 ? makeMShape(4)
+                                     : makeNnShape(4);
+    const auto all = allRepetends(p, 3);
+    return kernelInstance(p, all[all.size() / 2]);
+}
+
+/** Isolated MCR kernel: Arg0 selects the shape (0=V, 1=M, 2=NN). */
+void
+BM_MinPeriodHoward(benchmark::State &state)
+{
+    const KernelInstance k =
+        kernelInstanceByShape(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto r = solveMinPeriod(k.nodes, k.edges, 1, k.hi,
+                                McrMode::Howard);
+        benchmark::DoNotOptimize(r.period);
+    }
+}
+BENCHMARK(BM_MinPeriodHoward)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_MinPeriodBinary(benchmark::State &state)
+{
+    const KernelInstance k =
+        kernelInstanceByShape(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto r = solveMinPeriod(k.nodes, k.edges, 1, k.hi,
+                                McrMode::Binary);
+        benchmark::DoNotOptimize(r.period);
+    }
+}
+BENCHMARK(BM_MinPeriodBinary)->Arg(0)->Arg(1)->Arg(2);
+
+/**
+ * Warm kernel call on a grown system (the BnB child-probe pattern):
+ * solve, append one ordering decision edge, re-solve seeded with the
+ * parent's potentials + policy. Compare against BM_MinPeriodHoward for
+ * the cold-vs-warm kernel gap.
+ */
+void
+BM_MinPeriodHowardWarm(benchmark::State &state)
+{
+    KernelInstance k =
+        kernelInstanceByShape(static_cast<int>(state.range(0)));
+    const McrSolveResult parent =
+        solveMinPeriod(k.nodes, k.edges, 1, k.hi, McrMode::Howard);
+    k.edges.push_back({0, 1, 1, 0});
+    const McrWarmStart warm{&parent.start, parent.period,
+                            &parent.policy};
+    for (auto _ : state) {
+        auto r = solveMinPeriod(k.nodes, k.edges, parent.period, k.hi,
+                                McrMode::Howard, warm);
+        benchmark::DoNotOptimize(r.period);
+    }
+}
+BENCHMARK(BM_MinPeriodHowardWarm)->Arg(0)->Arg(1)->Arg(2);
+
 void
 BM_ToSolve(benchmark::State &state)
 {
@@ -191,11 +285,52 @@ runJsonReport(const std::string &path)
         row.wallMs = watch.milliseconds();
         row.nodes = r.breakdown.solverNodes;
         row.relaxations = r.breakdown.relaxations;
+        row.valueSweeps = r.breakdown.valueSweeps;
+        row.policyImprovements = r.breakdown.policyImprovements;
         rows.push_back(row);
         std::cout << row.bench << ": wall_ms=" << row.wallMs
                   << " nodes=" << row.nodes
                   << " relaxations=" << row.relaxations
+                  << " value_sweeps=" << row.valueSweeps
+                  << " policy_improvements=" << row.policyImprovements
                   << " period=" << r.period << "\n";
+    }
+    // Isolated MCR kernel rows, both modes on the same instances; the
+    // explicit mode means these rows are env-independent, so baseline
+    // and fresh runs compare like for like.
+    const struct
+    {
+        const char *name;
+        int shape;
+        McrMode mode;
+    } kernels[] = {
+        {"MinPeriodHowardMShape", 1, McrMode::Howard},
+        {"MinPeriodBinaryMShape", 1, McrMode::Binary},
+        {"MinPeriodHowardNnShape", 2, McrMode::Howard},
+        {"MinPeriodBinaryNnShape", 2, McrMode::Binary},
+    };
+    for (const auto &kb : kernels) {
+        const KernelInstance k = kernelInstanceByShape(kb.shape);
+        constexpr int kReps = 2000;
+        Stopwatch watch;
+        McrSolveResult last;
+        for (int i = 0; i < kReps; ++i) {
+            last = solveMinPeriod(k.nodes, k.edges, 1, k.hi, kb.mode);
+            benchmark::DoNotOptimize(last.period);
+        }
+        bench::BenchJsonRow row;
+        row.bench = kb.name;
+        row.wallMs = watch.milliseconds();
+        row.relaxations = last.stats.relaxations;
+        row.valueSweeps = last.stats.valueSweeps;
+        row.policyImprovements = last.stats.policyImprovements;
+        rows.push_back(row);
+        std::cout << row.bench << ": wall_ms=" << row.wallMs << " ("
+                  << kReps << " solves) relaxations="
+                  << row.relaxations
+                  << " value_sweeps=" << row.valueSweeps
+                  << " policy_improvements=" << row.policyImprovements
+                  << " period=" << last.period << "\n";
     }
     if (!bench::writeBenchJson(path, rows)) {
         std::cerr << "failed to write " << path << "\n";

@@ -1,6 +1,8 @@
 #include "core/repetend_solver.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "support/arena.h"
 #include "support/logging.h"
@@ -8,30 +10,415 @@
 
 namespace tessel {
 
+McrMode
+defaultMcrMode()
+{
+    // Re-read per call (a libc hash lookup, trivially cheaper than any
+    // solve) so tests can flip the mode and the CI fallback leg
+    // (TESSEL_MCR=binary over the full suite) needs no rebuild.
+    const char *env = std::getenv("TESSEL_MCR");
+    if (env && std::strcmp(env, "binary") == 0)
+        return McrMode::Binary;
+    return McrMode::Howard;
+}
+
+// ----------------------------------------------------------- MCR kernel
+//
+// The minimal-period problem is a cyclic scheduling instance: constraints
+// are differences s_j - s_i >= w - h * P, where h counts period
+// crossings. Three families are order-independent:
+//   - intra-window dependencies (h = 0, w = t_i);
+//   - cross-instance dependencies (h = delta, w = t_i);
+//   - window-width bounds E_d <= P, expressed pairwise as
+//     s_a - s_b >= t_b - P for every ordered pair (b, a) on a device.
+// Device exclusivity is disjunctive (either a before b or b before a) and
+// memory feasibility constrains per-device *orders*; both are resolved by
+// branching. For a fixed set of resolved decisions, the minimal feasible
+// P is the maximum cycle ratio of the constraint graph. Binary mode
+// finds it by binary search with Bellman-Ford positive-cycle detection;
+// Howard mode by policy iteration (see minPeriod below). Adding
+// decisions only raises P, so the relaxation is an admissible bound.
+
 namespace {
 
-/**
- * The minimal-period problem is a cyclic scheduling instance: constraints
- * are differences s_j - s_i >= w - h * P, where h counts period
- * crossings. Three families are order-independent:
- *   - intra-window dependencies (h = 0, w = t_i);
- *   - cross-instance dependencies (h = delta, w = t_i);
- *   - window-width bounds E_d <= P, expressed pairwise as
- *     s_a - s_b >= t_b - P for every ordered pair (b, a) on a device.
- * Device exclusivity is disjunctive (either a before b or b before a) and
- * memory feasibility constrains per-device *orders*; both are resolved by
- * branching. For a fixed set of resolved decisions, the minimal feasible
- * P is the maximum cycle ratio of the constraint graph, found by binary
- * search with Bellman-Ford positive-cycle detection. Adding decisions
- * only raises P, so the relaxation is an admissible bound.
- */
-struct Edge
+/** ceil(w / h) for w > 0, h > 0 (the only case a violated cycle with
+ *  sum_h > 0 can produce: w - P*h > 0 with P >= 0 forces w > 0). */
+inline Time
+ceilRatio(Time w, Time h)
 {
-    int from;
-    int to;
-    Time w;
-    int h;
-};
+    return (w + h - 1) / h;
+}
+
+} // namespace
+
+void
+McrCore::reset(int num_nodes)
+{
+    k_ = num_nodes;
+    policy_.assign(k_, -1);
+    mark_.assign(k_, 0);
+    stamp_ = 0;
+    baseStamp_ = 1;
+    probe_.reserve(k_);
+    reps_.reserve(k_);
+    sweepPoll_ = 0;
+}
+
+/**
+ * One policy-evaluation round at @p period, resuming relaxation from
+ * the current contents of @p s: returns Fixpoint and leaves @p s at the
+ * least fixed point >= its initial value when the graph with edge
+ * weights (w - h * period) has no positive cycle, or PositiveCycle with
+ * cycleW_/cycleH_ holding a violated cycle's weight/height sums.
+ *
+ * Warm-start exactness: relaxation from s0 converges to the least
+ * fixed point above s0, and whenever s0 is pointwise below the
+ * all-zeros least fixed point L the two coincide (every max-weight
+ * path contribution through s0 >= 0 is also >= the zero-source
+ * contribution, and L itself bounds the result from above). Any
+ * fixed point of a *weaker* system — fewer decision edges, larger
+ * or equal period, both of which only lower the fixed point — is
+ * such an s0, so resuming from an ancestor's solution reproduces
+ * the cold result bit for bit. The iteration bound is unchanged:
+ * max-weight paths stay simple when no positive cycle exists, so
+ * k passes still suffice from any starting vector.
+ *
+ * Infeasible probes terminate early through policy-cycle detection
+ * rather than always exhausting all k+1 passes: a cycle in the policy
+ * graph (the Bellman-Ford predecessor forest) implies a strictly
+ * positive constraint cycle (every policy edge was set by a strict
+ * improvement, and the cycle's earliest-set edge guarantees at least
+ * one of the summed inequalities is strict — its source node improved
+ * again later, or the cycle could not have closed), while a feasible
+ * system can never grow one — so verdicts, and hence results, are
+ * unchanged.
+ *
+ * @p keep_policy resumes with the pre-seeded contents of policy_
+ * (an ancestor's converged forest) instead of clearing it. Sound at
+ * an unchanged period: the ancestor's sweeps relaxed a subset of
+ * this system's edges under the same adjusted weights, so ancestor +
+ * this call form one valid relaxation history, and the cycle lemma
+ * above only needs that. The payoff is detection speed — one firing
+ * of a violated decision edge closes a cycle through the ancestor's
+ * already-present tight-path edges instead of waiting for the
+ * improvement wave to walk the whole cycle.
+ */
+McrCore::Sweep
+McrCore::evaluate(Time period, std::vector<Time> &s, McrMode mode,
+                  bool keep_policy, McrStats &stats,
+                  const std::function<bool()> &stop)
+{
+    if (!keep_policy)
+        std::fill(policy_.begin(), policy_.end(), -1);
+    const bool howard = mode == McrMode::Howard;
+    // The adjusted weights w - h * P are probe constants. They are
+    // computed fused into the first sweep (stored for later sweeps)
+    // rather than in a separate pass: Howard evaluations converge or
+    // detect in very few sweeps, so a standalone O(E) precompute pass
+    // would rival the cost of the sweeps themselves.
+    wp_.resize(ne_);
+    bool first_sweep = true;
+    auto sweep_once = [&]() {
+        if (howard)
+            ++stats.valueSweeps;
+        else
+            ++stats.relaxations;
+        bool changed = false;
+        if (first_sweep) {
+            first_sweep = false;
+            for (size_t i = 0; i < ne_; ++i) {
+                const PeriodEdge &e = edges_[i];
+                const Time w =
+                    e.w - static_cast<Time>(e.h) * period;
+                wp_[i] = w;
+                const Time need = s[e.from] + w;
+                if (need > s[e.to]) {
+                    s[e.to] = need;
+                    policy_[e.to] = static_cast<int>(i);
+                    changed = true;
+                }
+            }
+            return changed;
+        }
+        for (size_t i = 0; i < ne_; ++i) {
+            const PeriodEdge &e = edges_[i];
+            const Time need = s[e.from] + wp_[i];
+            if (need > s[e.to]) {
+                s[e.to] = need;
+                policy_[e.to] = static_cast<int>(i);
+                changed = true;
+            }
+        }
+        return changed;
+    };
+    auto best_violated_cycle = [&]() {
+        // Walk every detected policy cycle, summing the real (w, h) of
+        // its edges, and keep the one demanding the largest period —
+        // each cycle is genuine (the lemma above applies to any policy
+        // cycle), so the max of their exact ratio ceilings is still a
+        // lower bound on the answer while jumping further per round
+        // than any single cycle. A cycle with sum_h == 0 is infeasible
+        // at every period and trumps everything.
+        cycleW_ = 0;
+        cycleH_ = 0;
+        bool have = false;
+        for (const int v : reps_) {
+            Time w = 0, h = 0;
+            int u = v;
+            do {
+                const PeriodEdge &e = edges_[policy_[u]];
+                w += e.w;
+                h += e.h;
+                u = e.from;
+            } while (u != v);
+            if (h == 0) {
+                cycleW_ = w;
+                cycleH_ = 0;
+                return;
+            }
+            if (!have || ceilRatio(w, h) > ceilRatio(cycleW_, cycleH_)) {
+                cycleW_ = w;
+                cycleH_ = h;
+                have = true;
+            }
+        }
+    };
+    for (int iter = 0; iter < k_; ++iter) {
+        // Budget/cancel polling covers the value-sweep loop (Howard
+        // mode only; Binary keeps the per-node cadence of PR 4). Most
+        // evaluations finish in one or two sweeps, so the indirect
+        // std::function call is throttled by a cheap local counter
+        // before the callback's own every-1024-checks gate; a runaway
+        // evaluation still gets polled.
+        if (howard && stop && ((++sweepPoll_ & 63u) == 0) && stop())
+            return Sweep::Stopped;
+        if (!sweep_once())
+            return Sweep::Fixpoint;
+        if (howard) {
+            policyCycleReps(reps_);
+            if (!reps_.empty()) {
+                best_violated_cycle();
+                return Sweep::PositiveCycle;
+            }
+        } else if (policyCycleNode() >= 0) {
+            return Sweep::PositiveCycle;
+        }
+    }
+    if (!sweep_once())
+        return Sweep::Fixpoint;
+    // A change on pass k+1 proves a positive cycle exists. The policy
+    // graph normally contains it by now; if this pass's overwrites
+    // happened to break every closed walk, fall back to a +1 raise
+    // certificate — still exact (the period is proven infeasible, so
+    // the answer is >= period + 1), merely less of a jump.
+    if (howard) {
+        policyCycleReps(reps_);
+        if (!reps_.empty()) {
+            best_violated_cycle();
+        } else {
+            cycleW_ = period + 1;
+            cycleH_ = 1;
+        }
+    }
+    return Sweep::PositiveCycle;
+}
+
+/** @return a node on a policy-graph cycle, or -1 when acyclic. */
+int
+McrCore::policyCycleNode()
+{
+    // One stamped walk per start node; every node is visited at
+    // most once per check, so the whole scan is O(k).
+    for (int v = 0; v < k_; ++v) {
+        if (mark_[v] >= baseStamp_)
+            continue;
+        const uint64_t walk = ++stamp_;
+        int u = v;
+        while (u >= 0 && mark_[u] < baseStamp_) {
+            mark_[u] = walk;
+            u = policy_[u] >= 0 ? edges_[policy_[u]].from : -1;
+        }
+        if (u >= 0 && mark_[u] == walk) {
+            baseStamp_ = ++stamp_; // Age marks for the next check.
+            return u;
+        }
+    }
+    // Age all walk marks at once for the next check.
+    baseStamp_ = ++stamp_;
+    return -1;
+}
+
+/** Collect one representative node per distinct policy cycle. Same
+ *  stamped O(k) scan as policyCycleNode, but exhaustive: Howard's
+ *  improvement step raises to the *largest* demand among all cycles
+ *  present, which converges in fewer rounds than chasing them one at
+ *  a time (each round pays a from-zeros re-evaluation). */
+void
+McrCore::policyCycleReps(std::vector<int> &reps)
+{
+    reps.clear();
+    for (int v = 0; v < k_; ++v) {
+        if (mark_[v] >= baseStamp_)
+            continue;
+        const uint64_t walk = ++stamp_;
+        int u = v;
+        while (u >= 0 && mark_[u] < baseStamp_) {
+            mark_[u] = walk;
+            u = policy_[u] >= 0 ? edges_[policy_[u]].from : -1;
+        }
+        if (u >= 0 && mark_[u] == walk)
+            reps.push_back(u);
+    }
+    baseStamp_ = ++stamp_;
+}
+
+/**
+ * Minimal feasible period within [lo, hi]; see the header for the
+ * contract and warm-start validity rules.
+ *
+ * Binary mode: probe hi (establishing range feasibility and the
+ * caller's anchor), then classic binary search; every accepted probe
+ * keeps @p s synced with the current upper bound, so the converged
+ * @p s needs no trailing re-probe.
+ *
+ * Howard mode: policy iteration. Start at lo (the inherited lower
+ * bound); evaluate the potentials there — in the warm case one sweep
+ * from the parent's converged potentials. If the evaluation converges,
+ * lo is feasible and, because improvements below never overshoot, it
+ * IS the answer. Otherwise the violated policy cycle (W, H) proves
+ * every period below ceil(W / H) infeasible: improve the period to
+ * max(P + 1, ceil(W / H)) — at most the true maximum cycle ratio
+ * ceiling, since the cycle is real — and re-evaluate. The first
+ * period whose evaluation reaches a fixed point is therefore exactly
+ * max(lo, ceil(max cycle ratio)), the same value the binary search
+ * returns, and @p s is the least fixed point there, the same vector
+ * the binary search leaves behind. A violated cycle with H == 0 has
+ * W > 0 at any period: infeasible outright, matching the binary
+ * path's failed hi probe.
+ */
+Time
+McrCore::minPeriod(const PeriodEdge *edges, size_t num_edges, Time lo,
+                   Time hi, McrMode mode, const McrWarmStart &warm,
+                   std::vector<Time> &s, std::vector<Time> *anchor,
+                   std::vector<int> *policy_out, McrStats &stats,
+                   const std::function<bool()> &stop)
+{
+    if (lo > hi)
+        return -1;
+    edges_ = edges;
+    ne_ = num_edges;
+
+    if (mode == McrMode::Binary) {
+        panic_if(anchor == nullptr, "binary MCR mode needs an anchor");
+        // Largest-period probe: establishes feasibility of the range
+        // and this node's anchor.
+        if (warm.s)
+            *anchor = *warm.s;
+        else
+            anchor->assign(k_, 0);
+        if (evaluate(hi, *anchor, mode, false, stats, stop) !=
+            Sweep::Fixpoint)
+            return -1;
+        s = *anchor;
+        while (lo < hi) {
+            const Time mid = lo + (hi - lo) / 2;
+            // mid < hi, so s (the fixed point at hi) is below the
+            // fixed point at mid and remains a valid warm base.
+            if (warm.s)
+                probe_ = s;
+            else
+                probe_.assign(k_, 0);
+            if (evaluate(mid, probe_, mode, false, stats, stop) ==
+                Sweep::Fixpoint) {
+                s.swap(probe_);
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        return hi;
+    }
+
+    Time period = lo;
+    bool first = true;
+    for (;;) {
+        // The ancestor's converged potentials are a least fixed point
+        // of a weaker system at warm.period; they stay a valid resume
+        // vector only while the probed period does not exceed it
+        // (larger periods lower fixed points), and its policy forest
+        // is only inheritable at exactly that period (the composed-
+        // history argument on evaluate() needs one set of adjusted
+        // weights). Improvement rounds probe above it and restart
+        // from zeros.
+        bool keep_policy = false;
+        if (first && warm.s && period <= warm.period) {
+            s = *warm.s;
+            if (warm.policy && period == warm.period) {
+                policy_ = *warm.policy;
+                keep_policy = true;
+            }
+        } else {
+            s.assign(k_, 0);
+        }
+        first = false;
+        switch (evaluate(period, s, mode, keep_policy, stats, stop)) {
+        case Sweep::Fixpoint:
+            if (policy_out)
+                *policy_out = policy_;
+            return period;
+        case Sweep::Stopped:
+            return -1;
+        case Sweep::PositiveCycle:
+            break;
+        }
+        if (cycleH_ == 0)
+            return -1; // Positive at every period.
+        const Time next = std::max(period + 1, ceilRatio(cycleW_, cycleH_));
+        ++stats.policyImprovements;
+        if (next > hi)
+            return -1;
+        period = next;
+    }
+}
+
+McrSolveResult
+solveMinPeriod(int num_nodes, const std::vector<PeriodEdge> &edges,
+               Time lo, Time hi, McrMode mode, const McrWarmStart &warm)
+{
+    panic_if(num_nodes < 0, "solveMinPeriod: negative node count");
+    panic_if(lo < 0, "solveMinPeriod: negative lower bound");
+    const int ne = static_cast<int>(edges.size());
+    for (const PeriodEdge &e : edges) {
+        panic_if(e.from < 0 || e.from >= num_nodes || e.to < 0 ||
+                     e.to >= num_nodes,
+                 "solveMinPeriod: edge endpoint out of range");
+        panic_if(e.h < 0, "solveMinPeriod: negative edge height");
+    }
+    panic_if(warm.s && static_cast<int>(warm.s->size()) != num_nodes,
+             "solveMinPeriod: warm base size mismatch");
+    if (warm.policy) {
+        panic_if(static_cast<int>(warm.policy->size()) != num_nodes,
+                 "solveMinPeriod: warm policy size mismatch");
+        for (const int e : *warm.policy)
+            panic_if(e < -1 || e >= ne,
+                     "solveMinPeriod: warm policy edge out of range");
+    }
+    McrCore core;
+    core.reset(num_nodes);
+    McrSolveResult out;
+    std::vector<Time> anchor;
+    out.period = core.minPeriod(
+        edges.data(), edges.size(), lo, hi, mode, warm, out.start,
+        mode == McrMode::Binary ? &anchor : nullptr, &out.policy,
+        out.stats, std::function<bool()>{});
+    if (out.period < 0) {
+        out.start.clear();
+        out.policy.clear();
+    }
+    return out;
+}
+
+namespace {
 
 class PeriodSearch
 {
@@ -58,7 +445,10 @@ class PeriodSearch
             out.proven = true;
             return out;
         }
-        recurse(0, 0, nullptr);
+        recurse(0, 0, McrWarmStart{});
+        stats_.relaxations = mcrStats_.relaxations;
+        stats_.valueSweeps = mcrStats_.valueSweeps;
+        stats_.policyImprovements = mcrStats_.policyImprovements;
         out.stats = stats_;
         out.stats.seconds = budget_.elapsed();
         out.proven = !stats_.budgetExhausted;
@@ -116,11 +506,9 @@ class PeriodSearch
         serialUb_ = p_.totalWork();
         globalLb_ = std::max<Time>(1, p_.perMicrobatchLowerBound());
 
-        probe_.reserve(k_);
         order_.reserve(k_);
-        wp_.reserve(edges_.size() + 64);
-        pred_.assign(k_, -1);
-        mark_.assign(k_, 0);
+        mcr_.reset(k_);
+        stopCb_ = [this]() { return sweepStop(); };
 
         entryMem_ = repetendEntryMem(p_, assign_);
         if (!opts_.initialMem.empty()) {
@@ -146,102 +534,24 @@ class PeriodSearch
         return true;
     }
 
-    /**
-     * Bellman-Ford feasibility for a fixed period, resuming relaxation
-     * from the current contents of @p s: returns true and leaves @p s
-     * at the least fixed point >= its initial value when the graph with
-     * edge weights (w - h * P) has no positive cycle.
-     *
-     * Warm-start exactness: relaxation from s0 converges to the least
-     * fixed point above s0, and whenever s0 is pointwise below the
-     * all-zeros least fixed point L the two coincide (every max-weight
-     * path contribution through s0 >= 0 is also >= the zero-source
-     * contribution, and L itself bounds the result from above). Any
-     * fixed point of a *weaker* system — fewer decision edges, larger
-     * or equal period, both of which only lower the fixed point — is
-     * such an s0, so resuming from an ancestor's solution reproduces
-     * the cold result bit for bit. The iteration bound is unchanged:
-     * max-weight paths stay simple when no positive cycle exists, so
-     * k passes still suffice from any starting vector.
-     *
-     * Infeasible probes terminate early through predecessor-cycle
-     * detection rather than always exhausting all k+1 passes: a cycle
-     * in the predecessor graph implies a strictly positive constraint
-     * cycle (every pred edge was set by a strict improvement, and the
-     * cycle's latest-set edge guarantees at least one of the summed
-     * inequalities is strict), while a feasible system can never grow
-     * one — so verdicts, and hence results, are unchanged.
-     */
-    bool
-    relaxToFixpoint(Time period, std::vector<Time> &s)
-    {
-        // The adjusted weights w - h * P are probe constants; hoisting
-        // them drops a multiply per edge from every pass.
-        const size_t ne = edges_.size();
-        wp_.resize(ne);
-        for (size_t i = 0; i < ne; ++i)
-            wp_[i] = edges_[i].w -
-                     static_cast<Time>(edges_[i].h) * period;
-        std::fill(pred_.begin(), pred_.end(), -1);
-        auto relax_once = [&]() {
-            ++stats_.relaxations;
-            bool changed = false;
-            for (size_t i = 0; i < ne; ++i) {
-                const Edge &e = edges_[i];
-                const Time need = s[e.from] + wp_[i];
-                if (need > s[e.to]) {
-                    s[e.to] = need;
-                    pred_[e.to] = e.from;
-                    changed = true;
-                }
-            }
-            return changed;
-        };
-        for (int iter = 0; iter < k_; ++iter) {
-            if (!relax_once())
-                return true;
-            if (predHasCycle())
-                return false;
-        }
-        return !relax_once();
-    }
-
-    /** @return true when the predecessor graph contains a cycle. */
-    bool
-    predHasCycle()
-    {
-        // One stamped walk per start node; every node is visited at
-        // most once per check, so the whole scan is O(k).
-        for (int v = 0; v < k_; ++v) {
-            if (mark_[v] >= baseStamp_)
-                continue;
-            const uint64_t walk = ++stamp_;
-            int u = v;
-            while (u >= 0 && mark_[u] < baseStamp_) {
-                mark_[u] = walk;
-                u = pred_[u];
-            }
-            if (u >= 0 && mark_[u] == walk) {
-                baseStamp_ = ++stamp_; // Age marks for the next check.
-                return true;
-            }
-        }
-        // Age all walk marks at once for the next check.
-        baseStamp_ = ++stamp_;
-        return false;
-    }
-
     /** Per-depth scratch frame (allocated once per depth, reused). */
     struct Frame
     {
         /** Start vector of this node: least fixed point at the period
-         *  minPeriod() returned. */
+         *  minPeriod() returned. In Howard mode doubles as the
+         *  descendants' warm base (children inherit this node's period
+         *  as their lower bound, and at an unchanged period the parent
+         *  fixed point is a valid resume vector; see McrCore). */
         std::vector<Time> s;
-        /** Least fixed point at this node's largest-period probe; the
-         *  valid warm-start base for every descendant probe (periods
-         *  only shrink and edges only grow down the tree, both of
-         *  which raise fixed points). */
+        /** Binary mode only: least fixed point at this node's
+         *  largest-period probe; the valid warm-start base for every
+         *  descendant probe (periods only shrink and edges only grow
+         *  down the tree, both of which raise fixed points). */
         std::vector<Time> anchor;
+        /** Howard mode only: converged improving-edge forest at this
+         *  node's period; descendants probing the same period seed
+         *  their policy graph from it (see McrWarmStart::policy). */
+        std::vector<int> policy;
         /** Memory-violating prefix found by findMemoryViolation(). */
         std::vector<int> prefix;
         /** Membership marks for `prefix`, cleared after branching. */
@@ -250,62 +560,41 @@ class PeriodSearch
 
     /**
      * Minimal feasible period for the current decision set within
-     * [lb_hint, limit]; returns -1 when infeasible within the range.
-     * Fills f.s with the least-fixed-point start vector of the
-     * returned period. @p warm_base is the nearest ancestor anchor
-     * (nullptr at the root); on return @p anchor_out points at the
-     * anchor descendants must warm-start from.
+     * [lb_hint, limit]; returns -1 when infeasible within the range
+     * (or when a mid-solve budget trip abandoned the solve — check
+     * `stopped_`). Fills f.s with the least-fixed-point start vector
+     * of the returned period and @p child_out with the warm-start
+     * handle descendants must inherit.
      *
-     * The final f.s needs no trailing re-probe: the initial probe and
-     * every accepted binary-search probe leave f.s synced with the
-     * current `hi`, so when the search converges f.s already is the
-     * fixed point of the answer.
-     *
-     * The parent period only tightens `lb_hint`; probing it outright
-     * first (betting the child's period is unchanged) was measured and
-     * rejected — an infeasible probe never benefits from the warm
-     * vector the way a feasible one does, and on the reference shapes
-     * those extra failed probes outweighed the binary searches they
-     * skipped. Keeping the cold probe schedule keeps warm cost below
-     * cold on every successful probe (same fixed point, higher start)
-     * and comparable on failed ones (bounded by the same k+1 passes).
+     * The parent period only tightens `lb_hint` in Binary mode;
+     * probing it outright first (betting the child's period is
+     * unchanged) was measured and rejected there — an infeasible probe
+     * never benefits from the warm vector the way a feasible one does,
+     * and on the reference shapes those extra failed probes outweighed
+     * the binary searches they skipped. Howard mode is that bet made
+     * safe: its first evaluation *is* at the parent period, but an
+     * infeasible evaluation still pays for itself by producing the
+     * violated cycle that jumps the period to the answer.
      */
     Time
     minPeriod(Time lb_hint, Time limit, Frame &f,
-              const std::vector<Time> *warm_base,
-              const std::vector<Time> *&anchor_out)
+              const McrWarmStart &warm, McrWarmStart &child_out)
     {
-        Time lo = std::max(globalLb_, lb_hint);
-        Time hi = std::min(serialUb_, limit);
-        if (lo > hi)
+        const Time lo = std::max(globalLb_, lb_hint);
+        const Time hi = std::min(serialUb_, limit);
+        const bool binary = opts_.mcr == McrMode::Binary;
+        const Time period = mcr_.minPeriod(
+            edges_.data(), edges_.size(), lo, hi, opts_.mcr,
+            opts_.warmStart ? warm : McrWarmStart{}, f.s,
+            binary ? &f.anchor : nullptr,
+            binary ? nullptr : &f.policy, mcrStats_, stopCb_);
+        if (period < 0)
             return -1;
-        const bool warm = opts_.warmStart && warm_base != nullptr;
-        // Largest-period probe: establishes feasibility of the range
-        // and this node's anchor.
-        if (warm)
-            f.anchor = *warm_base;
+        if (binary)
+            child_out = {&f.anchor, hi, nullptr};
         else
-            f.anchor.assign(k_, 0);
-        if (!relaxToFixpoint(hi, f.anchor))
-            return -1;
-        anchor_out = &f.anchor;
-        f.s = f.anchor;
-        while (lo < hi) {
-            const Time mid = lo + (hi - lo) / 2;
-            // mid < hi, so f.s (the fixed point at hi) is below the
-            // fixed point at mid and remains a valid warm base.
-            if (warm)
-                probe_ = f.s;
-            else
-                probe_.assign(k_, 0);
-            if (relaxToFixpoint(mid, probe_)) {
-                f.s.swap(probe_);
-                hi = mid;
-            } else {
-                lo = mid + 1;
-            }
-        }
-        return hi;
+            child_out = {&f.s, period, &f.policy};
+        return period;
     }
 
     /** Find any overlapping same-device pair; -1s when conflict-free. */
@@ -386,6 +675,32 @@ class PeriodSearch
         return false;
     }
 
+    /**
+     * Per-sweep stop poll for the Howard value loop: clock and cancel
+     * only, through the same every-1024 gate as budgetTripped(). The
+     * node limit is deliberately absent — node counts change only at
+     * node boundaries, so checking it mid-solve could never trip and
+     * would make nodeLimit accounting depend on sweep counts.
+     */
+    bool
+    sweepStop()
+    {
+        if (stopped_)
+            return true;
+        if ((pollGate_++ & 1023) != 0)
+            return false;
+        if (budget_.expired()) {
+            stats_.budgetExhausted = true;
+            return stopped_ = true;
+        }
+        if (opts_.cancel.cancelled()) {
+            stats_.cancelled = true;
+            stats_.budgetExhausted = true;
+            return stopped_ = true;
+        }
+        return false;
+    }
+
     Time
     incumbentLimit() const
     {
@@ -403,14 +718,13 @@ class PeriodSearch
     }
 
     /**
-     * One search node at recursion @p depth. @p warm_base is the
-     * nearest ancestor's anchor fixed point (nullptr at the root);
-     * all scratch lives in per-depth frames, so steady-state search
-     * allocates nothing.
+     * One search node at recursion @p depth. @p warm is the nearest
+     * ancestor's warm-start handle (empty at the root); all scratch
+     * lives in per-depth frames, so steady-state search allocates
+     * nothing.
      */
     void
-    recurse(int depth, Time parent_period,
-            const std::vector<Time> *warm_base)
+    recurse(int depth, Time parent_period, const McrWarmStart &warm)
     {
         if (budgetTripped())
             return;
@@ -419,14 +733,18 @@ class PeriodSearch
         Frame &f = frames_.at(static_cast<size_t>(depth), [&](Frame &fr) {
             fr.s.reserve(k_);
             fr.anchor.reserve(k_);
+            fr.policy.reserve(k_);
             fr.prefix.reserve(k_);
             fr.inPrefix.assign(k_, 0);
         });
-        const std::vector<Time> *child_base = warm_base;
+        McrWarmStart child_base = warm;
         const Time period =
-            minPeriod(parent_period, incumbentLimit(), f, warm_base,
+            minPeriod(parent_period, incumbentLimit(), f, warm,
                       child_base);
         if (period < 0) {
+            // A mid-solve clock/cancel trip is not a proven prune.
+            if (stopped_)
+                return;
             ++stats_.boundPrunes;
             // Attribute the prune to the warm-start seed while the
             // caller's bound is still seed-derived and this solve has
@@ -492,7 +810,7 @@ class PeriodSearch
     int k_ = 0;
     int nd_ = 0;
 
-    std::vector<Edge> edges_; // Base constraints + decision tail.
+    std::vector<PeriodEdge> edges_; // Base constraints + decision tail.
     std::vector<Time> spans_;
     std::vector<Mem> memory_;
     std::vector<Mem> entryMem_;
@@ -501,13 +819,10 @@ class PeriodSearch
 
     // Persistent scratch (see Frame for the per-depth pieces).
     FramePool<Frame> frames_;
-    std::vector<Time> probe_; // Binary-search probe buffer.
     std::vector<int> order_;  // findMemoryViolation sort buffer.
-    std::vector<Time> wp_;    // Per-probe adjusted edge weights.
-    std::vector<int> pred_;   // Bellman-Ford predecessor graph.
-    std::vector<uint64_t> mark_; // predHasCycle() walk stamps.
-    uint64_t stamp_ = 0;
-    uint64_t baseStamp_ = 1;
+    McrCore mcr_;             // Minimal-period kernel + its scratch.
+    McrStats mcrStats_;
+    std::function<bool()> stopCb_;
     uint64_t pollGate_ = 0;   // Throttles clock/cancel polling.
     bool stopped_ = false;    // Sticky budget/cancel trip.
 

@@ -24,12 +24,179 @@
 #ifndef TESSEL_CORE_REPETEND_SOLVER_H
 #define TESSEL_CORE_REPETEND_SOLVER_H
 
+#include <functional>
 #include <vector>
 
 #include "core/repetend.h"
 #include "solver/problem.h"
 
 namespace tessel {
+
+/**
+ * How the per-node minimal feasible period (a maximum cycle ratio) is
+ * computed inside PeriodSearch.
+ */
+enum class McrMode {
+    /**
+     * Howard-style policy iteration: the Bellman-Ford predecessor
+     * forest is the policy; each round evaluates the node potentials at
+     * the current period (one warm value sweep in the common case) and,
+     * when a policy cycle proves the period infeasible, improves the
+     * period to that cycle's exact ratio ceiling. Improvements never
+     * overshoot the true maximum cycle ratio, so the converged period
+     * and its least-fixed-point potentials are bit-identical to the
+     * binary-search path.
+     */
+    Howard,
+    /**
+     * Binary search over candidate periods with one Bellman-Ford
+     * feasibility probe per step (the PR 4 path; O(log range) probes
+     * per node). Kept as a differential-testing fallback and the cold
+     * perf baseline.
+     */
+    Binary,
+};
+
+/**
+ * Process-wide default MCR mode: Howard unless the TESSEL_MCR
+ * environment variable says "binary". Re-read on every call so tests
+ * can flip it; anything other than "binary"/"howard" falls back to
+ * Howard.
+ */
+McrMode defaultMcrMode();
+
+/**
+ * One difference-constraint edge of a parametric period system:
+ * s[to] >= s[from] + w - h * P, with h >= 0 counting period crossings.
+ * Feasibility of a period P is the absence of a positive cycle under
+ * the adjusted weights w - h * P; the minimal feasible P is the
+ * maximum cycle ratio ceil(sum_w / sum_h) over cycles with sum_h > 0.
+ */
+struct PeriodEdge
+{
+    int from;
+    int to;
+    Time w;
+    int h;
+};
+
+/** Effort counters of the MCR kernel (see SolveStats for semantics). */
+struct McrStats
+{
+    /** Bellman-Ford passes spent by Binary-mode probes. */
+    uint64_t relaxations = 0;
+    /** Value-evaluation sweeps spent by Howard-mode rounds. */
+    uint64_t valueSweeps = 0;
+    /** Howard policy improvements (period raises from a cycle). */
+    uint64_t policyImprovements = 0;
+};
+
+/**
+ * Warm-start handle for McrCore::minPeriod: a borrowed ancestor
+ * solution of a *weaker* system (a subset of the probe's edges).
+ * All pointees are optional and must outlive the call.
+ */
+struct McrWarmStart
+{
+    /** Ancestor least fixed point; the resume vector for potentials. */
+    const std::vector<Time> *s = nullptr;
+    /** Period @ref s was evaluated at (validity gate: Howard resumes
+     *  from it only while probing periods <= this, Binary treats it as
+     *  an anchor computed at some period >= the probe range). */
+    Time period = -1;
+    /** Ancestor improving-edge forest (indices into the ancestor's
+     *  edge array, which must be a prefix of the probe's). Howard
+     *  seeds its policy graph from it when probing exactly at
+     *  @ref period — the composed relaxation histories stay a valid
+     *  single history at one period, so seeded policy cycles still
+     *  certify genuine positive cycles. Ignored by Binary. */
+    const std::vector<int> *policy = nullptr;
+};
+
+/**
+ * Reusable minimal-period / maximum-cycle-ratio kernel. One instance
+ * owns the persistent scratch (adjusted weights, policy edges, walk
+ * stamps), so repeated calls allocate nothing in steady state.
+ * PeriodSearch drives it once per branch-and-bound node; tests and
+ * benches use it standalone through solveMinPeriod().
+ */
+class McrCore
+{
+  public:
+    /** Size the scratch for systems of @p num_nodes nodes. */
+    void reset(int num_nodes);
+
+    /**
+     * Minimal feasible period of the system within [lo, hi]; -1 when
+     * infeasible in that range (including "infeasible at any period":
+     * a positive cycle with sum_h == 0). On success fills @p s with the
+     * least fixed point of the adjusted system at the returned period —
+     * the unique start vector both modes agree on bit for bit.
+     *
+     * Warm starts (exactness argument in the .cc): see McrWarmStart.
+     * Binary mode additionally fills @p anchor (required in that mode)
+     * with this call's LFP at @p hi; Howard mode fills @p policy_out
+     * (when non-null) with the converged improving-edge forest — the
+     * seed descendants probing the same period should inherit.
+     *
+     * @p stop is polled once per sweep (Howard mode only — Binary keeps
+     * the PR 4 behavior of polling per search node, not per probe);
+     * returning true abandons the solve with -1 and the caller must
+     * treat the result as unproven rather than infeasible.
+     */
+    Time minPeriod(const PeriodEdge *edges, size_t num_edges, Time lo,
+                   Time hi, McrMode mode, const McrWarmStart &warm,
+                   std::vector<Time> &s, std::vector<Time> *anchor,
+                   std::vector<int> *policy_out, McrStats &stats,
+                   const std::function<bool()> &stop);
+
+  private:
+    enum class Sweep { Fixpoint, PositiveCycle, Stopped };
+
+    Sweep evaluate(Time period, std::vector<Time> &s, McrMode mode,
+                   bool keep_policy, McrStats &stats,
+                   const std::function<bool()> &stop);
+    int policyCycleNode();
+    void policyCycleReps(std::vector<int> &reps);
+
+    int k_ = 0;
+    const PeriodEdge *edges_ = nullptr; // Borrowed for one call.
+    size_t ne_ = 0;
+    std::vector<Time> wp_;      // Per-probe adjusted edge weights.
+    std::vector<int> policy_;   // Improving in-edge per node (-1: ground).
+    std::vector<int> reps_;     // Policy-cycle representatives scratch.
+    std::vector<Time> probe_;   // Binary-search probe buffer.
+    std::vector<uint64_t> mark_; // policyCycleNode() walk stamps.
+    uint64_t stamp_ = 0;
+    uint64_t baseStamp_ = 1;
+    uint32_t sweepPoll_ = 0; // Throttles the per-sweep stop callback.
+    Time cycleW_ = 0; // Violated-cycle weight/height sums, valid after
+    Time cycleH_ = 0; // evaluate() returns PositiveCycle.
+};
+
+/** Standalone result of solveMinPeriod (tests and kernel benches). */
+struct McrSolveResult
+{
+    /** Minimal feasible period in [lo, hi]; -1 when infeasible. */
+    Time period = -1;
+    /** Least fixed point at `period` (empty when infeasible). */
+    std::vector<Time> start;
+    /** Howard mode: converged improving-edge forest at `period`,
+     *  reusable as McrWarmStart::policy for a grown edge system. */
+    std::vector<int> policy;
+    McrStats stats;
+};
+
+/**
+ * One-shot wrapper over McrCore for a self-contained edge system.
+ * @p warm (optional pointees) must obey the validity rules documented
+ * on McrWarmStart: a least fixed point of a subset of @p edges
+ * computed at a period >= the periods this call probes.
+ */
+McrSolveResult solveMinPeriod(int num_nodes,
+                              const std::vector<PeriodEdge> &edges,
+                              Time lo, Time hi, McrMode mode,
+                              const McrWarmStart &warm = {});
 
 /** Options for one repetend period solve. */
 struct RepetendSolveOptions
@@ -64,6 +231,15 @@ struct RepetendSolveOptions
      * cold O(k*E) probes (the counter-regression baseline).
      */
     bool warmStart = true;
+    /**
+     * Inner minimal-period solver (see McrMode). Plan-invariant: both
+     * modes return identical periods and start vectors, so the knob is
+     * excluded from instance fingerprints exactly like warmStart and
+     * numThreads. Defaults to Howard, overridable process-wide via the
+     * TESSEL_MCR environment variable ("binary" restores the PR 4
+     * binary-search path for differential testing).
+     */
+    McrMode mcr = defaultMcrMode();
     /** Cooperative cancellation; a cancelled solve reports
      *  stats.cancelled and comes back infeasible/unproven. */
     CancelToken cancel;

@@ -116,6 +116,14 @@ struct TesselOptions
      * call; nullptr runs cold.
      */
     const SearchSeed *seed = nullptr;
+    /**
+     * Inner minimal-period solver for the repetend sweep (see McrMode).
+     * Plan-invariant — both modes return bit-identical periods and
+     * start vectors — so it is excluded from the instance fingerprint
+     * exactly like numThreads and the warm-start seed. Defaults to
+     * Howard, overridable process-wide via TESSEL_MCR=binary.
+     */
+    McrMode mcr = defaultMcrMode();
 };
 
 /** Search diagnostics (feeds the Fig. 9/10 benches). */
@@ -131,9 +139,15 @@ struct SearchBreakdown
     /** Search nodes expanded across all inner solves (PeriodSearch +
      * BnB phase/completion solves). */
     uint64_t solverNodes = 0;
-    /** Bellman-Ford relaxation passes across repetend solves; the
-     * warm-start tentpole's primary effort metric. */
+    /** Bellman-Ford relaxation passes across binary-mode repetend
+     * solves; the PR 4 warm-start effort metric (zero in Howard mode). */
     uint64_t relaxations = 0;
+    /** Howard policy-evaluation sweeps across repetend solves; the
+     * probe-equivalent of `relaxations` under McrMode::Howard. */
+    uint64_t valueSweeps = 0;
+    /** Howard policy improvements (period raises) across repetend
+     * solves. */
+    uint64_t policyImprovements = 0;
     /** Cross-round dominance-memo reuses inside BnB solves. */
     uint64_t memoReused = 0;
     int threadsUsed = 1;          ///< sweep worker count actually used
@@ -164,6 +178,8 @@ struct SearchBreakdown
         satChecks += other.satChecks;
         solverNodes += other.solverNodes;
         relaxations += other.relaxations;
+        valueSweeps += other.valueSweeps;
+        policyImprovements += other.policyImprovements;
         memoReused += other.memoReused;
         threadsUsed = threadsUsed > other.threadsUsed ? threadsUsed
                                                       : other.threadsUsed;

@@ -244,6 +244,9 @@ PlanningService::runBatch(const std::vector<PlanQuery> &queries)
         row.found = inst.result.found;
         row.period = inst.result.period;
         row.wallSec = inst.wallSec;
+        row.valueSweeps = inst.result.breakdown.valueSweeps;
+        row.policyImprovements =
+            inst.result.breakdown.policyImprovements;
         if (inst.seeded) {
             row.seededFrom = inst.seededFrom;
             row.seedMakespan = inst.result.breakdown.seedMakespan;
@@ -307,6 +310,8 @@ PlanningService::runOne(const PlanQuery &query, QueryReport *report)
         report->found = result.found;
         report->period = result.period;
         report->wallSec = watch.seconds();
+        report->valueSweeps = result.breakdown.valueSweeps;
+        report->policyImprovements = result.breakdown.policyImprovements;
         if (inst.seeded) {
             report->seededFrom = inst.seededFrom;
             report->seedMakespan = result.breakdown.seedMakespan;

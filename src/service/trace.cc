@@ -310,7 +310,10 @@ formatResponseLine(const std::string &id, const ServiceLoop::Response &resp)
            << ", \"source\": \"" << resp.report.source << "\""
            << ", \"found\": " << (resp.report.found ? "true" : "false")
            << ", \"period\": " << resp.report.period
-           << ", \"wall_sec\": " << jsonNumber(resp.report.wallSec);
+           << ", \"wall_sec\": " << jsonNumber(resp.report.wallSec)
+           << ", \"value_sweeps\": " << resp.report.valueSweeps
+           << ", \"policy_improvements\": "
+           << resp.report.policyImprovements;
     }
     if (resp.cancelled)
         os << ", \"cancelled\": true";

@@ -24,8 +24,10 @@ namespace {
 
 struct WarmColdTotals
 {
-    uint64_t warmRelaxations = 0;
-    uint64_t coldRelaxations = 0;
+    /** Probe passes: Bellman-Ford relaxations in Binary mode, value
+     *  sweeps in Howard mode (each mode uses exactly one counter). */
+    uint64_t warmEffort = 0;
+    uint64_t coldEffort = 0;
     uint64_t warmNodes = 0;
     uint64_t coldNodes = 0;
     int feasible = 0;
@@ -33,17 +35,18 @@ struct WarmColdTotals
 
 /**
  * Solve every repetend candidate of @p p up to @p max_nr twice — warm
- * and cold — asserting identical feasibility, periods, and start
- * vectors, and accumulate the effort counters.
+ * and cold — under @p mode, asserting identical feasibility, periods,
+ * and start vectors, and accumulate the effort counters.
  */
 WarmColdTotals
-compareWarmCold(const Placement &p, int max_nr,
+compareWarmCold(const Placement &p, int max_nr, McrMode mode,
                 Mem mem_limit = kUnlimitedMem)
 {
     WarmColdTotals t;
     for (const auto &a : allRepetends(p, max_nr)) {
         RepetendSolveOptions warm_opts;
         warm_opts.memLimit = mem_limit;
+        warm_opts.mcr = mode;
         RepetendSolveOptions cold_opts = warm_opts;
         cold_opts.warmStart = false;
         const RepetendSchedule warm = solveRepetend(p, a, warm_opts);
@@ -55,29 +58,37 @@ compareWarmCold(const Placement &p, int max_nr,
             EXPECT_EQ(warm.start, cold.start); // Bit-identical plans.
             EXPECT_EQ(warm.windowSpan, cold.windowSpan);
         }
-        t.warmRelaxations += warm.stats.relaxations;
-        t.coldRelaxations += cold.stats.relaxations;
+        t.warmEffort += warm.stats.relaxations + warm.stats.valueSweeps;
+        t.coldEffort += cold.stats.relaxations + cold.stats.valueSweeps;
         t.warmNodes += warm.stats.nodes;
         t.coldNodes += cold.stats.nodes;
     }
     return t;
 }
 
+/** Warm/cold invariants that must hold in both MCR modes. */
+void
+expectWarmIdenticalAndCheaper(const Placement &p, int max_nr,
+                              Mem mem_limit = kUnlimitedMem)
+{
+    for (const McrMode mode : {McrMode::Howard, McrMode::Binary}) {
+        const WarmColdTotals t =
+            compareWarmCold(p, max_nr, mode, mem_limit);
+        EXPECT_GT(t.feasible, 0);
+        // Warm start never changes the search tree, only probe cost.
+        EXPECT_EQ(t.warmNodes, t.coldNodes);
+        EXPECT_LT(t.warmEffort, t.coldEffort);
+    }
+}
+
 TEST(IncrementalSolver, WarmStartMShapeIdenticalAndCheaper)
 {
-    const WarmColdTotals t = compareWarmCold(makeMShape(4), 2);
-    EXPECT_GT(t.feasible, 0);
-    // Warm start never changes the search tree, only probe cost.
-    EXPECT_EQ(t.warmNodes, t.coldNodes);
-    EXPECT_LT(t.warmRelaxations, t.coldRelaxations);
+    expectWarmIdenticalAndCheaper(makeMShape(4), 2);
 }
 
 TEST(IncrementalSolver, WarmStartNnShapeIdenticalAndCheaper)
 {
-    const WarmColdTotals t = compareWarmCold(makeNnShape(4), 2);
-    EXPECT_GT(t.feasible, 0);
-    EXPECT_EQ(t.warmNodes, t.coldNodes);
-    EXPECT_LT(t.warmRelaxations, t.coldRelaxations);
+    expectWarmIdenticalAndCheaper(makeNnShape(4), 2);
 }
 
 TEST(IncrementalSolver, WarmStartIdenticalUnderMemoryPressure)
@@ -85,10 +96,7 @@ TEST(IncrementalSolver, WarmStartIdenticalUnderMemoryPressure)
     // Memory branching exercises the deep decision stacks where the
     // anchor chain matters most; the V-shape 1F1B candidate set under
     // a tight cap forces reorder branches.
-    const WarmColdTotals t = compareWarmCold(makeVShape(4), 3, 4);
-    EXPECT_GT(t.feasible, 0);
-    EXPECT_EQ(t.warmNodes, t.coldNodes);
-    EXPECT_LT(t.warmRelaxations, t.coldRelaxations);
+    expectWarmIdenticalAndCheaper(makeVShape(4), 3, 4);
 }
 
 /** Run warm/cold binarySearchMakespan on @p sp and compare. */

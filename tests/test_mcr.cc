@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Exactness tests for the minimal-period / maximum-cycle-ratio kernel
+ * (McrCore): Howard policy iteration and binary search must agree with
+ * a brute-force simple-cycle oracle on random tiny systems, warm kernel
+ * calls must reproduce cold results bit for bit while spending strictly
+ * fewer value sweeps, and both modes must drive PeriodSearch to
+ * bit-identical schedules with exact nodeLimit accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/repetend.h"
+#include "core/repetend_solver.h"
+#include "placement/shapes.h"
+
+namespace tessel {
+namespace {
+
+/** Deterministic LCG so the random systems are reproducible. */
+struct Rng
+{
+    uint64_t state;
+    explicit Rng(uint64_t seed) : state(seed) {}
+    uint64_t
+    next()
+    {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state >> 33;
+    }
+    int
+    range(int lo, int hi) // inclusive
+    {
+        return lo + static_cast<int>(next() % (hi - lo + 1));
+    }
+};
+
+/** ceil(w / h) for h > 0 without truncation-toward-zero surprises. */
+Time
+ceilDivFloorSafe(Time w, Time h)
+{
+    const Time q = w / h;
+    return q * h < w ? q + 1 : q;
+}
+
+struct OracleVerdict
+{
+    /** true when some cycle has sum_h == 0 and sum_w > 0 (no period
+     *  can satisfy it). */
+    bool hopeless = false;
+    /** max over cycles with sum_h > 0 of ceil(sum_w / sum_h); the
+     *  smallest feasible period ignoring bounds. */
+    Time minFeasible = 0;
+    bool anyCycle = false;
+};
+
+/**
+ * Enumerate every simple cycle by edge-DFS. Roots ascend and paths
+ * only visit nodes >= the root, so each cycle is found exactly once
+ * (from its smallest node; multi-edges contribute distinct cycles).
+ */
+void
+cycleDfs(const std::vector<PeriodEdge> &edges, int root, int at,
+         uint32_t visited, Time w, Time h, OracleVerdict &v)
+{
+    for (const PeriodEdge &e : edges) {
+        if (e.from != at || e.to < root)
+            continue;
+        if (e.to == root) {
+            const Time cw = w + e.w;
+            const Time ch = h + e.h;
+            v.anyCycle = true;
+            if (ch == 0) {
+                if (cw > 0)
+                    v.hopeless = true;
+            } else if (cw > 0) {
+                v.minFeasible =
+                    std::max(v.minFeasible, ceilDivFloorSafe(cw, ch));
+            }
+        } else if (!(visited & (1u << e.to))) {
+            cycleDfs(edges, root, e.to, visited | (1u << e.to),
+                     w + e.w, h + e.h, v);
+        }
+    }
+}
+
+Time
+oracleMinPeriod(int n, const std::vector<PeriodEdge> &edges, Time lo,
+                Time hi)
+{
+    OracleVerdict v;
+    for (int root = 0; root < n; ++root)
+        cycleDfs(edges, root, root, 1u << root, 0, 0, v);
+    if (v.hopeless)
+        return -1;
+    const Time period = std::max(lo, v.minFeasible);
+    return period > hi ? -1 : period;
+}
+
+std::vector<PeriodEdge>
+randomSystem(Rng &rng, int n)
+{
+    const int ne = rng.range(n, 3 * n);
+    std::vector<PeriodEdge> edges;
+    edges.reserve(ne);
+    for (int i = 0; i < ne; ++i) {
+        const int from = rng.range(0, n - 1);
+        int to = rng.range(0, n - 1);
+        if (to == from)
+            to = (to + 1) % n;
+        edges.push_back({from, to, static_cast<Time>(rng.range(-3, 20)),
+                         rng.range(0, 3)});
+    }
+    return edges;
+}
+
+/** Every constraint satisfied and the vector grounded at zero. */
+void
+expectValidStart(const std::vector<PeriodEdge> &edges,
+                 const std::vector<Time> &s, Time period)
+{
+    for (const PeriodEdge &e : edges)
+        EXPECT_GE(s[e.to], s[e.from] + e.w - e.h * period);
+    for (const Time t : s)
+        EXPECT_GE(t, 0);
+}
+
+TEST(McrKernel, HowardAndBinaryMatchBruteForceOracle)
+{
+    Rng rng(20240808);
+    int feasible = 0, infeasible = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+        const int n = rng.range(2, 6);
+        const std::vector<PeriodEdge> edges = randomSystem(rng, n);
+        const Time lo = rng.range(0, 3);
+        const Time hi = rng.range(8, 40);
+        const Time want = oracleMinPeriod(n, edges, lo, hi);
+        const McrSolveResult howard =
+            solveMinPeriod(n, edges, lo, hi, McrMode::Howard);
+        const McrSolveResult binary =
+            solveMinPeriod(n, edges, lo, hi, McrMode::Binary);
+        ASSERT_EQ(howard.period, want) << "trial " << trial;
+        ASSERT_EQ(binary.period, want) << "trial " << trial;
+        if (want < 0) {
+            ++infeasible;
+            continue;
+        }
+        ++feasible;
+        // Bit-identical least fixed points, valid as start vectors.
+        EXPECT_EQ(howard.start, binary.start) << "trial " << trial;
+        expectValidStart(edges, howard.start, want);
+        // Minimality of the period is the oracle's claim; minimality
+        // of the starts is the LFP claim — dropping any single start
+        // by one must break a constraint or the ground.
+        EXPECT_GT(howard.stats.valueSweeps, 0u);
+        EXPECT_GT(binary.stats.relaxations, 0u);
+        EXPECT_EQ(howard.stats.relaxations, 0u);
+        EXPECT_EQ(binary.stats.valueSweeps, 0u);
+    }
+    // The mix must exercise both verdicts or the trial space is dead.
+    EXPECT_GT(feasible, 50);
+    EXPECT_GT(infeasible, 50);
+}
+
+TEST(McrKernel, WarmKernelMatchesColdOnGrownSystems)
+{
+    // Edge-growth chains mimic the BnB decision tail: solve, append a
+    // decision edge, re-solve with the previous solution as the warm
+    // base. Warm results must be bit-identical with strictly fewer
+    // value sweeps in aggregate.
+    Rng rng(7);
+    uint64_t warmSweeps = 0, coldSweeps = 0;
+    int compared = 0;
+    for (int chain = 0; chain < 60; ++chain) {
+        const int n = rng.range(3, 6);
+        std::vector<PeriodEdge> edges = randomSystem(rng, n);
+        const Time hi = 200;
+        McrSolveResult prev =
+            solveMinPeriod(n, edges, 1, hi, McrMode::Howard);
+        for (int grow = 0; grow < 4 && prev.period >= 0; ++grow) {
+            const int from = rng.range(0, n - 1);
+            int to = rng.range(0, n - 1);
+            if (to == from)
+                to = (to + 1) % n;
+            edges.push_back({from, to,
+                             static_cast<Time>(rng.range(0, 12)),
+                             rng.range(0, 2)});
+            const McrWarmStart warm{&prev.start, prev.period,
+                                    &prev.policy};
+            const McrSolveResult w = solveMinPeriod(
+                n, edges, prev.period, hi, McrMode::Howard, warm);
+            const McrSolveResult c = solveMinPeriod(
+                n, edges, prev.period, hi, McrMode::Howard);
+            ASSERT_EQ(w.period, c.period);
+            EXPECT_EQ(w.start, c.start);
+            warmSweeps += w.stats.valueSweeps;
+            coldSweeps += c.stats.valueSweeps;
+            ++compared;
+            prev = w;
+        }
+    }
+    EXPECT_GT(compared, 100);
+    EXPECT_LT(warmSweeps, coldSweeps);
+}
+
+/** Bit-identical PeriodSearch results across the two MCR modes. */
+void
+expectModesAgree(const Placement &p, int max_nr,
+                 Mem mem_limit = kUnlimitedMem)
+{
+    int feasible = 0;
+    for (const auto &a : allRepetends(p, max_nr)) {
+        RepetendSolveOptions howard_opts;
+        howard_opts.memLimit = mem_limit;
+        howard_opts.mcr = McrMode::Howard;
+        RepetendSolveOptions binary_opts = howard_opts;
+        binary_opts.mcr = McrMode::Binary;
+        const RepetendSchedule h = solveRepetend(p, a, howard_opts);
+        const RepetendSchedule b = solveRepetend(p, a, binary_opts);
+        ASSERT_EQ(h.feasible, b.feasible);
+        // Identical periods AND starts (the determinism contract), and
+        // identical trees: same nodes, same prune counts.
+        EXPECT_EQ(h.period, b.period);
+        EXPECT_EQ(h.start, b.start);
+        EXPECT_EQ(h.windowSpan, b.windowSpan);
+        EXPECT_EQ(h.stats.nodes, b.stats.nodes);
+        EXPECT_EQ(h.stats.boundPrunes, b.stats.boundPrunes);
+        feasible += h.feasible ? 1 : 0;
+    }
+    EXPECT_GT(feasible, 0);
+}
+
+TEST(McrModes, HowardEqualsBinaryVShape)
+{
+    expectModesAgree(makeVShape(4), 3);
+}
+
+TEST(McrModes, HowardEqualsBinaryMShape)
+{
+    expectModesAgree(makeMShape(4), 2);
+}
+
+TEST(McrModes, HowardEqualsBinaryNnShape)
+{
+    expectModesAgree(makeNnShape(4), 2);
+}
+
+TEST(McrModes, HowardEqualsBinaryUnderMemoryPressure)
+{
+    expectModesAgree(makeVShape(4), 3, 4);
+}
+
+TEST(McrModes, HowardBudgetMarksUnproven)
+{
+    const Placement p = makeNnShape(4);
+    const auto all = allRepetends(p, 4);
+    ASSERT_FALSE(all.empty());
+    RepetendSolveOptions opts;
+    opts.mcr = McrMode::Howard;
+    opts.nodeLimit = 1;
+    const auto sched = solveRepetend(p, all[all.size() / 2], opts);
+    EXPECT_FALSE(sched.proven);
+}
+
+TEST(McrModes, NodeLimitExactInBothModes)
+{
+    // nodeLimit is counted per search node in both modes — the Howard
+    // sweep-loop stop polling must not perturb it.
+    const Placement p = makeNnShape(4);
+    const auto all = allRepetends(p, 4);
+    ASSERT_FALSE(all.empty());
+    for (const McrMode mode : {McrMode::Howard, McrMode::Binary}) {
+        RepetendSolveOptions opts;
+        opts.mcr = mode;
+        opts.nodeLimit = 5;
+        const auto sched = solveRepetend(p, all[all.size() / 2], opts);
+        EXPECT_FALSE(sched.proven);
+        EXPECT_EQ(sched.stats.nodes, 5u);
+    }
+}
+
+TEST(McrModes, DefaultModeFollowsEnvironment)
+{
+    const char *prev = std::getenv("TESSEL_MCR");
+    const std::string saved = prev ? prev : "";
+    setenv("TESSEL_MCR", "binary", 1);
+    EXPECT_EQ(defaultMcrMode(), McrMode::Binary);
+    setenv("TESSEL_MCR", "howard", 1);
+    EXPECT_EQ(defaultMcrMode(), McrMode::Howard);
+    setenv("TESSEL_MCR", "nonsense", 1);
+    EXPECT_EQ(defaultMcrMode(), McrMode::Howard);
+    unsetenv("TESSEL_MCR");
+    EXPECT_EQ(defaultMcrMode(), McrMode::Howard);
+    if (prev)
+        setenv("TESSEL_MCR", saved.c_str(), 1);
+}
+
+} // namespace
+} // namespace tessel

@@ -263,7 +263,10 @@ writeStatsJson(const std::string &path, const BatchReport &report)
             << ", \"period\": " << q.period
             << ", \"wall_sec\": " << q.wallSec << ", \"seeded_from\": \""
             << q.seededFrom << "\", \"seed_makespan\": " << q.seedMakespan
-            << ", \"seed_nodes_pruned\": " << q.seedNodesPruned << "}"
+            << ", \"seed_nodes_pruned\": " << q.seedNodesPruned
+            << ", \"value_sweeps\": " << q.valueSweeps
+            << ", \"policy_improvements\": " << q.policyImprovements
+            << "}"
             << (i + 1 < report.queries.size() ? "," : "") << "\n";
     }
     const StoreStats &cs = report.cacheStats;
