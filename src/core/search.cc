@@ -735,8 +735,14 @@ tesselSearch(const Placement &placement, const TesselOptions &options)
     const Placement *solve_placement = &placement;
     TesselOptions eff = options;
     if (comm_aware) {
-        expansion = expandWithComm(placement, *options.cluster,
-                                   options.edgeMB, options.comm);
+        // A caller-provided lowering (TesselOptions::lowered) is
+        // guaranteed equal to what expandWithComm would build here —
+        // the replan path computes it once via relowerWithComm and
+        // shares it between adaptation and search.
+        expansion = eff.lowered ? *eff.lowered
+                                : expandWithComm(placement, *options.cluster,
+                                                 options.edgeMB,
+                                                 options.comm);
         solve_placement = &expansion->placement;
         // Link pseudo-devices hold no parameters: pad with zeros.
         if (!eff.initialMem.empty())

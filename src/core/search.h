@@ -124,6 +124,16 @@ struct TesselOptions
      * Howard, overridable process-wide via TESSEL_MCR=binary.
      */
     McrMode mcr = defaultMcrMode();
+    /**
+     * Precomputed comm lowering for this exact (placement, cluster,
+     * edgeMB, comm) tuple: when set, comm-aware paths copy it instead
+     * of re-running expandWithComm. The caller must guarantee it equals
+     * what expandWithComm would produce (relowerWithComm does, by
+     * construction) — it is a pure work-avoidance cache, plan-invariant
+     * and excluded from the fingerprint exactly like `seed`. The
+     * pointee must outlive the call; nullptr lowers from scratch.
+     */
+    const CommExpansion *lowered = nullptr;
 };
 
 /** Search diagnostics (feeds the Fig. 9/10 benches). */
@@ -236,6 +246,80 @@ std::optional<TesselPlan> completeRepetendPlan(
     const Placement &placement, const RepetendAssignment &assign,
     const RepetendSchedule &sched, const TesselOptions &options,
     SearchBreakdown &breakdown, const CancelToken &cancel);
+
+/**
+ * Everything prepareReplanSeed distills from a served plan for a
+ * *drifted* re-query of the same placement: the warm-start seed for
+ * the fresh search, the retimed old plan itself (the verified
+ * conservative answer a budget-missed replan may serve while the
+ * search finishes in the background), and the incremental lowering the
+ * search can reuse.
+ */
+struct ReplanSeed
+{
+    /** Whether the served plan adapted into a verified seed. False
+     * (see `reason`) means the replan must run as a plain cold/
+     * neighbor-seeded search — never an error. */
+    bool ok = false;
+    /** Why adaptation failed (diagnostic; empty when ok). */
+    std::string reason;
+    /** Whether the comm lowering was patched incrementally from the
+     * served plan's expansion (vs rebuilt from scratch). */
+    bool incrementalLower = false;
+    /** Whether retiming re-solved the repetend window (true) or the
+     * served timing survived the drift verbatim (false). */
+    bool retimed = false;
+    /** Virtual-incumbent seed for the drifted search; valid when ok.
+     * Seed-only-prunes: the replanned plan stays bit-identical to a
+     * cold search on the drifted cluster. */
+    SearchSeed seed;
+    /** The served plan retimed under the drifted costs — verified
+     * feasible against the drifted query (not necessarily optimal);
+     * valid when ok. This is the `stale=true` fallback answer. */
+    TesselResult retimedResult;
+    /** Lowering of the drifted instance (set for comm-aware queries);
+     * hand it to the search via TesselOptions::lowered. */
+    std::optional<CommExpansion> lowered;
+    /** Solver work the adaptation spent (merge into the breakdown). */
+    SearchBreakdown work;
+};
+
+/**
+ * Adapt @p served — the plan answered under the pre-drift cluster —
+ * into a ReplanSeed for the same placement under @p drifted (the
+ * options with the perturbed cluster bound). @p delta, when given,
+ * enables the incremental comm re-lowering (relowerWithComm) off the
+ * served plan's expansion; nullptr lowers from scratch. @p
+ * exactPhasesAllowed is the caller's attestation that the served and
+ * drifted instances share a phaseOptionsDigest (true for pure cluster
+ * drift, where only the cluster knob moved).
+ *
+ * Drift-only: device removal changes the placement itself, so failure
+ * replans go through fresh placements (placement/shapes.h
+ * makeDegradedShape), not through this.
+ */
+ReplanSeed prepareReplanSeed(const Placement &placement,
+                             const TesselOptions &drifted,
+                             const TesselResult &served,
+                             const ClusterDelta *delta = nullptr,
+                             bool exactPhasesAllowed = false);
+
+/**
+ * Elastic replan: answer (@p placement, @p drifted) — the served
+ * instance under a perturbed cluster — by seeding a full search with
+ * the served plan retimed under the new costs (prepareReplanSeed).
+ * The answer is bit-identical to tesselSearch(placement, drifted)
+ * run cold (seed-only-prunes); only the wall clock changes. When the
+ * served plan fails to adapt, this *is* that cold search. @p info,
+ * when given, receives the seed details (including the verified
+ * retimed fallback plan).
+ */
+TesselResult tesselReplan(const Placement &placement,
+                          const TesselOptions &drifted,
+                          const TesselResult &served,
+                          const ClusterDelta *delta = nullptr,
+                          bool exactPhasesAllowed = false,
+                          ReplanSeed *info = nullptr);
 
 } // namespace tessel
 

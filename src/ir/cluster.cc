@@ -1,0 +1,88 @@
+#include "ir/cluster.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace tessel {
+
+ClusterModel
+applyDelta(const ClusterModel &base, const ClusterDelta &delta,
+           int num_devices)
+{
+    fatal_if(num_devices < 1, "applyDelta: cluster needs >= 1 device");
+
+    ClusterModel out = base;
+
+    for (const auto &[d, factor] : delta.speedFactor) {
+        fatal_if(d < 0 || d >= num_devices, "applyDelta: speed delta for "
+                 "device ", d, " outside [0, ", num_devices, ")");
+        fatal_if(!std::isfinite(factor) || factor <= 0.0,
+                 "applyDelta: speed factor for device ", d,
+                 " must be finite and > 0, got ", factor);
+        if (static_cast<DeviceId>(out.speedFactor.size()) <= d)
+            out.speedFactor.resize(static_cast<size_t>(d) + 1, 1.0);
+        out.speedFactor[d] = factor;
+    }
+
+    for (const auto &[pair, lp] : delta.link) {
+        const DeviceId a = pair.first, b = pair.second;
+        fatal_if(a < 0 || a >= num_devices || b < 0 || b >= num_devices,
+                 "applyDelta: link delta (", a, ", ", b, ") outside [0, ",
+                 num_devices, ")");
+        fatal_if(a == b, "applyDelta: link delta needs two distinct "
+                 "devices, got (", a, ", ", b, ")");
+        fatal_if(!std::isfinite(lp.latency) || lp.latency < 0.0 ||
+                     !std::isfinite(lp.timePerMB) || lp.timePerMB < 0.0,
+                 "applyDelta: link parameters for (", a, ", ", b,
+                 ") must be finite and >= 0");
+        const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+        out.linkOverride[key] = lp;
+    }
+
+    if (delta.removedDevices.empty())
+        return out;
+
+    std::vector<char> removed(static_cast<size_t>(num_devices), 0);
+    for (DeviceId d : delta.removedDevices) {
+        fatal_if(d < 0 || d >= num_devices, "applyDelta: removed device ",
+                 d, " outside [0, ", num_devices, ")");
+        fatal_if(removed[d], "applyDelta: device ", d, " removed twice");
+        removed[d] = 1;
+    }
+    fatal_if(static_cast<int>(delta.removedDevices.size()) >= num_devices,
+             "applyDelta: cannot remove every device");
+
+    // Compact survivors: device d maps to d minus the removals below it,
+    // so the survivor model indexes the same physical hardware the
+    // degraded placement's devices name.
+    std::vector<DeviceId> new_index(static_cast<size_t>(num_devices), -1);
+    DeviceId next = 0;
+    for (DeviceId d = 0; d < num_devices; ++d)
+        if (!removed[d])
+            new_index[d] = next++;
+
+    ClusterModel survivors;
+    survivors.defaultLink = out.defaultLink;
+    survivors.speedFactor.reserve(static_cast<size_t>(next));
+    for (DeviceId d = 0; d < num_devices; ++d)
+        if (!removed[d])
+            survivors.speedFactor.push_back(out.speedOf(d));
+    for (const auto &[pair, lp] : out.linkOverride) {
+        // Pre-existing overrides may name out-of-range devices (the
+        // fingerprint canonicalizer drops those too); skip them along
+        // with anything touching a removed device.
+        if (pair.first < 0 || pair.first >= num_devices || pair.second < 0 ||
+            pair.second >= num_devices)
+            continue;
+        if (removed[pair.first] || removed[pair.second])
+            continue;
+        const DeviceId a = new_index[pair.first];
+        const DeviceId b = new_index[pair.second];
+        survivors.linkOverride[a < b ? std::make_pair(a, b)
+                                     : std::make_pair(b, a)] = lp;
+    }
+    return survivors;
+}
+
+} // namespace tessel

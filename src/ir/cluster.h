@@ -148,6 +148,69 @@ struct ClusterModel
     }
 };
 
+/**
+ * An observed change to a cluster: the difference between the model a
+ * plan was produced under and the cluster as it is *now*. Drives the
+ * elastic-replanning path (core/search.h tesselReplan,
+ * service/service.h PlanningService::replan).
+ *
+ * Speed and link entries carry the new *absolute* values, not ratios —
+ * a monitoring agent reports "device 3 now runs at factor 2.0", and an
+ * absolute delta applied twice is idempotent where a ratio would
+ * compound. Keys are held in ordered maps, so two deltas touching
+ * disjoint knobs compose commutatively and a delta's identity is
+ * independent of insertion order.
+ *
+ * There is deliberately no delta-specific fingerprint: replans key
+ * their store entries by fingerprintQuery() of the *applied* model
+ * (applyDelta below), whose canonicalization already absorbs no-op
+ * deltas (speeds re-set to 1.0, overrides equal to the default link) —
+ * so "the same drifted cluster" always maps to the same entry no
+ * matter which delta history produced it.
+ */
+struct ClusterDelta
+{
+    /** New absolute span multiplier per drifted device (> 0, finite). */
+    std::map<DeviceId, double> speedFactor;
+    /** New link parameters per drifted pair, keyed (min, max). */
+    std::map<std::pair<DeviceId, DeviceId>, LinkParams> link;
+    /** Devices that dropped out entirely (failure, not drift).
+     * Survivors are re-indexed contiguously by applyDelta. */
+    std::vector<DeviceId> removedDevices;
+
+    /** @return true when the delta changes nothing at all. */
+    bool
+    empty() const
+    {
+        return speedFactor.empty() && link.empty() &&
+               removedDevices.empty();
+    }
+
+    /** @return true when the delta removes at least one device. */
+    bool
+    removesDevices() const
+    {
+        return !removedDevices.empty();
+    }
+};
+
+/**
+ * The cluster after @p delta: @p base with the drifted speeds and links
+ * overwritten, then the removed devices compacted out (survivor d maps
+ * to d minus the number of removed devices below it; link overrides
+ * touching a removed device are dropped, the rest are re-keyed; the
+ * default link is unchanged). @p num_devices is the device count @p
+ * base describes — needed because a trivial model stores no explicit
+ * width.
+ *
+ * Validation is fatal (these are caller errors, not data errors):
+ * indices out of [0, num_devices), non-positive or non-finite speed
+ * factors, negative link parameters, duplicate removals, and removing
+ * every device all abort with a message.
+ */
+ClusterModel applyDelta(const ClusterModel &base, const ClusterDelta &delta,
+                        int num_devices);
+
 } // namespace tessel
 
 #endif // TESSEL_IR_CLUSTER_H

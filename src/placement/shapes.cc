@@ -1,5 +1,6 @@
 #include "placement/shapes.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "placement/comm.h"
@@ -274,6 +275,58 @@ makeHeteroShapeByName(const std::string &name, int num_devices,
     for (DeviceId d = 1; d < num_devices; d += 2)
         out.cluster.speedFactor[d] = hetero.slowFactor;
     out.edgeMB = crossDeviceEdgeMB(out.placement, hetero.edgeMB);
+    return out;
+}
+
+DegradedShape
+makeDegradedShape(const std::string &name, int num_devices, DeviceId failed,
+                  const ShapeCosts &costs)
+{
+    fatal_if(failed < 0 || failed >= num_devices,
+             "makeDegradedShape: failed device ", failed,
+             " outside [0, ", num_devices, ")");
+    DegradedShape out;
+    out.removedDevices = {failed};
+    if (name == "K" || name == "K-Shape") {
+        // K-Shape's branches live on mirrored device halves; a failure
+        // in one branch strands the partner device in the other, so
+        // both retire and the shape rebuilds two devices smaller.
+        fatal_if(num_devices < 4,
+                 "makeDegradedShape: K-Shape needs >= 4 devices to "
+                 "survive a failure");
+        const int half = num_devices / 2;
+        const DeviceId partner =
+            failed < half ? failed + half : failed - half;
+        out.removedDevices.push_back(partner);
+        std::sort(out.removedDevices.begin(), out.removedDevices.end());
+        out.placement = makeKShape(num_devices - 2, costs);
+    } else {
+        fatal_if(num_devices < 3, "makeDegradedShape: ", name,
+                 " needs >= 3 devices to survive a failure");
+        out.placement = makeShapeByName(name, num_devices - 1, costs);
+    }
+    return out;
+}
+
+HeteroShape
+makeDegradedHeteroShapeByName(const std::string &name, int num_devices,
+                              DeviceId failed, const ShapeCosts &costs,
+                              const HeteroCosts &hetero,
+                              std::vector<DeviceId> *removed)
+{
+    DegradedShape degraded =
+        makeDegradedShape(name, num_devices, failed, costs);
+    const HeteroShape base =
+        makeHeteroShapeByName(name, num_devices, costs, hetero);
+    ClusterDelta delta;
+    delta.removedDevices = degraded.removedDevices;
+
+    HeteroShape out;
+    out.cluster = applyDelta(base.cluster, delta, num_devices);
+    out.placement = std::move(degraded.placement);
+    out.edgeMB = crossDeviceEdgeMB(out.placement, hetero.edgeMB);
+    if (removed)
+        *removed = std::move(degraded.removedDevices);
     return out;
 }
 

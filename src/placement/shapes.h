@@ -149,6 +149,47 @@ HeteroShape makeHeteroShapeByName(const std::string &name, int num_devices,
                                   const ShapeCosts &costs = {},
                                   const HeteroCosts &hetero = {});
 
+/**
+ * Survivor placement after a single device failure: the same canonical
+ * shape rebuilt over the remaining devices.
+ */
+struct DegradedShape
+{
+    Placement placement;
+    /** Devices of the *original* cluster that dropped out, sorted
+     * ascending. One entry for most shapes; two for K-Shape, whose
+     * balanced-halves structure forces the failed device's mirror
+     * partner out too. */
+    std::vector<DeviceId> removedDevices;
+};
+
+/**
+ * Re-place @p name after device @p failed (of @p num_devices) drops
+ * out. V/X/M/NN rebuild at num_devices - 1; K-Shape needs equal branch
+ * halves, so the failed device's mirror partner (failed ± half) is
+ * retired with it and the shape rebuilds at num_devices - 2. Fatal
+ * when @p failed is out of range or too few devices survive (every
+ * shape needs >= 2; K-Shape therefore needs >= 4 to survive).
+ */
+DegradedShape makeDegradedShape(const std::string &name, int num_devices,
+                                DeviceId failed,
+                                const ShapeCosts &costs = {});
+
+/**
+ * Heterogeneous survivor instance after device @p failed drops out:
+ * the degraded placement plus the cluster the survivors *actually*
+ * form — applyDelta removal over makeHeteroShapeByName's model, so the
+ * surviving hardware pattern is preserved (losing device 1 of speeds
+ * [1, 1.5, 1, 1.5] leaves [1, 1, 1.5], not the alternating pattern a
+ * fresh 3-device hetero shape would fabricate). Edge volumes are
+ * re-derived for the degraded placement. @p removed, when given,
+ * receives the retired original-cluster devices (see DegradedShape).
+ */
+HeteroShape makeDegradedHeteroShapeByName(
+    const std::string &name, int num_devices, DeviceId failed,
+    const ShapeCosts &costs = {}, const HeteroCosts &hetero = {},
+    std::vector<DeviceId> *removed = nullptr);
+
 } // namespace tessel
 
 #endif // TESSEL_PLACEMENT_SHAPES_H

@@ -1,6 +1,7 @@
 #include "service/loop.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace tessel {
 
@@ -56,7 +57,8 @@ bool
 ServiceLoop::tenantAdmit(const std::string &tenant)
 {
     // Caller holds mu_.
-    const auto now = std::chrono::steady_clock::now();
+    const auto now =
+        options_.clock ? options_.clock() : std::chrono::steady_clock::now();
     auto it = buckets_.find(tenant);
     if (it == buckets_.end()) {
         Bucket bucket;
@@ -74,9 +76,17 @@ ServiceLoop::tenantAdmit(const std::string &tenant)
     const double elapsed =
         std::chrono::duration<double>(now - bucket.last).count();
     bucket.last = now;
-    bucket.tokens =
-        std::min(std::max(1.0, bucket.budget.burst),
-                 bucket.tokens + elapsed * bucket.budget.ratePerSec);
+    // Saturating refill: steady_clock is monotonic on paper, but
+    // suspend/resume and virtualized clocks have been observed stepping
+    // it backwards. A negative elapsed must refill nothing (old code
+    // *drained* tokens with it, locking the tenant out for as long as
+    // the jump was large) — the anchor still resets above, so the lost
+    // interval is forgotten rather than double-counted later.
+    if (elapsed > 0.0 && std::isfinite(elapsed)) {
+        bucket.tokens =
+            std::min(std::max(1.0, bucket.budget.burst),
+                     bucket.tokens + elapsed * bucket.budget.ratePerSec);
+    }
     if (bucket.tokens < 1.0)
         return false;
     bucket.tokens -= 1.0;
@@ -84,8 +94,8 @@ ServiceLoop::tenantAdmit(const std::string &tenant)
 }
 
 Admission
-ServiceLoop::submit(PlanQuery query, const std::string &tenant,
-                    Callback done)
+ServiceLoop::enqueue(Item item, const std::string &tenant,
+                     const std::string &label)
 {
     Admission verdict = Admission::Accepted;
     {
@@ -107,25 +117,53 @@ ServiceLoop::submit(PlanQuery query, const std::string &tenant,
     if (verdict != Admission::Accepted) {
         // Rejections surface as a clean per-query response, never as a
         // silent drop: the callback fires inline with the verdict.
-        if (done) {
+        if (item.done) {
             Response resp;
             resp.admission = verdict;
-            resp.report.label = query.label;
+            resp.report.label = label;
             resp.report.source = "rejected";
             resp.error = std::string("rejected: ") + admissionName(verdict) +
                          (verdict == Admission::Throttled
                               ? " (tenant '" + tenant + "' over budget)"
                               : "");
-            done(resp);
+            item.done(resp);
         }
         return verdict;
     }
     {
         std::lock_guard<std::mutex> lock(mu_);
-        queue_.push_back(Item{std::move(query), std::move(done)});
+        queue_.push_back(std::move(item));
     }
     workCv_.notify_one();
     return verdict;
+}
+
+Admission
+ServiceLoop::submit(PlanQuery query, const std::string &tenant,
+                    Callback done)
+{
+    const std::string label = query.label;
+    Item item;
+    item.query = std::move(query);
+    item.done = std::move(done);
+    return enqueue(std::move(item), tenant, label);
+}
+
+Admission
+ServiceLoop::submit(ReplanRequest request, const std::string &tenant,
+                    Callback done)
+{
+    // A removal request answers the degraded query; anything else the
+    // drifted base. Either way the label reported on rejection is the
+    // one the accepted path would have served under.
+    const std::string label = request.delta.removesDevices() &&
+                                      request.degraded
+                                  ? request.degraded->label
+                                  : request.base.label;
+    Item item;
+    item.replan = std::move(request);
+    item.done = std::move(done);
+    return enqueue(std::move(item), tenant, label);
 }
 
 void
@@ -146,7 +184,10 @@ ServiceLoop::workerLoop()
 
         Response resp;
         resp.admission = Admission::Accepted;
-        service_.runOne(item.query, &resp.report);
+        if (item.replan)
+            service_.replan(*item.replan, &resp.report);
+        else
+            service_.runOne(item.query, &resp.report);
         resp.cancelled = cancelSource_.cancelled();
         if (resp.cancelled)
             resp.error = "cancelled by shutdown";
@@ -186,6 +227,10 @@ ServiceLoop::shutdown(bool cancel_in_flight)
         worker.join();
     workers_.clear();
     service_.cache().stopRevalidation();
+    // Budget-missed replans may still be searching in the background;
+    // a daemon shutdown waits them out (they publish to the store, so
+    // the work is not wasted — the next process serves them as hits).
+    service_.waitBackgroundReplans();
 }
 
 bool

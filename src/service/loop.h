@@ -39,10 +39,12 @@
 #ifndef TESSEL_SERVICE_LOOP_H
 #define TESSEL_SERVICE_LOOP_H
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -92,6 +94,11 @@ struct ServiceLoopOptions
     /** > 0 starts the cache's background revalidation thread with this
      * sweep interval (seconds). */
     double revalidateIntervalSec = 0.0;
+    /** Clock the token buckets refill against; empty uses the real
+     * steady clock. Injectable so tests can replay pathological clock
+     * behavior (suspend/resume, virtualized clocks stepping backwards)
+     * deterministically. */
+    std::function<std::chrono::steady_clock::time_point()> clock;
 };
 
 /** Aggregate daemon counters (monotonic over the loop lifetime). */
@@ -148,6 +155,17 @@ class ServiceLoop
     Admission submit(PlanQuery query, const std::string &tenant,
                      Callback done);
 
+    /**
+     * Admit one replan request (cluster drift or device failure) for
+     * @p tenant. Same admission contract as the query overload; an
+     * accepted request is answered through PlanningService::replan, so
+     * the response report may carry `stale` (budget-missed, old plan
+     * conservatively retimed) or `degraded` (survivor placement after
+     * a failure) — both are verified, servable answers, never errors.
+     */
+    Admission submit(ReplanRequest request, const std::string &tenant,
+                     Callback done);
+
     /** Block until the queue is empty and no query is in flight. */
     void drain();
 
@@ -171,8 +189,15 @@ class ServiceLoop
     struct Item
     {
         PlanQuery query;
+        /** Set for replan submissions; workers then dispatch through
+         * PlanningService::replan instead of runOne (query is unused). */
+        std::optional<ReplanRequest> replan;
         Callback done;
     };
+
+    /** Shared admission path for both submit overloads. */
+    Admission enqueue(Item item, const std::string &tenant,
+                      const std::string &label);
 
     /** Token bucket state for one tenant (guarded by mu_). */
     struct Bucket

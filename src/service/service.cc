@@ -1,11 +1,14 @@
 #include "service/service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <future>
 #include <unordered_map>
 
 #include "placement/shapes.h"
 #include "store/adapt.h"
 #include "store/serialize.h"
+#include "support/logging.h"
 #include "support/threadpool.h"
 #include "support/timer.h"
 
@@ -17,6 +20,11 @@ PlanningService::PlanningService(ServiceOptions options)
              PlanCacheOptions{options_.memoryCapacity,
                               options_.verifyOnLoad})
 {
+}
+
+PlanningService::~PlanningService()
+{
+    waitBackgroundReplans();
 }
 
 namespace {
@@ -272,46 +280,26 @@ PlanningService::runBatch(const std::vector<PlanQuery> &queries)
 }
 
 TesselResult
-PlanningService::runOne(const PlanQuery &query, QueryReport *report)
+PlanningService::searchMiss(const PlanQuery &query, const TesselOptions &eff,
+                            const Hash128 &fp, QueryReport *report)
 {
-    const TesselOptions eff = resolveOptions(query);
-    const Hash128 fp = fingerprintQuery(query.placement, eff);
-    const Stopwatch watch;
-    PlanCache::Source source = PlanCache::Source::Miss;
-    std::optional<TesselResult> cached =
-        cache_.get(fp, query.placement, eff, &source);
-    TesselResult result;
-    bool searched = false;
     UniqueInstance inst;
-    if (cached) {
-        result = std::move(*cached);
-    } else {
-        inst.fingerprint = fp;
-        inst.effective = eff;
-        TesselOptions opts = eff;
-        if (options_.neighborSeed &&
-            trySeedFromNeighbors(cache_, query.placement, inst,
-                                 options_.neighborK)) {
-            opts.seed = &inst.seed;
-        }
-        result = tesselSearch(query.placement, opts);
-        result.breakdown.merge(inst.seedWork);
-        // Same cancellation guard as the batch path: truncated-by-
-        // cancel results answer the caller but never enter the store.
-        if (!eff.cancel.cancelled())
-            cache_.put(fp, query.placement, eff, result);
-        searched = true;
+    inst.fingerprint = fp;
+    inst.effective = eff;
+    TesselOptions opts = eff;
+    if (options_.neighborSeed &&
+        trySeedFromNeighbors(cache_, query.placement, inst,
+                             options_.neighborK)) {
+        opts.seed = &inst.seed;
     }
+    TesselResult result = tesselSearch(query.placement, opts);
+    result.breakdown.merge(inst.seedWork);
+    // Same cancellation guard as the batch path: truncated-by-cancel
+    // results answer the caller but never enter the store.
+    if (!eff.cancel.cancelled())
+        cache_.put(fp, query.placement, eff, result);
     if (report) {
-        report->label = query.label;
-        report->fingerprint = fp.hex();
-        report->planHash = resultPlanDigest(result).hex();
-        report->source = sourceName(source, searched);
-        report->found = result.found;
-        report->period = result.period;
-        report->wallSec = watch.seconds();
-        report->valueSweeps = result.breakdown.valueSweeps;
-        report->policyImprovements = result.breakdown.policyImprovements;
+        report->source = "search";
         if (inst.seeded) {
             report->seededFrom = inst.seededFrom;
             report->seedMakespan = result.breakdown.seedMakespan;
@@ -319,6 +307,247 @@ PlanningService::runOne(const PlanQuery &query, QueryReport *report)
         }
     }
     return result;
+}
+
+TesselResult
+PlanningService::runOne(const PlanQuery &query, QueryReport *report)
+{
+    const TesselOptions eff = resolveOptions(query);
+    const Hash128 fp = fingerprintQuery(query.placement, eff);
+    const Stopwatch watch;
+    if (report) {
+        report->label = query.label;
+        report->fingerprint = fp.hex();
+    }
+    PlanCache::Source source = PlanCache::Source::Miss;
+    std::optional<TesselResult> cached =
+        cache_.get(fp, query.placement, eff, &source);
+    TesselResult result;
+    if (cached) {
+        result = std::move(*cached);
+        if (report)
+            report->source = sourceName(source, false);
+    } else {
+        result = searchMiss(query, eff, fp, report);
+    }
+    if (report) {
+        report->planHash = resultPlanDigest(result).hex();
+        report->found = result.found;
+        report->period = result.period;
+        report->wallSec = watch.seconds();
+        report->valueSweeps = result.breakdown.valueSweeps;
+        report->policyImprovements = result.breakdown.policyImprovements;
+    }
+    return result;
+}
+
+PlanQuery
+makeDriftedQuery(const ReplanRequest &request)
+{
+    if (request.delta.removesDevices()) {
+        fatal_if(!request.degraded,
+                 "replan: a device-removal delta needs a degraded "
+                 "survivor query (the old placement references the dead "
+                 "device)");
+        return *request.degraded;
+    }
+    PlanQuery drifted = request.base;
+    ClusterModel base_model;
+    if (drifted.cluster)
+        base_model = *drifted.cluster;
+    else if (drifted.options.cluster)
+        base_model = *drifted.options.cluster;
+    drifted.cluster = std::make_shared<ClusterModel>(applyDelta(
+        base_model, request.delta, drifted.placement.numDevices()));
+    drifted.options.cluster = nullptr; // superseded by the owning field
+    if (!request.delta.empty())
+        drifted.label += "/drift";
+    return drifted;
+}
+
+namespace {
+
+/**
+ * State a replan search needs to outlive the serving thread: when the
+ * latency budget expires, the caller walks away with the retimed stale
+ * answer while the search keeps running in the background — everything
+ * it references (the drifted query owning the cluster model, the
+ * effective options pointing into it, the seed and shared lowering)
+ * rides along in one shared_ptr.
+ */
+struct ReplanTask
+{
+    PlanQuery query;
+    TesselOptions effective;
+    Hash128 fingerprint;
+    ReplanSeed seed;
+};
+
+} // namespace
+
+TesselResult
+PlanningService::replan(const ReplanRequest &request, QueryReport *report)
+{
+    reapBackgroundReplans();
+
+    const Stopwatch watch;
+    const bool removal = request.delta.removesDevices();
+    const PlanQuery drifted = makeDriftedQuery(request);
+    const TesselOptions eff = resolveOptions(drifted);
+    const Hash128 fp = fingerprintQuery(drifted.placement, eff);
+    if (report) {
+        report->label = drifted.label;
+        report->fingerprint = fp.hex();
+        report->replanned = true;
+        report->degraded = removal;
+    }
+    auto finish = [&](TesselResult result) {
+        if (report) {
+            report->planHash = resultPlanDigest(result).hex();
+            report->found = result.found;
+            report->period = result.period;
+            report->wallSec = watch.seconds();
+            report->valueSweeps = result.breakdown.valueSweeps;
+            report->policyImprovements =
+                result.breakdown.policyImprovements;
+        }
+        return result;
+    };
+
+    // Replans key by the *drifted* instance's fingerprint: a repeat of
+    // the same drift — or a background replan that already published —
+    // is a plain cache hit, fresh by construction.
+    PlanCache::Source source = PlanCache::Source::Miss;
+    if (std::optional<TesselResult> cached =
+            cache_.get(fp, drifted.placement, eff, &source)) {
+        if (report)
+            report->source = sourceName(source, false);
+        return finish(std::move(*cached));
+    }
+
+    // Fetch the plan currently served for the base instance. A removal
+    // changed the placement itself, so there is nothing to retime (the
+    // old plan schedules blocks on a device that no longer exists); a
+    // missing or infeasible base plan leaves nothing either. Both fall
+    // through to the ordinary miss pipeline — neighbor seeding still
+    // applies, so a degraded query close to a stored instance stays
+    // cheap.
+    std::optional<TesselResult> served;
+    bool phases_ok = false;
+    if (!removal) {
+        const TesselOptions base_eff = resolveOptions(request.base);
+        const Hash128 base_fp =
+            fingerprintQuery(request.base.placement, base_eff);
+        served =
+            cache_.get(base_fp, request.base.placement, base_eff, nullptr);
+        // Cluster drift leaves every phase-relevant knob untouched, but
+        // the exact-phase license is computed, never assumed.
+        phases_ok =
+            phaseOptionsDigest(base_eff) == phaseOptionsDigest(eff);
+        if (served && report)
+            report->seededFrom = base_fp.hex();
+    }
+    if (!served || !served->found)
+        return finish(searchMiss(drifted, eff, fp, report));
+
+    // Retime the served plan under the drifted costs in the foreground:
+    // the retimed plan is both the search's opening incumbent and the
+    // conservative answer handed out if the search misses the budget.
+    auto task = std::make_shared<ReplanTask>();
+    task->query = drifted; // owns the drifted cluster eff points into
+    task->effective = eff;
+    task->fingerprint = fp;
+    task->seed = prepareReplanSeed(drifted.placement, task->effective,
+                                   *served, &request.delta, phases_ok);
+    if (!task->seed.ok)
+        return finish(searchMiss(drifted, eff, fp, report));
+    if (report)
+        report->seedMakespan = task->seed.seed.makespan;
+
+    // The full replan runs with the query's own (fingerprinted) budgets
+    // — replanBudgetSec bounds only how long this caller *waits*, never
+    // how hard the search tries, so the published plan is bit-identical
+    // to a cold search of the drifted instance.
+    auto promise = std::make_shared<std::promise<TesselResult>>();
+    std::future<TesselResult> future = promise->get_future();
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread worker([this, task, promise, done] {
+        TesselOptions opts = task->effective;
+        opts.seed = &task->seed.seed;
+        if (task->seed.lowered)
+            opts.lowered = &*task->seed.lowered;
+        TesselResult result = tesselSearch(task->query.placement, opts);
+        result.breakdown.merge(task->seed.work);
+        if (!opts.cancel.cancelled()) {
+            cache_.put(task->fingerprint, task->query.placement,
+                       task->effective, result);
+        }
+        promise->set_value(std::move(result));
+        done->store(true, std::memory_order_release);
+    });
+
+    const double budget = options_.replanBudgetSec;
+    bool ready = true;
+    if (budget > 0.0) {
+        ready = future.wait_for(std::chrono::duration<double>(budget)) ==
+                std::future_status::ready;
+    } else {
+        future.wait();
+    }
+    if (ready) {
+        worker.join();
+        if (report)
+            report->source = "search";
+        return finish(future.get());
+    }
+
+    // Budget missed: hand the search to the background (it publishes to
+    // the store on completion) and serve the old plan retimed under the
+    // drifted costs — oracle-verified feasible by prepareReplanSeed,
+    // conservatively suboptimal, flagged stale. Never cached: the store
+    // only ever holds the search's own answer for this fingerprint.
+    {
+        std::lock_guard<std::mutex> lock(bgMu_);
+        bg_.push_back(BackgroundReplan{std::move(worker), done});
+    }
+    if (report) {
+        report->stale = true;
+        report->source = "stale";
+    }
+    return finish(task->seed.retimedResult);
+}
+
+void
+PlanningService::reapBackgroundReplans()
+{
+    std::vector<std::thread> finished;
+    {
+        std::lock_guard<std::mutex> lock(bgMu_);
+        std::vector<BackgroundReplan> keep;
+        for (BackgroundReplan &bg : bg_) {
+            if (bg.done->load(std::memory_order_acquire))
+                finished.push_back(std::move(bg.thread));
+            else
+                keep.push_back(std::move(bg));
+        }
+        bg_.swap(keep);
+    }
+    for (std::thread &t : finished)
+        if (t.joinable())
+            t.join();
+}
+
+void
+PlanningService::waitBackgroundReplans()
+{
+    std::vector<BackgroundReplan> pending;
+    {
+        std::lock_guard<std::mutex> lock(bgMu_);
+        pending.swap(bg_);
+    }
+    for (BackgroundReplan &bg : pending)
+        if (bg.thread.joinable())
+            bg.thread.join();
 }
 
 std::optional<PlanQuery>

@@ -15,9 +15,12 @@
 #ifndef TESSEL_SERVICE_SERVICE_H
 #define TESSEL_SERVICE_SERVICE_H
 
+#include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "store/store.h"
@@ -86,6 +89,17 @@ struct QueryReport
      * and under TESSEL_MCR=binary; see SolveStats for semantics). */
     uint64_t valueSweeps = 0;
     uint64_t policyImprovements = 0;
+    /** Answered through PlanningService::replan (drift or failure). */
+    bool replanned = false;
+    /**
+     * The served answer is the *old* plan retimed under the drifted
+     * costs — oracle-verified feasible but not necessarily optimal;
+     * the seeded search continues in the background and publishes the
+     * fresh plan to the store when done. Source reads "stale".
+     */
+    bool stale = false;
+    /** Answered on a survivor placement after a device failure. */
+    bool degraded = false;
 };
 
 /**
@@ -163,9 +177,49 @@ struct ServiceOptions
     bool neighborSeed = true;
     /** How many nearest neighbors to try adapting per miss. */
     size_t neighborK = 4;
+    /**
+     * Latency budget replan() gives the seeded foreground search
+     * before falling back to the stale retimed answer (<= 0: always
+     * wait for the fresh plan — no stale answers). The budget gates
+     * only *waiting*: the search always runs to completion with the
+     * query's own fingerprinted budgets and publishes to the store,
+     * in the background when the caller stopped waiting.
+     */
+    double replanBudgetSec = 1.0;
     /** Batch-wide cancellation, linked into every search. */
     CancelToken cancel;
 };
+
+/**
+ * One elastic-replanning request: a previously served query plus the
+ * cluster change observed since its plan was produced.
+ */
+struct ReplanRequest
+{
+    /** The query whose served plan is to be adapted. */
+    PlanQuery base;
+    /** What changed: speed/link drift and/or device removal. */
+    ClusterDelta delta;
+    /**
+     * Survivor query for the removal case (required when `delta`
+     * removes devices; ignored otherwise). The base placement cannot
+     * run with a device missing, so failure implies re-placement —
+     * placement/shapes.h makeDegradedShape / makeDegradedHeteroShape-
+     * ByName build these.
+     */
+    std::optional<PlanQuery> degraded;
+};
+
+/**
+ * The query replan() actually answers: the base query with the drifted
+ * cluster bound (applyDelta) for pure drift, or the survivor query for
+ * removals. Exposed so benches and tests can run the *same* instance
+ * cold — the drifted query fingerprints like any other, which is what
+ * keys replans in the store. Fatal when the delta removes devices but
+ * `degraded` is unset (caller contract; the trace layer validates
+ * daemon input before building a ReplanRequest).
+ */
+PlanQuery makeDriftedQuery(const ReplanRequest &request);
 
 class PlanningService
 {
@@ -191,6 +245,32 @@ class PlanningService
      * any number of threads (the ServiceLoop workers do). */
     TesselResult runOne(const PlanQuery &query, QueryReport *report = nullptr);
 
+    /**
+     * Elastic replan: answer the base query's instance under the
+     * cluster change in @p request. Keyed in the store by the *drifted*
+     * instance's fingerprint, so a repeated drift (or one a peer saw
+     * first) is a plain cache hit. Otherwise: fetch the served base
+     * plan, retime it under the drifted costs (prepareReplanSeed), run
+     * the seeded search — bit-identical to a cold search on the
+     * drifted cluster — and, when the search outlasts
+     * ServiceOptions::replanBudgetSec, serve the verified retimed plan
+     * flagged `stale` while the search finishes in the background and
+     * publishes to the store. Removal deltas answer on the survivor
+     * query (`degraded` flagged); with no served base plan the replan
+     * degenerates to a normal neighbor-seeded miss. Every served
+     * answer — fresh, stale, or degraded — passed the verification
+     * oracle. Thread-safe like runOne.
+     */
+    TesselResult replan(const ReplanRequest &request,
+                        QueryReport *report = nullptr);
+
+    /** Join every background replan a stale answer handed off (the
+     * destructor does this too). Completed searches have already
+     * published to the store by the time this returns. */
+    void waitBackgroundReplans();
+
+    ~PlanningService();
+
     PlanCache &cache() { return cache_; }
     const ServiceOptions &options() const { return options_; }
 
@@ -204,11 +284,31 @@ class PlanningService
     /** The persistent batch fan-out pool (lazily constructed). */
     ThreadPool &pool();
 
+    /** Miss pipeline shared by runOne and replan: neighbor seeding,
+     * the search, conditional cache admission, report seed fields. */
+    TesselResult searchMiss(const PlanQuery &query,
+                            const TesselOptions &eff, const Hash128 &fp,
+                            QueryReport *report);
+
+    /** Join background replans whose search already finished. */
+    void reapBackgroundReplans();
+
     ServiceOptions options_;
     PlanCache cache_;
 
     std::mutex poolMu_; ///< guards lazy pool construction
     std::unique_ptr<ThreadPool> pool_;
+
+    /** A replan search still running after its caller stopped waiting
+     * (the caller got the stale answer; the search publishes to the
+     * store on completion). */
+    struct BackgroundReplan
+    {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+    std::mutex bgMu_; ///< guards bg_
+    std::vector<BackgroundReplan> bg_;
 };
 
 /**

@@ -1,9 +1,12 @@
 #include "service/trace.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+
+#include "placement/shapes.h"
 
 namespace tessel {
 
@@ -229,6 +232,31 @@ parseTraceLine(const std::string &line, TraceQuery *out, std::string *err)
                 if (!wantNumber(&tmp))
                     return false;
                 q.memLimit = static_cast<long long>(tmp);
+            } else if (key == "drift_device") {
+                if (!wantNumber(&tmp))
+                    return false;
+                q.driftDevice = static_cast<int>(tmp);
+            } else if (key == "drift_speed") {
+                if (!wantNumber(&q.driftSpeed))
+                    return false;
+            } else if (key == "drift_src") {
+                if (!wantNumber(&tmp))
+                    return false;
+                q.driftSrc = static_cast<int>(tmp);
+            } else if (key == "drift_dst") {
+                if (!wantNumber(&tmp))
+                    return false;
+                q.driftDst = static_cast<int>(tmp);
+            } else if (key == "drift_latency") {
+                if (!wantNumber(&q.driftLatency))
+                    return false;
+            } else if (key == "drift_time_per_mb") {
+                if (!wantNumber(&q.driftTimePerMB))
+                    return false;
+            } else if (key == "fail_device") {
+                if (!wantNumber(&tmp))
+                    return false;
+                q.failDevice = static_cast<int>(tmp);
             }
             // Unknown keys: parsed and dropped (forward compatibility).
 
@@ -266,6 +294,18 @@ formatTraceLine(const TraceQuery &q)
         os << ", \"nr_cap\": " << q.nrCap;
     if (q.memLimit > 0)
         os << ", \"mem_limit\": " << q.memLimit;
+    if (q.driftDevice >= 0) {
+        os << ", \"drift_device\": " << q.driftDevice
+           << ", \"drift_speed\": " << jsonNumber(q.driftSpeed);
+    }
+    if (q.driftSrc >= 0 || q.driftDst >= 0) {
+        os << ", \"drift_src\": " << q.driftSrc
+           << ", \"drift_dst\": " << q.driftDst
+           << ", \"drift_latency\": " << jsonNumber(q.driftLatency)
+           << ", \"drift_time_per_mb\": " << jsonNumber(q.driftTimePerMB);
+    }
+    if (q.failDevice >= 0)
+        os << ", \"fail_device\": " << q.failDevice;
     if (!q.tenant.empty())
         os << ", \"tenant\": \"" << jsonEscape(q.tenant) << "\"";
     os << '}';
@@ -295,6 +335,85 @@ makeTraceQuery(const TraceQuery &q, std::string *err)
     return plan;
 }
 
+std::optional<ReplanRequest>
+makeTraceReplan(const TraceQuery &q, std::string *err)
+{
+    auto bail = [&](const std::string &what) {
+        if (err)
+            *err = what;
+        return std::nullopt;
+    };
+    if (!q.isReplan())
+        return bail("not a replan line (no drift/fail knobs)");
+    std::optional<PlanQuery> base = makeTraceQuery(q, err);
+    if (!base)
+        return std::nullopt;
+    ReplanRequest req;
+    req.base = std::move(*base);
+
+    if (q.hasFailure()) {
+        // The service-level checks for these are fatal (programming
+        // errors there); from a trace they are daemon *input*, so they
+        // must come back as per-line errors.
+        if (q.hasDrift())
+            return bail("fail_device cannot be combined with drift knobs");
+        if (q.failDevice >= q.devices)
+            return bail("fail_device " + std::to_string(q.failDevice) +
+                        " outside 0.." + std::to_string(q.devices - 1));
+        if (q.devices < (q.shape == "K" ? 4 : 3))
+            return bail("too few devices to survive a failure of shape " +
+                        q.shape);
+        PlanQuery degraded = req.base; // keeps budgets / mem-cap / label
+        std::vector<DeviceId> removed;
+        if (q.variant == "hetero") {
+            HeteroShape hs = makeDegradedHeteroShapeByName(
+                q.shape, q.devices, q.failDevice, {}, {}, &removed);
+            degraded.placement = std::move(hs.placement);
+            degraded.options.edgeMB = std::move(hs.edgeMB);
+            degraded.cluster =
+                std::make_shared<ClusterModel>(std::move(hs.cluster));
+        } else {
+            DegradedShape ds =
+                makeDegradedShape(q.shape, q.devices, q.failDevice);
+            degraded.placement = std::move(ds.placement);
+            removed = std::move(ds.removedDevices);
+        }
+        degraded.label += "/fail=" + std::to_string(q.failDevice);
+        req.delta.removedDevices = std::move(removed);
+        req.degraded = std::move(degraded);
+        return req;
+    }
+
+    if (q.driftDevice >= 0) {
+        if (q.driftDevice >= q.devices)
+            return bail("drift_device " + std::to_string(q.driftDevice) +
+                        " outside 0.." + std::to_string(q.devices - 1));
+        if (!(q.driftSpeed > 0.0) || !std::isfinite(q.driftSpeed))
+            return bail("drift_speed must be a positive finite factor");
+        req.delta.speedFactor[q.driftDevice] = q.driftSpeed;
+    }
+    if (q.driftSrc >= 0 || q.driftDst >= 0) {
+        if (q.driftSrc < 0 || q.driftDst < 0)
+            return bail("drift_src and drift_dst must both be set");
+        if (q.driftSrc >= q.devices || q.driftDst >= q.devices)
+            return bail("drift link endpoints outside 0.." +
+                        std::to_string(q.devices - 1));
+        if (q.driftSrc == q.driftDst)
+            return bail("drift link endpoints must differ");
+        if (q.driftLatency < 0.0 || q.driftTimePerMB < 0.0 ||
+            !std::isfinite(q.driftLatency) ||
+            !std::isfinite(q.driftTimePerMB))
+            return bail("drift_latency and drift_time_per_mb must both "
+                        "be >= 0");
+        LinkParams link;
+        link.latency = q.driftLatency;
+        link.timePerMB = q.driftTimePerMB;
+        req.delta.link[{std::min(q.driftSrc, q.driftDst),
+                        std::max(q.driftSrc, q.driftDst)}] = link;
+    }
+    return req;
+}
+
 std::string
 formatResponseLine(const std::string &id, const ServiceLoop::Response &resp)
 {
@@ -314,6 +433,12 @@ formatResponseLine(const std::string &id, const ServiceLoop::Response &resp)
            << ", \"value_sweeps\": " << resp.report.valueSweeps
            << ", \"policy_improvements\": "
            << resp.report.policyImprovements;
+        if (resp.report.replanned)
+            os << ", \"replanned\": true";
+        if (resp.report.stale)
+            os << ", \"stale\": true";
+        if (resp.report.degraded)
+            os << ", \"degraded\": true";
     }
     if (resp.cancelled)
         os << ", \"cancelled\": true";

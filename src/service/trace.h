@@ -48,6 +48,36 @@ struct TraceQuery
     int nrCap = 0;
     /** > 0 overrides memLimit (perturbation knob). */
     long long memLimit = 0;
+
+    // Fault-injection knobs: any of these turns the line into a replan
+    // request (ServiceLoop's ReplanRequest overload) against the base
+    // instance the remaining coordinates name.
+    /** >= 0 drifts this device's speed factor to driftSpeed. */
+    int driftDevice = -1;
+    double driftSpeed = 0.0;
+    /** driftSrc/driftDst >= 0 drift that link's parameters. */
+    int driftSrc = -1;
+    int driftDst = -1;
+    double driftLatency = -1.0;
+    double driftTimePerMB = -1.0;
+    /** >= 0 fails this device: replan onto the survivor placement. */
+    int failDevice = -1;
+
+    bool
+    hasDrift() const
+    {
+        return driftDevice >= 0 || driftSrc >= 0 || driftDst >= 0;
+    }
+    bool
+    hasFailure() const
+    {
+        return failDevice >= 0;
+    }
+    bool
+    isReplan() const
+    {
+        return hasDrift() || hasFailure();
+    }
 };
 
 /**
@@ -69,6 +99,19 @@ std::string formatTraceLine(const TraceQuery &q);
  */
 std::optional<PlanQuery> makeTraceQuery(const TraceQuery &q,
                                         std::string *err);
+
+/**
+ * Build the ReplanRequest a fault-injecting trace line describes: the
+ * base query from the plain coordinates plus a ClusterDelta from the
+ * drift knobs, or (for fail_device) the degraded survivor query. The
+ * trace layer validates here — mixing drift with failure, out-of-range
+ * devices, or non-positive drift values — so the daemon answers a
+ * malformed line with a per-line error instead of dying on the
+ * service's fatal checks. @return nullopt with @p err set on any such
+ * problem or when the line is not a replan (isReplan() false).
+ */
+std::optional<ReplanRequest> makeTraceReplan(const TraceQuery &q,
+                                             std::string *err);
 
 /**
  * Serialize one daemon response as a JSON line (no trailing newline):

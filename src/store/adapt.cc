@@ -117,8 +117,12 @@ adaptResultToQuery(const Placement &placement, const TesselOptions &options,
     TesselOptions eff = options;
     eff.seed = nullptr; // Adaptation must not recurse into seeding.
     if (comm_aware) {
-        expansion = expandWithComm(placement, *options.cluster,
-                                   options.edgeMB, options.comm);
+        // Same caller-cache contract as tesselSearch: a provided
+        // lowering equals what expandWithComm would build here.
+        expansion = eff.lowered ? *eff.lowered
+                                : expandWithComm(placement, *options.cluster,
+                                                 options.edgeMB,
+                                                 options.comm);
         solve_placement = &expansion->placement;
         if (!eff.initialMem.empty())
             eff.initialMem.resize(solve_placement->numDevices(), 0);

@@ -420,6 +420,50 @@ TEST(ServiceLoop, TenantBudgetsThrottlePerTenant)
     EXPECT_EQ(stats.accepted, 6u);
 }
 
+TEST(ServiceLoop, TokenBucketSurvivesClockSteppingBackwards)
+{
+    std::string dir;
+    ASSERT_TRUE(makeTempDir("tessel-loop-clock-", &dir));
+
+    // Virtual clock the test steps by hand (only the submitting thread
+    // reads it, always under the loop's admission lock).
+    auto now = std::make_shared<std::chrono::steady_clock::time_point>(
+        std::chrono::steady_clock::time_point{} +
+        std::chrono::hours(1000));
+    ServiceLoopOptions opts = loopOptionsFor(dir, /*workers=*/1);
+    opts.defaultBudget.ratePerSec = 1.0;
+    opts.defaultBudget.burst = 2.0;
+    opts.clock = [now] { return *now; };
+    ServiceLoop loop(std::move(opts));
+
+    // Drain the burst; the bucket is now empty.
+    EXPECT_EQ(loop.submit(refQuery("V"), "t", nullptr),
+              Admission::Accepted);
+    EXPECT_EQ(loop.submit(refQuery("X"), "t", nullptr),
+              Admission::Accepted);
+    EXPECT_EQ(loop.submit(refQuery("M"), "t", nullptr),
+              Admission::Throttled);
+
+    // steady_clock stepping backwards (observed across suspend/resume
+    // and on virtualized clocks). The refill must saturate at zero —
+    // the old code *drained* 10 s worth of tokens, locking the tenant
+    // out until real time caught up with the phantom debt.
+    *now -= std::chrono::seconds(10);
+    EXPECT_EQ(loop.submit(refQuery("NN"), "t", nullptr),
+              Admission::Throttled);
+
+    // One second of forward progress from the new anchor refills one
+    // token: the tenant is admitted again immediately, debt-free.
+    *now += std::chrono::seconds(1);
+    EXPECT_EQ(loop.submit(refQuery("K"), "t", nullptr),
+              Admission::Accepted);
+
+    loop.drain();
+    const LoopStats stats = loop.stats();
+    EXPECT_EQ(stats.accepted, 3u);
+    EXPECT_EQ(stats.rejectedThrottled, 2u);
+}
+
 TEST(ServiceLoop, ShutdownDrainsAndCancelFlagsWithoutCaching)
 {
     std::string dir;

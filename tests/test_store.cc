@@ -207,6 +207,81 @@ TEST(Fingerprint, TrivialClusterEqualsNullCluster)
               fingerprintQuery(p, with_real));
 }
 
+// ---------------------------------------------------- cluster deltas
+
+// ClusterDelta has no fingerprint of its own: a replan keys the store
+// by fingerprintQuery of the *applied* model. These invariances are
+// what make that sound.
+
+TEST(Fingerprint, NoOpClusterDeltaKeepsFingerprint)
+{
+    HeteroShape hs = makeHeteroShapeByName("V", 4);
+    TesselOptions opts = quickOptions();
+    opts.cluster = &hs.cluster;
+    opts.edgeMB = hs.edgeMB;
+    const Hash128 base = fingerprintQuery(hs.placement, opts);
+
+    // Empty delta: applied model is a verbatim copy.
+    const ClusterModel copied = applyDelta(hs.cluster, ClusterDelta{}, 4);
+    TesselOptions with_copy = opts;
+    with_copy.cluster = &copied;
+    EXPECT_EQ(fingerprintQuery(hs.placement, with_copy), base);
+
+    // Identity delta: re-states values the model already holds (the
+    // link entry restates the default, which canonicalization drops).
+    ClusterDelta noop;
+    noop.speedFactor[1] = hs.cluster.speedOf(1);
+    noop.link[{0, 1}] = hs.cluster.defaultLink;
+    EXPECT_TRUE(!noop.empty());
+    const ClusterModel applied = applyDelta(hs.cluster, noop, 4);
+    TesselOptions with_noop = opts;
+    with_noop.cluster = &applied;
+    EXPECT_EQ(fingerprintQuery(hs.placement, with_noop), base);
+
+    // A real drift moves the key.
+    ClusterDelta drift;
+    drift.speedFactor[1] = hs.cluster.speedOf(1) * 2.0;
+    const ClusterModel drifted = applyDelta(hs.cluster, drift, 4);
+    TesselOptions with_drift = opts;
+    with_drift.cluster = &drifted;
+    EXPECT_NE(fingerprintQuery(hs.placement, with_drift), base);
+}
+
+TEST(Fingerprint, DisjointClusterDeltasComposeOrderIndependently)
+{
+    HeteroShape hs = makeHeteroShapeByName("X", 4);
+    TesselOptions opts = quickOptions();
+    opts.edgeMB = hs.edgeMB;
+
+    ClusterDelta speed;
+    speed.speedFactor[0] = 2.0;
+    ClusterDelta link;
+    LinkParams lp;
+    lp.latency = 3.0;
+    lp.timePerMB = 1.0;
+    link.link[{2, 3}] = lp;
+
+    const ClusterModel ab =
+        applyDelta(applyDelta(hs.cluster, speed, 4), link, 4);
+    const ClusterModel ba =
+        applyDelta(applyDelta(hs.cluster, link, 4), speed, 4);
+    TesselOptions with_ab = opts;
+    with_ab.cluster = &ab;
+    TesselOptions with_ba = opts;
+    with_ba.cluster = &ba;
+    EXPECT_EQ(fingerprintQuery(hs.placement, with_ab),
+              fingerprintQuery(hs.placement, with_ba));
+}
+
+TEST(ClusterDeltaDeathTest, OutOfRangeRemovalRejected)
+{
+    ClusterModel base;
+    base.speedFactor.assign(4, 1.0);
+    ClusterDelta bad;
+    bad.removedDevices = {7};
+    EXPECT_DEATH(applyDelta(base, bad, 4), "outside");
+}
+
 // ------------------------------------------------------ serialization
 
 /** Round-trip a searched result and assert byte and value exactness. */

@@ -30,11 +30,16 @@
  * equal plan hashes across runs certify bit-identical plans.
  */
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/service.h"
@@ -60,11 +65,13 @@ struct Args
     bool neighborSeed = true;
     bool serve = false;
     bool emitTrace = false;
+    bool chaos = false;
     size_t queueDepth = 64;
     int workers = 2;
     double tenantRate = 0.0;
     double tenantBurst = 8.0;
     double revalidateSec = 0.0;
+    double replanBudgetSec = 1.0;
 };
 
 void
@@ -91,6 +98,15 @@ usage()
            "                     one JSON response per line on stdout\n"
            "  --emit-trace       print the reference batch in the daemon "
            "trace format\n"
+           "  --chaos            with --emit-trace: overlay drift/failure "
+           "knobs on each line\n"
+           "  --replan-budget-sec S\n"
+           "                     --serve replan wait budget; a replan "
+           "missing it serves the\n"
+           "                     old plan retimed (stale) while the full "
+           "search finishes in\n"
+           "                     the background (<= 0 always waits; "
+           "default 1)\n"
            "  --queue-depth N    --serve admission queue capacity "
            "(default 64)\n"
            "  --workers N        --serve dispatch workers (default 2)\n"
@@ -164,6 +180,13 @@ parseArgs(int argc, char **argv, Args *args)
             args->serve = true;
         } else if (a == "--emit-trace") {
             args->emitTrace = true;
+        } else if (a == "--chaos") {
+            args->chaos = true;
+        } else if (a == "--replan-budget-sec") {
+            const char *v = next("--replan-budget-sec");
+            if (!v)
+                return false;
+            args->replanBudgetSec = std::atof(v);
         } else if (a == "--queue-depth") {
             const char *v = next("--queue-depth");
             if (!v)
@@ -406,7 +429,16 @@ runSelftest(const Args &args)
     return failures == 0 ? 0 : 1;
 }
 
-/** Print the reference batch as daemon trace lines (one per query). */
+/**
+ * Print the reference batch as daemon trace lines (one per query).
+ * --chaos overlays a drift or failure knob on every line, one injection
+ * class per variant so a single replayed trace walks every replan path:
+ * device failure on the hetero V line, speed drift on the remaining
+ * hetero lines (incremental re-lowering), a link-parameter drift on the
+ * mem-capped lines (structure-changing — falls back to a fresh
+ * lowering), and a mild speed drift on the homogeneous lines (trivial
+ * base cluster turning non-trivial).
+ */
 int
 runEmitTrace(const Args &args)
 {
@@ -416,7 +448,8 @@ runEmitTrace(const Args &args)
     int n = 0;
     for (const char *shape : kShapes) {
         for (const char *variant : kVariants) {
-            if (!args.hetero && std::string(variant) == "hetero")
+            const std::string v = variant;
+            if (!args.hetero && v == "hetero")
                 continue;
             TraceQuery q;
             q.id = "q" + std::to_string(++n);
@@ -424,10 +457,56 @@ runEmitTrace(const Args &args)
             q.variant = variant;
             q.devices = args.devices;
             q.budgetSec = args.budgetSec;
+            if (args.chaos) {
+                if (v == "hetero" && std::string(shape) == "V") {
+                    q.failDevice = 1;
+                } else if (v == "hetero") {
+                    q.driftDevice = 1;
+                    q.driftSpeed = 2.0;
+                } else if (v == "mem-capped") {
+                    q.driftSrc = 0;
+                    q.driftDst = 1;
+                    q.driftLatency = 2.0;
+                    q.driftTimePerMB = 0.5;
+                } else {
+                    q.driftDevice = 0;
+                    q.driftSpeed = 1.25;
+                }
+            }
             std::cout << formatTraceLine(q) << "\n";
         }
     }
     return 0;
+}
+
+/**
+ * Signal plumbing for --serve (async-signal-safe: the handler only
+ * bumps a counter). The first SIGINT/SIGTERM stops admitting input and
+ * drains in-flight queries — every accepted query still gets its
+ * response, and nothing mid-search is cancelled, so the store never
+ * sees a truncated plan. A second signal escalates: in-flight searches
+ * are cancelled (answers flagged, not cached) so the process exits
+ * promptly. sa_flags deliberately omits SA_RESTART so a signal breaks
+ * the blocking stdin read instead of waiting for the next trace line.
+ */
+std::atomic<int> g_signals{0};
+
+extern "C" void
+onStopSignal(int)
+{
+    g_signals.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+installStopHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = onStopSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
 }
 
 /**
@@ -446,6 +525,7 @@ runServe(const Args &args)
     loop_opts.service.numThreads = args.threads;
     loop_opts.service.neighborSeed = args.neighborSeed;
     loop_opts.service.perQueryBudgetSec = 0.0; // traces carry budgets
+    loop_opts.service.replanBudgetSec = args.replanBudgetSec;
     loop_opts.queueDepth = args.queueDepth;
     loop_opts.workers = args.workers;
     loop_opts.defaultBudget.ratePerSec = args.tenantRate;
@@ -453,51 +533,95 @@ runServe(const Args &args)
     loop_opts.revalidateIntervalSec = args.revalidateSec;
     ServiceLoop loop(std::move(loop_opts));
 
+    installStopHandlers();
+    // Escalation watcher: a second SIGINT/SIGTERM during the drain
+    // cancels in-flight searches instead of waiting them out.
+    std::atomic<bool> serve_done{false};
+    std::thread watcher([&loop, &serve_done] {
+        bool escalated = false;
+        while (!serve_done.load(std::memory_order_acquire)) {
+            if (!escalated &&
+                g_signals.load(std::memory_order_relaxed) >= 2) {
+                escalated = true;
+                std::cerr << "tessel_service --serve: second signal, "
+                             "cancelling in-flight searches\n";
+                loop.shutdown(/*cancel_in_flight=*/true);
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+    });
+
     std::mutex out_mu;
-    auto emit = [&out_mu](const std::string &line) {
+    std::atomic<uint64_t> stale_count{0};
+    std::atomic<uint64_t> degraded_count{0};
+    auto emit = [&](const ServiceLoop::Response &resp,
+                    const std::string &id) {
+        if (resp.report.stale)
+            stale_count.fetch_add(1, std::memory_order_relaxed);
+        if (resp.report.degraded)
+            degraded_count.fetch_add(1, std::memory_order_relaxed);
+        const std::string line = formatResponseLine(id, resp);
         std::lock_guard<std::mutex> lock(out_mu);
         std::cout << line << "\n" << std::flush;
+    };
+    auto emitError = [&](const std::string &id, const std::string &what) {
+        ServiceLoop::Response resp;
+        resp.admission = Admission::Accepted;
+        resp.report.source = "error";
+        resp.error = what;
+        emit(resp, id);
     };
 
     std::string line;
     uint64_t lineno = 0;
-    while (std::getline(std::cin, line)) {
+    while (g_signals.load(std::memory_order_relaxed) == 0 &&
+           std::getline(std::cin, line)) {
         ++lineno;
         if (line.find_first_not_of(" \t\r") == std::string::npos)
             continue;
         TraceQuery tq;
         std::string err;
         if (!parseTraceLine(line, &tq, &err)) {
-            ServiceLoop::Response resp;
-            resp.admission = Admission::Accepted;
-            resp.report.source = "error";
-            resp.error = "parse error (line " + std::to_string(lineno) +
-                         "): " + err;
-            emit(formatResponseLine(tq.id, resp));
+            emitError(tq.id, "parse error (line " +
+                                 std::to_string(lineno) + "): " + err);
+            continue;
+        }
+        const std::string id = tq.id;
+        auto done = [&emit, id](const ServiceLoop::Response &resp) {
+            emit(resp, id);
+        };
+        if (tq.isReplan()) {
+            std::optional<ReplanRequest> req = makeTraceReplan(tq, &err);
+            if (!req) {
+                emitError(id, err);
+                continue;
+            }
+            loop.submit(std::move(*req), tq.tenant, std::move(done));
             continue;
         }
         std::optional<PlanQuery> query = makeTraceQuery(tq, &err);
         if (!query) {
-            ServiceLoop::Response resp;
-            resp.admission = Admission::Accepted;
-            resp.report.source = "error";
-            resp.error = err;
-            emit(formatResponseLine(tq.id, resp));
+            emitError(id, err);
             continue;
         }
-        const std::string id = tq.id;
-        loop.submit(std::move(*query), tq.tenant,
-                    [&emit, id](const ServiceLoop::Response &resp) {
-                        emit(formatResponseLine(id, resp));
-                    });
+        loop.submit(std::move(*query), tq.tenant, std::move(done));
     }
+    if (g_signals.load(std::memory_order_relaxed) > 0)
+        std::cerr << "tessel_service --serve: signal received, draining "
+                     "in-flight queries (signal again to cancel)\n";
     loop.drain();
     const LoopStats stats = loop.stats();
+    const uint64_t lock_contended =
+        loop.service().cache().stats().lockContended;
     loop.shutdown();
+    serve_done.store(true, std::memory_order_release);
+    watcher.join();
     std::cerr << "tessel_service --serve: " << stats.submitted
-              << " submitted, " << stats.completed << " answered, "
-              << stats.rejectedQueueFull << " queue-full, "
-              << stats.rejectedThrottled << " throttled\n";
+              << " submitted, " << stats.completed << " answered ("
+              << stale_count.load() << " stale, " << degraded_count.load()
+              << " degraded), " << stats.rejectedQueueFull
+              << " queue-full, " << stats.rejectedThrottled
+              << " throttled, lock_contended=" << lock_contended << "\n";
     return 0;
 }
 
