@@ -32,6 +32,15 @@
  *   TESSEL_LOAD_MIN_HIT_RATE    trace hit-rate floor     (default 0.7)
  *   TESSEL_LOAD_MAX_P99_MS      hot-only p99 ceiling, ms (default 2000;
  *                               0 disables the gate)
+ *   TESSEL_METRICS_MAX_OVERHEAD metrics-on vs metrics-off QPS regression
+ *                               ceiling on the read-only hot replay
+ *                               (default 0.02; 0 disables the gate)
+ *
+ * A fourth phase replays the read-only hot trace with the metrics
+ * registry switched off and on (best of 3 each) and gates the
+ * instrumented path within TESSEL_METRICS_MAX_OVERHEAD of the no-op
+ * path — the registry's per-shard relaxed atomics must be invisible at
+ * daemon scale, and lockContended must stay untouched either way.
  *
  * Usage: bench_service_load [--json BENCH_service_load.json]
  */
@@ -49,6 +58,7 @@
 
 #include "service/trace.h"
 #include "support/io.h"
+#include "support/metrics.h"
 #include "support/table.h"
 #include "support/timer.h"
 
@@ -264,6 +274,41 @@ main(int argc, char **argv)
     const uint64_t contendedAfter =
         loop.service().cache().stats().lockContended;
     const uint64_t contendedDelta = contendedAfter - contendedBefore;
+
+    // Phase 4 — metrics overhead: the same read-only hot replay with
+    // the registry as a no-op vs live, best of 3 each (the replay is
+    // sub-second, so best-of smooths scheduler noise). Instrumentation
+    // must not reintroduce contention either: the lock counter is
+    // watched across both legs.
+    const double maxOverhead =
+        envDouble("TESSEL_METRICS_MAX_OVERHEAD", 0.02);
+    const bool metricsWereOn = MetricsRegistry::enabled();
+    auto bestHotQps = [&](int reps) {
+        double best = 0.0;
+        for (int r = 0; r < reps; ++r) {
+            const ReplayResult run =
+                replay(loop, hotOnly, batchHashes, /*outstanding=*/8);
+            if (run.wallSec > 0.0)
+                best = std::max(
+                    best, static_cast<double>(run.samples.size()) /
+                              run.wallSec);
+        }
+        return best;
+    };
+    const uint64_t contendedBeforeMetrics =
+        loop.service().cache().stats().lockContended;
+    MetricsRegistry::setEnabled(false);
+    const double qpsMetricsOff = bestHotQps(3);
+    MetricsRegistry::setEnabled(true);
+    const double qpsMetricsOn = bestHotQps(3);
+    MetricsRegistry::setEnabled(metricsWereOn);
+    const uint64_t contendedMetricsDelta =
+        loop.service().cache().stats().lockContended -
+        contendedBeforeMetrics;
+    const double metricsOverhead =
+        qpsMetricsOff > 0.0
+            ? (qpsMetricsOff - qpsMetricsOn) / qpsMetricsOff
+            : 0.0;
     loop.shutdown();
 
     // Aggregate.
@@ -305,9 +350,17 @@ main(int argc, char **argv)
                   fmtDouble(hotQps, 1),
                   fmtDouble(percentile(hotPhase, 0.5), 2),
                   fmtDouble(percentile(hotPhase, 0.99), 2), "100%"});
+    table.addRow({"hot, metrics off", std::to_string(hotOnly.size()),
+                  fmtDouble(qpsMetricsOff, 1), "-", "-", "100%"});
+    table.addRow({"hot, metrics on", std::to_string(hotOnly.size()),
+                  fmtDouble(qpsMetricsOn, 1), "-", "-", "100%"});
     table.print(std::cout);
     std::cout << "lockContended delta over read-only phase: "
               << contendedDelta << "\n"
+              << "lockContended delta over metrics legs: "
+              << contendedMetricsDelta << "\n"
+              << "metrics overhead (QPS regression, on vs off): "
+              << fmtPercent(metricsOverhead) << "\n"
               << "plan mismatches vs batch baseline: "
               << mixedRun.planMismatches + hotRun.planMismatches << "\n";
 
@@ -333,6 +386,13 @@ main(int argc, char **argv)
         gate(hotP99 <= maxP99Ms,
              "hot read-only p99 " + fmtDouble(hotP99, 2) +
                  " ms above ceiling " + fmtDouble(maxP99Ms, 0) + " ms");
+    gate(contendedMetricsDelta == 0,
+         "lockContended grew during the metrics-overhead legs (delta " +
+             std::to_string(contendedMetricsDelta) + ")");
+    if (maxOverhead > 0.0)
+        gate(metricsOverhead <= maxOverhead,
+             "metrics overhead " + fmtPercent(metricsOverhead) +
+                 " above ceiling " + fmtPercent(maxOverhead));
 
     if (!jsonPath.empty()) {
         std::ofstream out(jsonPath);
@@ -355,6 +415,11 @@ main(int argc, char **argv)
             << "  \"readonly_p99_ms\": " << hotP99 << ",\n"
             << "  \"trace_hit_rate\": " << hitRate << ",\n"
             << "  \"lock_contended_delta\": " << contendedDelta << ",\n"
+            << "  \"metrics_off_qps\": " << qpsMetricsOff << ",\n"
+            << "  \"metrics_on_qps\": " << qpsMetricsOn << ",\n"
+            << "  \"metrics_overhead\": " << metricsOverhead << ",\n"
+            << "  \"metrics_lock_contended_delta\": "
+            << contendedMetricsDelta << ",\n"
             << "  \"plan_mismatches\": "
             << mixedRun.planMismatches + hotRun.planMismatches << ",\n"
             << "  \"ok\": " << (ok ? "true" : "false") << "\n"

@@ -23,6 +23,7 @@
 
 #include "core/search.h"
 #include "store/adapt.h"
+#include "support/tracing.h"
 
 namespace tessel {
 
@@ -44,6 +45,7 @@ prepareReplanSeed(const Placement &placement, const TesselOptions &drifted,
 
     TesselOptions eff = drifted;
     if (comm_aware) {
+        TraceSpan span("relower");
         if (delta && served.commAware && served.expansion) {
             bool patched = false;
             out.lowered = relowerWithComm(
@@ -54,6 +56,7 @@ prepareReplanSeed(const Placement &placement, const TesselOptions &drifted,
             out.lowered = expandWithComm(placement, *drifted.cluster,
                                          drifted.edgeMB, drifted.comm);
         }
+        span.setArg("incremental", out.incrementalLower ? 1 : 0);
         eff.lowered = &*out.lowered;
     }
 
@@ -71,8 +74,10 @@ prepareReplanSeed(const Placement &placement, const TesselOptions &drifted,
         adapt_from = &shim;
     }
 
+    TraceSpan span("retime");
     AdaptOutcome adapted =
         adaptResultToQuery(placement, eff, *adapt_from, exactPhasesAllowed);
+    span.setArg("ok", adapted.ok ? 1 : 0);
     out.work.merge(adapted.breakdown);
     if (!adapted.ok) {
         out.reason = std::move(adapted.reason);

@@ -11,6 +11,7 @@
 #include "support/logging.h"
 #include "support/threadpool.h"
 #include "support/timer.h"
+#include "support/tracing.h"
 
 namespace tessel {
 
@@ -739,10 +740,13 @@ tesselSearch(const Placement &placement, const TesselOptions &options)
         // guaranteed equal to what expandWithComm would build here —
         // the replan path computes it once via relowerWithComm and
         // shares it between adaptation and search.
+        TraceSpan span("lower");
         expansion = eff.lowered ? *eff.lowered
                                 : expandWithComm(placement, *options.cluster,
                                                  options.edgeMB,
                                                  options.comm);
+        span.setArg("reused", eff.lowered ? 1 : 0);
+        span.setArg("links", expansion->numLinks);
         solve_placement = &expansion->placement;
         // Link pseudo-devices hold no parameters: pad with zeros.
         if (!eff.initialMem.empty())
@@ -787,14 +791,23 @@ tesselSearch(const Placement &placement, const TesselOptions &options)
     const CommExpansion *exp_ptr = expansion ? &*expansion : nullptr;
     std::optional<BestCandidate> best;
     std::optional<TesselPlan> best_plan; // Kept only without lazy search.
-    if (threads == 1) {
-        serialSweep(placement, exp_ptr, *solve_placement, eff,
-                    total_budget, max_inflight, entry, result, best,
-                    best_plan);
-    } else {
-        parallelSweep(placement, exp_ptr, *solve_placement, eff,
-                      total_budget, result.lowerBound, max_inflight,
-                      entry, threads, result, best, best_plan);
+    {
+        TraceSpan span("repetend-sweep");
+        if (threads == 1) {
+            serialSweep(placement, exp_ptr, *solve_placement, eff,
+                        total_budget, max_inflight, entry, result, best,
+                        best_plan);
+        } else {
+            parallelSweep(placement, exp_ptr, *solve_placement, eff,
+                          total_budget, result.lowerBound, max_inflight,
+                          entry, threads, result, best, best_plan);
+        }
+        span.setArg("value_sweeps", result.breakdown.valueSweeps);
+        span.setArg("policy_improvements",
+                    result.breakdown.policyImprovements);
+        span.setArg("seed_nodes_pruned",
+                    result.breakdown.seededNodesPruned);
+        span.setArg("candidates", result.breakdown.candidatesEnumerated);
     }
 
     result.commAware = comm_aware;
@@ -805,9 +818,12 @@ tesselSearch(const Placement &placement, const TesselOptions &options)
         return result;
 
     if (eff.lazy || !best_plan) {
+        TraceSpan span("phase-solve");
         best_plan = completeOrReusePlan(*solve_placement, best->assign,
                                         best->sched, eff,
                                         result.breakdown, eff.cancel);
+        span.setArg("sat_checks", result.breakdown.satChecks);
+        span.setArg("solver_nodes", result.breakdown.solverNodes);
         if (!best_plan)
             return result;
     }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/timer.h"
+
 namespace tessel {
 
 const char *
@@ -41,6 +43,20 @@ ServiceLoop::ServiceLoop(ServiceLoopOptions options)
 {
     options_.queueDepth = std::max<size_t>(1, options_.queueDepth);
     options_.workers = std::max(1, options_.workers);
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    metrics_.submitted = reg.counter("loop.submitted");
+    metrics_.accepted = reg.counter("loop.accepted");
+    metrics_.rejectedQueueFull =
+        reg.counter("loop.rejected", "verdict", "queue-full");
+    metrics_.rejectedThrottled =
+        reg.counter("loop.rejected", "verdict", "throttled");
+    metrics_.rejectedShutdown =
+        reg.counter("loop.rejected", "verdict", "shutting-down");
+    metrics_.completed = reg.counter("loop.completed");
+    metrics_.workerBusyUs = reg.counter("loop.worker_busy_us");
+    metrics_.queueDepth = reg.gauge("loop.queue_depth");
+    metrics_.queueHighWater = reg.gauge("loop.queue_high_water");
+    metrics_.inFlight = reg.gauge("loop.in_flight");
     if (options_.revalidateIntervalSec > 0.0)
         service_.cache().startRevalidation(options_.revalidateIntervalSec);
     workers_.reserve(static_cast<size_t>(options_.workers));
@@ -101,17 +117,29 @@ ServiceLoop::enqueue(Item item, const std::string &tenant,
     {
         std::lock_guard<std::mutex> lock(mu_);
         ++submitted_;
+        metrics_.submitted->inc();
         if (stop_) {
             verdict = Admission::ShuttingDown;
             ++rejectedShutdown_;
+            metrics_.rejectedShutdown->inc();
         } else if (queue_.size() >= options_.queueDepth) {
             verdict = Admission::QueueFull;
             ++rejectedQueueFull_;
+            metrics_.rejectedQueueFull->inc();
         } else if (!tenantAdmit(tenant)) {
             verdict = Admission::Throttled;
             ++rejectedThrottled_;
+            metrics_.rejectedThrottled->inc();
+            Bucket &bucket = buckets_[tenant];
+            ++bucket.throttled;
+            if (bucket.throttledMetric == nullptr)
+                bucket.throttledMetric = MetricsRegistry::instance()
+                                             .counter("loop.tenant_throttled",
+                                                      "tenant", tenant);
+            bucket.throttledMetric->inc();
         } else {
             ++accepted_;
+            metrics_.accepted->inc();
         }
     }
     if (verdict != Admission::Accepted) {
@@ -133,6 +161,10 @@ ServiceLoop::enqueue(Item item, const std::string &tenant,
     {
         std::lock_guard<std::mutex> lock(mu_);
         queue_.push_back(std::move(item));
+        queueHighWater_ = std::max(queueHighWater_, queue_.size());
+        metrics_.queueDepth->set(static_cast<int64_t>(queue_.size()));
+        metrics_.queueHighWater->setMax(
+            static_cast<int64_t>(queue_.size()));
     }
     workCv_.notify_one();
     return verdict;
@@ -180,14 +212,19 @@ ServiceLoop::workerLoop()
             item = std::move(queue_.front());
             queue_.pop_front();
             ++inFlight_;
+            metrics_.queueDepth->set(static_cast<int64_t>(queue_.size()));
+            metrics_.inFlight->set(static_cast<int64_t>(inFlight_));
         }
 
         Response resp;
         resp.admission = Admission::Accepted;
+        const Stopwatch busy;
         if (item.replan)
             service_.replan(*item.replan, &resp.report);
         else
             service_.runOne(item.query, &resp.report);
+        metrics_.workerBusyUs->inc(
+            static_cast<uint64_t>(busy.seconds() * 1e6));
         resp.cancelled = cancelSource_.cancelled();
         if (resp.cancelled)
             resp.error = "cancelled by shutdown";
@@ -198,6 +235,8 @@ ServiceLoop::workerLoop()
             std::lock_guard<std::mutex> lock(mu_);
             --inFlight_;
             ++completed_;
+            metrics_.completed->inc();
+            metrics_.inFlight->set(static_cast<int64_t>(inFlight_));
         }
         idleCv_.notify_all();
     }
@@ -252,7 +291,12 @@ ServiceLoop::stats() const
     out.rejectedShutdown = rejectedShutdown_;
     out.completed = completed_;
     out.queueDepth = queue_.size();
+    out.queueHighWater = queueHighWater_;
     out.inFlight = inFlight_;
+    for (const auto &kv : buckets_) {
+        if (kv.second.throttled > 0)
+            out.throttledByTenant[kv.first] = kv.second.throttled;
+    }
     return out;
 }
 

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "service/service.h"
+#include "support/metrics.h"
 
 namespace tessel {
 
@@ -111,7 +112,10 @@ struct LoopStats
     uint64_t rejectedShutdown = 0;
     uint64_t completed = 0;         ///< callbacks fired with an answer
     size_t queueDepth = 0;          ///< currently queued (snapshot)
+    size_t queueHighWater = 0;      ///< max queueDepth ever observed
     size_t inFlight = 0;            ///< currently being answered
+    /** Throttled rejections by tenant (sums to rejectedThrottled). */
+    std::map<std::string, uint64_t> throttledByTenant;
 };
 
 class ServiceLoop
@@ -205,6 +209,10 @@ class ServiceLoop
         TenantBudget budget;
         double tokens = 0.0;
         std::chrono::steady_clock::time_point last;
+        uint64_t throttled = 0; ///< rejections charged to this tenant
+        /** `loop.tenant_throttled{tenant=...}` handle, registered on
+         * the first throttle (rejections are off the accept path). */
+        Counter *throttledMetric = nullptr;
     };
 
     /** Refill and charge @p tenant's bucket; false when throttled. */
@@ -216,6 +224,25 @@ class ServiceLoop
     CancelSource cancelSource_;
     PlanningService service_;
 
+    /** Registry handles (`loop.*`), registered once in the constructor.
+     * Unlike the store mirror these are fed at the event sites — the
+     * admission path already serializes on mu_, and a registry update
+     * is a wait-free relaxed atomic op on top. */
+    struct LoopMetrics
+    {
+        Counter *submitted = nullptr;
+        Counter *accepted = nullptr;
+        Counter *rejectedQueueFull = nullptr;
+        Counter *rejectedThrottled = nullptr;
+        Counter *rejectedShutdown = nullptr;
+        Counter *completed = nullptr;
+        Counter *workerBusyUs = nullptr;
+        Gauge *queueDepth = nullptr;
+        Gauge *queueHighWater = nullptr;
+        Gauge *inFlight = nullptr;
+    };
+    LoopMetrics metrics_;
+
     mutable std::mutex mu_;
     std::condition_variable workCv_; ///< queue non-empty or stopping
     std::condition_variable idleCv_; ///< queue empty and nothing in flight
@@ -223,6 +250,7 @@ class ServiceLoop
     std::map<std::string, Bucket> buckets_;
     bool stop_ = false;
     size_t inFlight_ = 0;
+    size_t queueHighWater_ = 0;
     uint64_t submitted_ = 0;
     uint64_t accepted_ = 0;
     uint64_t rejectedQueueFull_ = 0;

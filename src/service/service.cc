@@ -11,6 +11,9 @@
 #include "support/logging.h"
 #include "support/threadpool.h"
 #include "support/timer.h"
+#include "support/tracing.h"
+
+#include <cstring>
 
 namespace tessel {
 
@@ -20,6 +23,35 @@ PlanningService::PlanningService(ServiceOptions options)
              PlanCacheOptions{options_.memoryCapacity,
                               options_.verifyOnLoad})
 {
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    metrics_.answerMemory =
+        reg.histogram("service.answer_ms", "source", "memory");
+    metrics_.answerDisk =
+        reg.histogram("service.answer_ms", "source", "disk");
+    metrics_.answerSearch =
+        reg.histogram("service.answer_ms", "source", "search");
+    metrics_.answerStale =
+        reg.histogram("service.answer_ms", "source", "stale");
+    metrics_.staleServed = reg.counter("service.stale_served");
+    metrics_.degradedServed = reg.counter("service.degraded_served");
+}
+
+void
+PlanningService::observeAnswer(const QueryReport &report) const
+{
+    const double ms = report.wallSec * 1e3;
+    if (std::strcmp(report.source, "memory") == 0)
+        metrics_.answerMemory->observe(ms);
+    else if (std::strcmp(report.source, "disk") == 0)
+        metrics_.answerDisk->observe(ms);
+    else if (std::strcmp(report.source, "stale") == 0)
+        metrics_.answerStale->observe(ms);
+    else
+        metrics_.answerSearch->observe(ms);
+    if (report.stale)
+        metrics_.staleServed->inc();
+    if (report.degraded)
+        metrics_.degradedServed->inc();
 }
 
 PlanningService::~PlanningService()
@@ -287,10 +319,13 @@ PlanningService::searchMiss(const PlanQuery &query, const TesselOptions &eff,
     inst.fingerprint = fp;
     inst.effective = eff;
     TesselOptions opts = eff;
-    if (options_.neighborSeed &&
-        trySeedFromNeighbors(cache_, query.placement, inst,
-                             options_.neighborK)) {
-        opts.seed = &inst.seed;
+    if (options_.neighborSeed) {
+        TraceSpan span("seed-adapt");
+        if (trySeedFromNeighbors(cache_, query.placement, inst,
+                                 options_.neighborK)) {
+            opts.seed = &inst.seed;
+            span.setLabel(inst.seededFrom);
+        }
     }
     TesselResult result = tesselSearch(query.placement, opts);
     result.breakdown.merge(inst.seedWork);
@@ -312,6 +347,8 @@ PlanningService::searchMiss(const PlanQuery &query, const TesselOptions &eff,
 TesselResult
 PlanningService::runOne(const PlanQuery &query, QueryReport *report)
 {
+    TraceSpan span("query");
+    span.setLabel(query.label);
     const TesselOptions eff = resolveOptions(query);
     const Hash128 fp = fingerprintQuery(query.placement, eff);
     const Stopwatch watch;
@@ -330,6 +367,11 @@ PlanningService::runOne(const PlanQuery &query, QueryReport *report)
     } else {
         result = searchMiss(query, eff, fp, report);
     }
+    // Solver effort rides on the span so a Perfetto timeline shows what
+    // each query cost, not just how long it took (zeros for cache hits).
+    span.setArg("value_sweeps", result.breakdown.valueSweeps);
+    span.setArg("policy_improvements", result.breakdown.policyImprovements);
+    span.setArg("seed_nodes_pruned", result.breakdown.seededNodesPruned);
     if (report) {
         report->planHash = resultPlanDigest(result).hex();
         report->found = result.found;
@@ -337,6 +379,7 @@ PlanningService::runOne(const PlanQuery &query, QueryReport *report)
         report->wallSec = watch.seconds();
         report->valueSweeps = result.breakdown.valueSweeps;
         report->policyImprovements = result.breakdown.policyImprovements;
+        observeAnswer(*report);
     }
     return result;
 }
@@ -393,6 +436,8 @@ PlanningService::replan(const ReplanRequest &request, QueryReport *report)
     const Stopwatch watch;
     const bool removal = request.delta.removesDevices();
     const PlanQuery drifted = makeDriftedQuery(request);
+    TraceSpan span("replan");
+    span.setLabel(drifted.label);
     const TesselOptions eff = resolveOptions(drifted);
     const Hash128 fp = fingerprintQuery(drifted.placement, eff);
     if (report) {
@@ -402,6 +447,11 @@ PlanningService::replan(const ReplanRequest &request, QueryReport *report)
         report->degraded = removal;
     }
     auto finish = [&](TesselResult result) {
+        span.setArg("value_sweeps", result.breakdown.valueSweeps);
+        span.setArg("policy_improvements",
+                    result.breakdown.policyImprovements);
+        span.setArg("seed_nodes_pruned",
+                    result.breakdown.seededNodesPruned);
         if (report) {
             report->planHash = resultPlanDigest(result).hex();
             report->found = result.found;
@@ -410,6 +460,7 @@ PlanningService::replan(const ReplanRequest &request, QueryReport *report)
             report->valueSweeps = result.breakdown.valueSweeps;
             report->policyImprovements =
                 result.breakdown.policyImprovements;
+            observeAnswer(*report);
         }
         return result;
     };
@@ -488,11 +539,17 @@ PlanningService::replan(const ReplanRequest &request, QueryReport *report)
 
     const double budget = options_.replanBudgetSec;
     bool ready = true;
-    if (budget > 0.0) {
-        ready = future.wait_for(std::chrono::duration<double>(budget)) ==
+    {
+        // The race: seeded search vs. the caller's latency budget.
+        TraceSpan race("race");
+        if (budget > 0.0) {
+            ready =
+                future.wait_for(std::chrono::duration<double>(budget)) ==
                 std::future_status::ready;
-    } else {
-        future.wait();
+        } else {
+            future.wait();
+        }
+        race.setArg("search_won", ready ? 1 : 0);
     }
     if (ready) {
         worker.join();

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "store/store.h"
+#include "support/metrics.h"
 #include "support/threadpool.h"
 
 namespace tessel {
@@ -293,8 +294,25 @@ class PlanningService
     /** Join background replans whose search already finished. */
     void reapBackgroundReplans();
 
+    /** Record one answered query into `service.answer_ms{source=...}`
+     * (and the stale/degraded counters when flagged). */
+    void observeAnswer(const QueryReport &report) const;
+
     ServiceOptions options_;
     PlanCache cache_;
+
+    /** Registry handles (`service.*`), registered once in the
+     * constructor so every series exists before the first snapshot. */
+    struct ServiceMetrics
+    {
+        Histogram *answerMemory = nullptr;
+        Histogram *answerDisk = nullptr;
+        Histogram *answerSearch = nullptr;
+        Histogram *answerStale = nullptr;
+        Counter *staleServed = nullptr;
+        Counter *degradedServed = nullptr;
+    };
+    ServiceMetrics metrics_;
 
     std::mutex poolMu_; ///< guards lazy pool construction
     std::unique_ptr<ThreadPool> pool_;

@@ -207,6 +207,9 @@ parseTraceLine(const std::string &line, TraceQuery *out, std::string *err)
             if (key == "id") {
                 if (!wantString(&q.id))
                     return false;
+            } else if (key == "cmd") {
+                if (!wantString(&q.cmd))
+                    return false;
             } else if (key == "shape") {
                 if (!wantString(&q.shape))
                     return false;
@@ -273,7 +276,7 @@ parseTraceLine(const std::string &line, TraceQuery *out, std::string *err)
     sc.skipWs();
     if (sc.i != sc.s.size())
         return bail("trailing characters after object");
-    if (!sawShape)
+    if (!sawShape && !q.isControl())
         return bail("missing required key \"shape\"");
     *out = std::move(q);
     return true;
@@ -286,6 +289,10 @@ formatTraceLine(const TraceQuery &q)
     os << '{';
     if (!q.id.empty())
         os << "\"id\": \"" << jsonEscape(q.id) << "\", ";
+    if (q.isControl()) {
+        os << "\"cmd\": \"" << jsonEscape(q.cmd) << "\"}";
+        return os.str();
+    }
     os << "\"shape\": \"" << jsonEscape(q.shape) << "\""
        << ", \"variant\": \"" << jsonEscape(q.variant) << "\""
        << ", \"devices\": " << q.devices

@@ -39,6 +39,13 @@ namespace tessel {
 struct TraceQuery
 {
     std::string id;      ///< echoed verbatim in the response line
+    /**
+     * Control verb instead of a query: a line `{"cmd": "stats"}` asks
+     * the daemon for a live metrics snapshot in-band (answered on
+     * stdout like any response). When set, "shape" is not required and
+     * every query/replan knob is ignored.
+     */
+    std::string cmd;
     std::string shape;   ///< V / X / M / NN / K (required)
     std::string variant = "homogeneous"; ///< homogeneous/mem-capped/hetero
     std::string tenant;  ///< admission bucket; empty = anonymous tenant
@@ -77,6 +84,11 @@ struct TraceQuery
     isReplan() const
     {
         return hasDrift() || hasFailure();
+    }
+    bool
+    isControl() const
+    {
+        return !cmd.empty();
     }
 };
 

@@ -12,6 +12,7 @@
 #include "store/serialize.h"
 #include "support/io.h"
 #include "support/logging.h"
+#include "support/tracing.h"
 
 namespace tessel {
 
@@ -362,11 +363,54 @@ PlanCache::PlanCache(std::string dir, PlanCacheOptions options)
             neighborIndex_.add(meta);
         }
     }
+
+    // Mirror StoreStats into the metrics registry. Counters are
+    // registered up front (collectors must not register) and fed
+    // monotone deltas at snapshot time, so `store.*` always equals the
+    // sum of the per-instance StoreStats.
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    metrics_.memoryHits = reg.counter("store.memory_hits");
+    metrics_.diskHits = reg.counter("store.disk_hits");
+    metrics_.misses = reg.counter("store.misses");
+    metrics_.stores = reg.counter("store.stores");
+    metrics_.verifyFailures = reg.counter("store.verify_failures");
+    metrics_.evictions = reg.counter("store.evictions");
+    metrics_.lockContended = reg.counter("store.lock_contended");
+    metrics_.neighborFetches = reg.counter("store.neighbor_fetches");
+    metrics_.revalidated = reg.counter("store.revalidated");
+    metrics_.gcRemoved = reg.counter("store.gc_removed");
+    collectorId_ = reg.addCollector([this] { mirrorMetrics(); });
 }
 
 PlanCache::~PlanCache()
 {
+    MetricsRegistry::instance().removeCollector(collectorId_);
     stopRevalidation();
+}
+
+void
+PlanCache::mirrorMetrics()
+{
+    // Skip (keeping mirrored_ untouched) while metrics are disabled:
+    // inc() would drop the delta, and a later re-enable should pick up
+    // from wherever the mirror last published.
+    if (!MetricsRegistry::enabled())
+        return;
+    const StoreStats cur = stats();
+    metrics_.memoryHits->inc(cur.memoryHits - mirrored_.memoryHits);
+    metrics_.diskHits->inc(cur.diskHits - mirrored_.diskHits);
+    metrics_.misses->inc(cur.misses - mirrored_.misses);
+    metrics_.stores->inc(cur.stores - mirrored_.stores);
+    metrics_.verifyFailures->inc(cur.verifyFailures -
+                                 mirrored_.verifyFailures);
+    metrics_.evictions->inc(cur.evictions - mirrored_.evictions);
+    metrics_.lockContended->inc(cur.lockContended -
+                                mirrored_.lockContended);
+    metrics_.neighborFetches->inc(cur.neighborFetches -
+                                  mirrored_.neighborFetches);
+    metrics_.revalidated->inc(cur.revalidated - mirrored_.revalidated);
+    metrics_.gcRemoved->inc(cur.gcRemoved - mirrored_.gcRemoved);
+    mirrored_ = cur;
 }
 
 PlanCache::Shard &
@@ -427,9 +471,13 @@ PlanCache::get(const Hash128 &fp, const Placement &placement,
     // Disk tier: read, decode, and verify without holding any lock so
     // slow entries do not serialize unrelated readers.
     std::string bytes;
-    if (!store_.get(fp, &bytes)) {
-        shard.misses.fetch_add(1, std::memory_order_relaxed);
-        return std::nullopt;
+    {
+        TraceSpan span("disk-io");
+        if (!store_.get(fp, &bytes)) {
+            shard.misses.fetch_add(1, std::memory_order_relaxed);
+            return std::nullopt;
+        }
+        span.setArg("bytes", bytes.size());
     }
 
     LoadedResult loaded = deserializeResult(bytes);
@@ -438,6 +486,7 @@ PlanCache::get(const Hash128 &fp, const Placement &placement,
         loaded.error = "entry fingerprint does not match its file name";
     }
     if (loaded.ok && options_.verifyOnLoad) {
+        TraceSpan span("verify");
         const VerifyOutcome verdict =
             verifyResultAgainstQuery(placement, options, loaded.result);
         if (!verdict.ok) {
@@ -482,8 +531,16 @@ PlanCache::put(const Hash128 &fp, const TesselResult &result)
 {
     // Serialize and write outside the writer lock; publish the memory
     // snapshot under it.
-    const std::string bytes = serializeResult(result, fp);
-    store_.put(fp, bytes);
+    std::string bytes;
+    {
+        TraceSpan span("serialize");
+        bytes = serializeResult(result, fp);
+        span.setArg("bytes", bytes.size());
+    }
+    {
+        TraceSpan span("disk-io");
+        store_.put(fp, bytes);
+    }
     Shard &shard = shardFor(fp);
     shard.stores.fetch_add(1, std::memory_order_relaxed);
     insertMemory(shard, fp, result);

@@ -78,6 +78,7 @@
 #include "core/search.h"
 #include "store/fingerprint.h"
 #include "store/neighbor.h"
+#include "support/metrics.h"
 
 namespace tessel {
 
@@ -410,6 +411,13 @@ class PlanCache
      * file, meta sidecar, and neighbor-index entry together. */
     void removeRejectedEntry(const Hash128 &fp);
 
+    /** Snapshot-time collector body: feed the monotone delta of
+     * stats() since the last mirror into the `store.*` registry
+     * counters. StoreStats stays the tested source of truth; deltas
+     * (not absolute sets) let several PlanCache instances sum into one
+     * series. Runs only under the registry's collector lock. */
+    void mirrorMetrics();
+
     PlanStore store_;
     PlanCacheOptions options_;
 
@@ -422,6 +430,26 @@ class PlanCache
     std::atomic<uint64_t> gcRemoved_{0};
 
     NeighborIndex neighborIndex_;
+
+    // Registry mirror state (see mirrorMetrics()). Handles are
+    // registered once in the constructor; the collector is removed in
+    // the destructor, which blocks until any in-flight snapshot is done.
+    struct MetricsMirror
+    {
+        Counter *memoryHits = nullptr;
+        Counter *diskHits = nullptr;
+        Counter *misses = nullptr;
+        Counter *stores = nullptr;
+        Counter *verifyFailures = nullptr;
+        Counter *evictions = nullptr;
+        Counter *lockContended = nullptr;
+        Counter *neighborFetches = nullptr;
+        Counter *revalidated = nullptr;
+        Counter *gcRemoved = nullptr;
+    };
+    MetricsMirror metrics_;
+    StoreStats mirrored_; ///< stats() as of the last mirror
+    int collectorId_ = 0;
 
     // Background revalidation thread state.
     std::thread revalThread_;

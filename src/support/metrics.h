@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges, and fixed-bucket
+ * histograms addressed by dotted names plus an optional single label
+ * (e.g. `store.memory_hits`, `service.answer_ms{source=memory}`).
+ *
+ * Design constraints (see README "Observability"):
+ *  - The hot path is wait-free for both readers and writers. Counter
+ *    increments are relaxed fetch_adds on per-shard cache-line-padded
+ *    atomics, gauge updates are single relaxed stores / CAS-free maxes,
+ *    and histogram observations are two relaxed fetch_adds. No hot-path
+ *    operation ever takes a lock, so instrumenting the RCU plan-cache
+ *    hit path cannot break the `lockContended == 0` read-only-trace
+ *    invariant.
+ *  - Registration (`counter()`/`gauge()`/`histogram()`) is the only
+ *    locked operation. Returned handles are stable for the life of the
+ *    registry; instrument sites register once and cache the pointer.
+ *  - A process-global enabled flag (`MetricsRegistry::setEnabled`,
+ *    initialised from the `TESSEL_METRICS` environment variable, where
+ *    `off`/`0`/`false` disables) turns every hot-path operation into a
+ *    single relaxed load + branch, which is what `bench_service_load`
+ *    measures the instrumented path against.
+ *  - Existing stats structs (`StoreStats`, `LoopStats`, ...) remain the
+ *    tested source of truth. Layers that already aggregate their own
+ *    stats mirror them into the registry with snapshot-time collector
+ *    callbacks (`addCollector`), publishing monotone *deltas* so that
+ *    several instances of a layer sum naturally into one series.
+ */
+
+#ifndef TESSEL_SUPPORT_METRICS_H
+#define TESSEL_SUPPORT_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tessel {
+
+/** Monotone counter; wait-free sharded increments. */
+class Counter
+{
+  public:
+    /** Add @p n (relaxed, wait-free). No-op while metrics are disabled. */
+    void inc(uint64_t n = 1);
+
+    /** @return the summed value across all shards (relaxed reads). */
+    uint64_t value() const;
+
+    static constexpr unsigned kShards = 16;
+
+  private:
+    friend class MetricsRegistry;
+    Counter() = default;
+
+    struct alignas(64) Cell
+    {
+        std::atomic<uint64_t> v{0};
+    };
+    Cell cells_[kShards];
+};
+
+/** Last-value gauge with an optional monotone high-water companion. */
+class Gauge
+{
+  public:
+    /** Store @p v (relaxed). No-op while metrics are disabled. */
+    void set(int64_t v);
+
+    /** Raise the stored value to at least @p v (CAS-free on x86 via
+     *  fetch_max-style loop over relaxed loads; still wait-free in
+     *  practice because contention on a monotone max converges). */
+    void setMax(int64_t v);
+
+    /** Add @p delta (relaxed fetch_add). */
+    void add(int64_t delta);
+
+    int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    friend class MetricsRegistry;
+    Gauge() = default;
+    std::atomic<int64_t> v_{0};
+};
+
+/**
+ * Fixed-bucket histogram. Bucket upper bounds are set at registration
+ * and never change; observations are two relaxed fetch_adds (bucket
+ * cell + fixed-point sum). The sum is accumulated in micro-units
+ * (value * 1e6, rounded) to stay a single atomic integer add instead of
+ * a CAS loop on a double.
+ */
+class Histogram
+{
+  public:
+    /** Record one observation. No-op while metrics are disabled. */
+    void observe(double v);
+
+    /** @return bucket upper bounds (exclusive of the implicit +Inf). */
+    const std::vector<double> &bounds() const { return bounds_; }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Histogram(std::vector<double> bounds);
+
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<uint64_t>[]> counts_; // bounds_+1 cells
+    std::atomic<uint64_t> count_{0};
+    std::atomic<int64_t> sumMicro_{0};
+};
+
+/** Default latency bucket bounds in milliseconds (sub-ms to 30 s). */
+const std::vector<double> &defaultLatencyBoundsMs();
+
+/** One exported series in a point-in-time snapshot. */
+struct MetricSample
+{
+    enum class Kind { Counter, Gauge, Histogram };
+
+    std::string name;       ///< dotted name, e.g. "store.memory_hits"
+    std::string labelKey;   ///< empty when unlabelled
+    std::string labelValue; ///< empty when unlabelled
+    Kind kind = Kind::Counter;
+
+    uint64_t counterValue = 0; ///< Kind::Counter
+    int64_t gaugeValue = 0;    ///< Kind::Gauge
+
+    // Kind::Histogram: per-bucket (non-cumulative) counts; counts.size()
+    // == bounds.size() + 1, the last cell being the +Inf overflow.
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;
+    uint64_t count = 0;
+    double sum = 0.0;
+};
+
+/** Point-in-time snapshot, samples sorted by series id. */
+struct MetricsSnapshot
+{
+    std::vector<MetricSample> samples;
+};
+
+/**
+ * Estimate the q-quantile (0 < q < 1) of a histogram sample by linear
+ * interpolation inside the bucket that crosses the target rank. Returns
+ * the last finite bound for ranks landing in the overflow bucket and
+ * 0.0 for an empty histogram.
+ */
+double histogramQuantile(const MetricSample &hist, double q);
+
+/** The registry. One process-wide instance(); tests may construct their
+ *  own isolated registries. */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    ~MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The process-wide registry. */
+    static MetricsRegistry &instance();
+
+    /**
+     * Register (or look up) a series. Dotted @p name; the labelled
+     * overloads attach one `key=value` label. Handles are stable and
+     * owned by the registry. Registering the same series id with a
+     * different kind (or different histogram bounds) is fatal — series
+     * identity is process-global.
+     */
+    Counter *counter(const std::string &name);
+    Counter *counter(const std::string &name, const std::string &labelKey,
+                     const std::string &labelValue);
+    Gauge *gauge(const std::string &name);
+    Gauge *gauge(const std::string &name, const std::string &labelKey,
+                 const std::string &labelValue);
+    Histogram *histogram(const std::string &name,
+                         const std::vector<double> &bounds =
+                             defaultLatencyBoundsMs());
+    Histogram *histogram(const std::string &name,
+                         const std::string &labelKey,
+                         const std::string &labelValue,
+                         const std::vector<double> &bounds =
+                             defaultLatencyBoundsMs());
+
+    /**
+     * Register a snapshot-time collector. Collectors run at the start of
+     * every snapshot() and mirror externally-aggregated stats into
+     * pre-registered handles (they must NOT register new series — call
+     * the registration functions up front). @return an id for
+     * removeCollector(); removal blocks until any in-flight snapshot
+     * finishes, so a collector may safely capture `this`.
+     */
+    int addCollector(std::function<void()> fn);
+    void removeCollector(int id);
+
+    /** Run collectors, then read every series (relaxed). */
+    MetricsSnapshot snapshot();
+
+    /** Process-global enable switch (initialised from TESSEL_METRICS;
+     *  `off`/`0`/`false` disables). Affects hot-path writes only —
+     *  snapshots always read whatever has been recorded. */
+    static void setEnabled(bool on);
+    static bool enabled();
+
+  private:
+    struct Entry
+    {
+        MetricSample::Kind kind;
+        std::string name, labelKey, labelValue;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry *findOrCreate(const std::string &name,
+                        const std::string &labelKey,
+                        const std::string &labelValue,
+                        MetricSample::Kind kind,
+                        const std::vector<double> *bounds);
+
+    mutable std::mutex mu_;                 // registration + snapshot read
+    std::map<std::string, Entry> series_;   // keyed by series id
+    std::mutex collectorMu_;                // collector list + execution
+    std::map<int, std::function<void()>> collectors_;
+    int nextCollectorId_ = 1;
+};
+
+/** Render a snapshot in the Prometheus text exposition format
+ *  (dots mangled to underscores, `_total` on counters, cumulative
+ *  `_bucket{le=...}` / `_sum` / `_count` on histograms). */
+std::string toPrometheus(const MetricsSnapshot &snap);
+
+/** Render a snapshot as a single JSON object (dotted names preserved;
+ *  see README "Observability" for the schema). */
+std::string toJson(const MetricsSnapshot &snap);
+
+} // namespace tessel
+
+#endif // TESSEL_SUPPORT_METRICS_H

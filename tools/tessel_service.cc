@@ -33,6 +33,7 @@
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -46,7 +47,9 @@
 #include "service/trace.h"
 #include "store/serialize.h"
 #include "support/io.h"
+#include "support/metrics.h"
 #include "support/table.h"
+#include "support/tracing.h"
 
 using namespace tessel;
 
@@ -72,6 +75,9 @@ struct Args
     double tenantBurst = 8.0;
     double revalidateSec = 0.0;
     double replanBudgetSec = 1.0;
+    std::string metricsOut;
+    std::string traceOut;
+    double metricsIntervalSec = 1.0;
 };
 
 void
@@ -115,7 +121,17 @@ usage()
            "  --tenant-burst F   per-tenant token-bucket burst "
            "(default 8)\n"
            "  --revalidate-sec S background store revalidation interval "
-           "(0 = off)\n";
+           "(0 = off)\n"
+           "  --metrics-out FILE periodic + final metrics snapshot: "
+           "Prometheus text at\n"
+           "                     FILE, JSON at FILE.json; the last "
+           "periodic snapshot is\n"
+           "                     kept as FILE.prev\n"
+           "  --metrics-interval-sec S\n"
+           "                     periodic snapshot interval (default 1)\n"
+           "  --trace-out FILE   record spans; write Chrome trace-event "
+           "JSON (Perfetto-\n"
+           "                     loadable) at exit\n";
 }
 
 bool
@@ -212,6 +228,21 @@ parseArgs(int argc, char **argv, Args *args)
             if (!v)
                 return false;
             args->revalidateSec = std::atof(v);
+        } else if (a == "--metrics-out") {
+            const char *v = next("--metrics-out");
+            if (!v)
+                return false;
+            args->metricsOut = v;
+        } else if (a == "--metrics-interval-sec") {
+            const char *v = next("--metrics-interval-sec");
+            if (!v)
+                return false;
+            args->metricsIntervalSec = std::atof(v);
+        } else if (a == "--trace-out") {
+            const char *v = next("--trace-out");
+            if (!v)
+                return false;
+            args->traceOut = v;
         } else if (a == "--help" || a == "-h") {
             usage();
             std::exit(0);
@@ -480,6 +511,105 @@ runEmitTrace(const Args &args)
 }
 
 /**
+ * Write one metrics snapshot: Prometheus text exposition at @p path,
+ * the same snapshot as JSON at @p path.json. Both writes are atomic
+ * (tmp + rename), so a reader never sees a torn exposition.
+ */
+bool
+writeMetricsSnapshot(const std::string &path)
+{
+    const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+    std::string err;
+    bool ok = writeFileAtomic(path, toPrometheus(snap), &err);
+    if (!ok)
+        std::cerr << "tessel_service: cannot write " << path << ": "
+                  << err << "\n";
+    std::string jerr;
+    if (!writeFileAtomic(path + ".json", toJson(snap) + "\n", &jerr)) {
+        std::cerr << "tessel_service: cannot write " << path
+                  << ".json: " << jerr << "\n";
+        ok = false;
+    }
+    return ok;
+}
+
+/**
+ * Periodic metrics writer plus final-snapshot handling for --metrics-out.
+ * start() spawns the writer thread; finish() stops it, preserves the
+ * last periodic snapshot as FILE.prev (two same-process snapshots let
+ * tools/metrics_lint.py check counter monotonicity), and writes the
+ * final snapshot.
+ */
+class MetricsWriter
+{
+  public:
+    explicit MetricsWriter(std::string path, double intervalSec)
+        : path_(std::move(path)),
+          intervalSec_(intervalSec > 0.0 ? intervalSec : 1.0)
+    {
+    }
+
+    void
+    start()
+    {
+        if (path_.empty())
+            return;
+        thread_ = std::thread([this] { run(); });
+    }
+
+    bool
+    finish()
+    {
+        if (path_.empty())
+            return true;
+        stop_.store(true, std::memory_order_release);
+        if (thread_.joinable())
+            thread_.join();
+        if (wrote_.load(std::memory_order_relaxed))
+            std::rename(path_.c_str(), (path_ + ".prev").c_str());
+        return writeMetricsSnapshot(path_);
+    }
+
+  private:
+    void
+    run()
+    {
+        using clock = std::chrono::steady_clock;
+        auto nextDue = clock::now() +
+                       std::chrono::duration_cast<clock::duration>(
+                           std::chrono::duration<double>(intervalSec_));
+        while (!stop_.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            if (clock::now() < nextDue)
+                continue;
+            if (writeMetricsSnapshot(path_))
+                wrote_.store(true, std::memory_order_relaxed);
+            nextDue = clock::now() +
+                      std::chrono::duration_cast<clock::duration>(
+                          std::chrono::duration<double>(intervalSec_));
+        }
+    }
+
+    const std::string path_;
+    const double intervalSec_;
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> wrote_{false};
+    std::thread thread_;
+};
+
+/** Flush the flight recorder as Chrome trace-event JSON (--trace-out). */
+void
+writeTraceFile(const std::string &path)
+{
+    if (path.empty())
+        return;
+    std::string err;
+    if (!writeChromeTrace(TraceRecorder::instance(), path, &err))
+        std::cerr << "tessel_service: cannot write " << path << ": "
+                  << err << "\n";
+}
+
+/**
  * Signal plumbing for --serve (async-signal-safe: the handler only
  * bumps a counter). The first SIGINT/SIGTERM stops admitting input and
  * drains in-flight queries — every accepted query still gets its
@@ -531,7 +661,12 @@ runServe(const Args &args)
     loop_opts.defaultBudget.ratePerSec = args.tenantRate;
     loop_opts.defaultBudget.burst = args.tenantBurst;
     loop_opts.revalidateIntervalSec = args.revalidateSec;
+    if (!args.traceOut.empty())
+        TraceRecorder::instance().setEnabled(true);
     ServiceLoop loop(std::move(loop_opts));
+
+    MetricsWriter metrics_writer(args.metricsOut, args.metricsIntervalSec);
+    metrics_writer.start();
 
     installStopHandlers();
     // Escalation watcher: a second SIGINT/SIGTERM during the drain
@@ -587,6 +722,26 @@ runServe(const Args &args)
             continue;
         }
         const std::string id = tq.id;
+        if (tq.isControl()) {
+            if (tq.cmd == "stats") {
+                // Live snapshot in-band: answered inline (not queued),
+                // so it reflects the daemon state at the moment the
+                // control line was read.
+                const std::string stats_json =
+                    toJson(MetricsRegistry::instance().snapshot());
+                std::lock_guard<std::mutex> lock(out_mu);
+                std::cout << "{";
+                if (!id.empty())
+                    std::cout << "\"id\": \"" << jsonEscape(id)
+                              << "\", ";
+                std::cout << "\"cmd\": \"stats\", \"stats\": "
+                          << stats_json << "}\n"
+                          << std::flush;
+            } else {
+                emitError(id, "unknown cmd \"" + tq.cmd + "\"");
+            }
+            continue;
+        }
         auto done = [&emit, id](const ServiceLoop::Response &resp) {
             emit(resp, id);
         };
@@ -619,10 +774,23 @@ runServe(const Args &args)
     std::cerr << "tessel_service --serve: " << stats.submitted
               << " submitted, " << stats.completed << " answered ("
               << stale_count.load() << " stale, " << degraded_count.load()
-              << " degraded), " << stats.rejectedQueueFull
-              << " queue-full, " << stats.rejectedThrottled
-              << " throttled, lock_contended=" << lock_contended << "\n";
-    return 0;
+              << " degraded), rejected " << stats.rejectedQueueFull
+              << " queue-full / " << stats.rejectedThrottled
+              << " throttled / " << stats.rejectedShutdown
+              << " shutting-down, queue high water "
+              << stats.queueHighWater
+              << ", lock_contended=" << lock_contended << "\n";
+    if (!stats.throttledByTenant.empty()) {
+        std::cerr << "tessel_service --serve: throttled by tenant:";
+        for (const auto &kv : stats.throttledByTenant)
+            std::cerr << " "
+                      << (kv.first.empty() ? "(anonymous)" : kv.first)
+                      << "=" << kv.second;
+        std::cerr << "\n";
+    }
+    const bool metrics_ok = metrics_writer.finish();
+    writeTraceFile(args.traceOut);
+    return metrics_ok ? 0 : 1;
 }
 
 } // namespace
@@ -647,10 +815,18 @@ main(int argc, char **argv)
     service_opts.cacheDir = args.cacheDir;
     service_opts.numThreads = args.threads;
     service_opts.neighborSeed = args.neighborSeed;
+    if (!args.traceOut.empty())
+        TraceRecorder::instance().setEnabled(true);
     PlanningService service(service_opts);
 
     const BatchReport report = service.runBatch(batch);
     printReport(report, "Planning service batch (" + args.cacheDir + ")");
+
+    // Batch mode has no periodic writer; --metrics-out / --trace-out
+    // still produce a final snapshot for offline inspection.
+    if (!args.metricsOut.empty() && !writeMetricsSnapshot(args.metricsOut))
+        return 1;
+    writeTraceFile(args.traceOut);
 
     if (!args.jsonPath.empty() &&
         !writeStatsJson(args.jsonPath, report)) {
